@@ -1,0 +1,82 @@
+"""AB1 — ablation: rendezvous replication.
+
+Rendezvous peers are the only bridges between groups (§IV-B).  With one
+bridge the overlay has a single point of failure of its own; replicating
+the rendezvous restores resilience.  Ablation: bridge two groups with k
+parallel rendezvous links, kill one rendezvous, measure cross-group
+discovery success.
+"""
+
+from _workloads import EchoService, print_table
+
+from repro.core import DiscoveryError, WSPeer
+from repro.core.binding import P2psBinding
+from repro.p2ps import PeerGroup
+from repro.p2ps.group import link_rendezvous
+from repro.simnet import FixedLatency, Network
+
+
+def build_bridged_world(replication: int):
+    """Two groups joined by *replication* independent rendezvous pairs."""
+    net = Network(latency=FixedLatency(0.002))
+    group_a, group_b = PeerGroup("A"), PeerGroup("B")
+    rendezvous = []
+    for k in range(replication):
+        ra = WSPeer(net.add_node(f"ra{k}"), P2psBinding(group_a, rendezvous=True), name=f"ra{k}")
+        rb = WSPeer(net.add_node(f"rb{k}"), P2psBinding(group_b, rendezvous=True), name=f"rb{k}")
+        link_rendezvous(ra.peer, rb.peer)
+        rendezvous.append((ra, rb))
+    provider = WSPeer(net.add_node("prov"), P2psBinding(group_b), name="prov")
+    provider.deploy(EchoService(), name="Far")
+    provider.publish("Far")
+    net.run()
+    consumer = WSPeer(net.add_node("cons"), P2psBinding(group_a), name="cons")
+    return net, rendezvous, provider, consumer
+
+
+def cross_group_success(replication: int, kill_bridges: int) -> bool:
+    net, rendezvous, provider, consumer = build_bridged_world(replication)
+    for k in range(kill_bridges):
+        rendezvous[k][0].node.go_down()  # kill the group-A side bridge
+    try:
+        handle = consumer.locate_one("Far", timeout=5.0)
+        return consumer.invoke(handle, "echo", {"message": "x"}, timeout=5.0) == "x"
+    except (DiscoveryError, Exception):  # noqa: BLE001
+        return False
+
+
+def run_ab1_experiment():
+    rows = []
+    for replication in (1, 2, 3):
+        for killed in (0, 1):
+            ok = cross_group_success(replication, killed)
+            rows.append([replication, killed, "succeeds" if ok else "FAILS"])
+    print_table(
+        "AB1  rendezvous replication vs bridge failure (cross-group locate)",
+        ["rendezvous pairs", "bridges killed", "discovery"],
+        rows,
+        note="a single rendezvous pair is the overlay's own single point "
+        "of failure; one extra pair restores cross-group discovery",
+    )
+    return rows
+
+
+def test_ab1_single_bridge_is_fragile():
+    assert cross_group_success(replication=1, kill_bridges=0)
+    assert not cross_group_success(replication=1, kill_bridges=1)
+
+
+def test_ab1_replication_restores_resilience():
+    assert cross_group_success(replication=2, kill_bridges=1)
+    assert cross_group_success(replication=3, kill_bridges=1)
+
+
+def test_bench_cross_group_locate(benchmark):
+    net, rendezvous, provider, consumer = build_bridged_world(2)
+    handle = consumer.locate_one("Far", timeout=5.0)
+
+    benchmark(lambda: consumer.invoke(handle, "echo", message="bench"))
+
+
+if __name__ == "__main__":
+    run_ab1_experiment()

@@ -1,0 +1,94 @@
+"""AB2 — ablation: query TTL vs reach and message cost.
+
+Queries propagate across the rendezvous overlay with a hop budget.
+Small TTL limits both how far a query can see and how many frames it
+costs; the ablation sweeps TTL over a chain of groups and reports
+reach, latency and total frames.
+"""
+
+from _workloads import EchoService, fmt_ms, print_table
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding
+from repro.core.query import P2PSServiceQuery
+from repro.p2ps import PeerGroup
+from repro.p2ps.group import link_rendezvous
+from repro.simnet import FixedLatency, Network
+
+CHAIN_LENGTH = 6  # groups in a row; provider lives in the last one
+
+
+def build_chain():
+    net = Network(latency=FixedLatency(0.002))
+    groups = [PeerGroup(f"g{i}") for i in range(CHAIN_LENGTH)]
+    rdvs = []
+    for i, group in enumerate(groups):
+        rdv = WSPeer(net.add_node(f"r{i}"), P2psBinding(group, rendezvous=True), name=f"r{i}")
+        rdvs.append(rdv)
+    for a, b in zip(rdvs, rdvs[1:]):
+        link_rendezvous(a.peer, b.peer)
+    provider = WSPeer(net.add_node("prov"), P2psBinding(groups[-1]), name="prov")
+    provider.deploy(EchoService(), name="Far")
+    provider.publish("Far")
+    net.run()
+    consumer = WSPeer(net.add_node("cons"), P2psBinding(groups[0]), name="cons")
+    return net, consumer
+
+
+def probe(ttl: int):
+    net, consumer = build_chain()
+    frames_before = net.sent.total()
+    start = net.now
+    handles = consumer.locate(P2PSServiceQuery("Far", ttl=ttl), timeout=5.0)
+    elapsed = net.now - start
+    net.run()
+    frames = net.sent.total() - frames_before
+    return bool(handles), elapsed, frames
+
+
+def run_ab2_experiment():
+    rows = []
+    outcomes = {}
+    for ttl in (1, 2, 4, 6, 10):
+        found, elapsed, frames = probe(ttl)
+        outcomes[ttl] = found
+        rows.append(
+            [ttl, "found" if found else "not found",
+             fmt_ms(elapsed) if found else "-", frames]
+        )
+    print_table(
+        f"AB2  query TTL vs reach (provider {CHAIN_LENGTH - 1} overlay hops away)",
+        ["ttl", "discovery", "locate time", "frames spent"],
+        rows,
+        note="TTL bounds the flood: too small and remote services are "
+        "invisible; larger TTL finds them at linear extra message cost",
+    )
+    return outcomes
+
+
+def test_ab2_small_ttl_cannot_reach():
+    found, _, _ = probe(2)
+    assert not found
+
+
+def test_ab2_sufficient_ttl_reaches():
+    found, _, _ = probe(CHAIN_LENGTH + 1)
+    assert found
+
+
+def test_ab2_cost_grows_with_ttl():
+    _, _, frames_small = probe(1)
+    _, _, frames_large = probe(10)
+    assert frames_large > frames_small
+
+
+def test_bench_deep_locate(benchmark):
+    def deep():
+        net, consumer = build_chain()
+        return consumer.locate(P2PSServiceQuery("Far", ttl=10), timeout=5.0)
+
+    benchmark(deep)
+
+
+if __name__ == "__main__":
+    run_ab2_experiment()

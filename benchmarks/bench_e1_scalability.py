@@ -1,0 +1,229 @@
+"""E1 — §II claim: client/server discovery creates server bottlenecks.
+
+"The client/server nature of these networks potentially inhibits their
+scalability because the number of server entities does not grow
+proportionately with the overall number of nodes.  This creates
+communication bottlenecks and increases the stress on the servers."
+
+Experiment: grow the network (N peers, each publishing one service and
+issuing Q discovery queries).  Standard binding: every publish and
+every locate hits the single UDDI node.  P2PS binding: queries are
+answered from group caches spread over all peers.  Measured: frames
+handled by the busiest node, normalised per peer.  Expected shape: the
+registry's load grows linearly with N (unbounded hot spot) while the
+per-peer load in P2PS stays flat.
+"""
+
+from _workloads import EchoService, build_p2ps_world, build_standard_world, fmt_ms, print_table
+
+SIZES = [4, 8, 16, 32]
+QUERIES_PER_PEER = 3
+
+
+def standard_load(n_peers: int) -> tuple[int, float]:
+    """(registry frames handled, busiest-node share of all traffic)."""
+    world = build_standard_world(n_providers=n_peers, n_consumers=0)
+    # each provider peer also acts as consumer: locate a random service
+    for i, peer in enumerate(world.providers):
+        for q in range(QUERIES_PER_PEER):
+            target = f"Echo{(i + q + 1) % n_peers}"
+            peer.locate_one(target)
+    registry = world.net.stats.get("registry")
+    return registry, registry / max(1, world.net.stats.total())
+
+
+def p2ps_load(n_peers: int) -> tuple[int, float]:
+    """(busiest peer's frames handled, busiest-node share of all traffic)."""
+    world = build_p2ps_world(n_providers=n_peers, n_consumers=0)
+    for i, peer in enumerate(world.providers):
+        for q in range(QUERIES_PER_PEER):
+            target = f"Echo{(i + q + 1) % n_peers}"
+            peer.locate_one(target)
+    world.net.run()
+    return world.net.stats.max(), world.net.stats.max() / max(1, world.net.stats.total())
+
+
+def run_e1_experiment(sizes=SIZES):
+    rows = []
+    registry_loads, p2ps_loads = [], []
+    for n in sizes:
+        registry_frames, registry_share = standard_load(n)
+        busiest_peer_frames, busiest_share = p2ps_load(n)
+        registry_loads.append(registry_frames)
+        p2ps_loads.append(busiest_peer_frames)
+        rows.append(
+            [
+                n,
+                registry_frames,
+                f"{registry_share * 100:.0f}%",
+                busiest_peer_frames,
+                f"{busiest_share * 100:.0f}%",
+            ]
+        )
+    print_table(
+        "E1  discovery load vs network size (Q=3 queries/peer)",
+        ["peers", "registry frames", "registry share",
+         "busiest p2ps peer", "busiest p2ps share"],
+        rows,
+        note="shape: the registry is a growing hot spot absorbing a constant "
+        "~half of ALL network traffic regardless of N; in P2PS the busiest "
+        "peer's share falls toward 1/N — load spreads with the network",
+    )
+    return registry_loads, p2ps_loads, sizes
+
+
+def test_e1_registry_load_grows_linearly():
+    registry_loads, _, sizes = run_e1_experiment([4, 8, 16])
+    # doubling peers at least doubles registry traffic
+    assert registry_loads[1] >= 1.8 * registry_loads[0]
+    assert registry_loads[2] >= 1.8 * registry_loads[1]
+
+
+def test_e1_p2ps_per_peer_load_bounded():
+    _, p2ps_loads, sizes = run_e1_experiment([4, 8, 16])
+    # busiest-peer load normalised by N must not grow: flat or shrinking
+    per_peer = [load / n for load, n in zip(p2ps_loads, sizes)]
+    assert per_peer[2] <= per_peer[0] * 1.5
+
+
+def test_e1_registry_is_hotspot_p2ps_is_not():
+    world_std = build_standard_world(n_providers=8, n_consumers=0)
+    for i, peer in enumerate(world_std.providers):
+        peer.locate_one(f"Echo{(i + 1) % 8}")
+    std_counts = world_std.net.stats.as_dict()
+    # the registry is the single busiest node by a wide margin
+    registry = std_counts.pop("registry")
+    assert registry > 3 * max(std_counts.values())
+
+    world_p2p = build_p2ps_world(n_providers=8, n_consumers=0)
+    for i, peer in enumerate(world_p2p.providers):
+        peer.locate_one(f"Echo{(i + 1) % 8}")
+    world_p2p.net.run()
+    p2p_counts = world_p2p.net.stats.as_dict()
+    busiest = max(p2p_counts.values())
+    # no single peer dominates: busiest < half of total
+    assert busiest < 0.5 * sum(p2p_counts.values())
+
+
+def test_bench_standard_discovery_at_scale(benchmark):
+    benchmark(lambda: standard_load(8))
+
+
+def test_bench_p2ps_discovery_at_scale(benchmark):
+    benchmark(lambda: p2ps_load(8))
+
+
+if __name__ == "__main__":
+    run_e1_experiment()
+
+
+# ----------------------------------------------------------------------
+# E1b: server saturation under concurrent load ("stress on the servers")
+# ----------------------------------------------------------------------
+
+SERVICE_TIME = 0.005  # per-request processing cost at every node
+
+
+def standard_burst(n_peers: int) -> float:
+    """All peers query the registry simultaneously; virtual completion
+    time of the whole burst (the registry serialises the work)."""
+    world = build_standard_world(n_providers=n_peers, n_consumers=0)
+    world.net.get_node("registry").service_time = SERVICE_TIME
+
+    from repro.soap import SoapEnvelope
+    from repro.soap.rpc import build_rpc_request
+    from repro.transport.http import HttpClient, HttpRequest
+    from repro.uddi.service import UDDI_NAMESPACE, UDDI_PATH
+
+    outstanding = []
+    start = world.net.now
+    for i, peer in enumerate(world.providers):
+        request = build_rpc_request(
+            UDDI_NAMESPACE, "find_service", {"name_pattern": f"Echo{i}"}
+        )
+        box = {}
+        outstanding.append(box)
+        HttpClient(peer.node).request_async(
+            "registry", 80,
+            HttpRequest("POST", UDDI_PATH, request.to_wire()),
+            lambda resp, err, box=box: box.update(done=True),
+            timeout=60.0,
+        )
+    world.net.kernel.pump_until(lambda: all(b.get("done") for b in outstanding))
+    return world.net.now - start
+
+
+def p2ps_burst(n_peers: int, warm: bool = True) -> float:
+    """All peers issue a discovery simultaneously.
+
+    With warm caches (the steady state after adverts have spread) each
+    query is answered locally — no server exists to queue behind.  A
+    cold flood instead costs every node O(N) processing, Gnutella's
+    classic scaling weakness, measurable with warm=False.
+    """
+    world = build_p2ps_world(n_providers=n_peers, n_consumers=0)
+    if warm:
+        # steady state: republishing once all peers exist spreads every
+        # advert to every cache
+        for wspeer in world.providers:
+            advert = wspeer.server.deployer.advert_for(f"Echo{world.providers.index(wspeer)}")
+            wspeer.peer.publish(advert)
+        world.net.run()
+    for node_id in world.net.node_ids:
+        world.net.get_node(node_id).service_time = SERVICE_TIME
+
+    from repro.p2ps.query import AdvertQuery
+
+    handles = []
+    start = world.net.now
+    for i, peer in enumerate(world.providers):
+        target = f"Echo{(i + 1) % n_peers}"
+        handles.append(peer.peer.discover(AdvertQuery("service", target)))
+    world.net.kernel.pump_until(
+        lambda: all(len(h.results) >= 1 for h in handles), timeout=120.0
+    )
+    return world.net.now - start
+
+
+def run_e1b_experiment(sizes=(4, 8, 16)):
+    rows = []
+    for n in sizes:
+        t_std = standard_burst(n)
+        t_warm = p2ps_burst(n, warm=True)
+        t_cold = p2ps_burst(n, warm=False)
+        rows.append([n, fmt_ms(t_std), fmt_ms(t_warm), fmt_ms(t_cold)])
+    print_table(
+        f"E1b  concurrent query burst (service time {SERVICE_TIME * 1000:.0f}ms/request)",
+        ["peers", "registry burst", "p2ps warm caches", "p2ps cold flood"],
+        rows,
+        note="the registry serialises every burst (linear in N, clients "
+        "queue); warm P2PS caches answer locally in ~zero time; a cold "
+        "flood also costs O(N) per node — Gnutella's known weakness, which "
+        "caching is precisely the cure for",
+    )
+    return rows
+
+
+def test_e1b_registry_burst_grows_linearly():
+    t4 = standard_burst(4)
+    t16 = standard_burst(16)
+    # 4x the peers: (16*s + rtt)/(4*s + rtt) -> clearly superlinear in
+    # the saturated regime, bounded below by 2.5x here
+    assert t16 >= 2.5 * t4
+
+
+def test_e1b_warm_p2ps_burst_is_local():
+    # cached discovery needs no wire at all: effectively instantaneous
+    assert p2ps_burst(16, warm=True) < 0.001
+
+
+def test_e1b_cold_flood_is_also_linear():
+    # honesty check: a cold flood shares the registry's O(N) shape —
+    # the win comes from caching, not from magic
+    t4 = p2ps_burst(4, warm=False)
+    t16 = p2ps_burst(16, warm=False)
+    assert t16 > 2 * t4
+
+
+def test_e1b_p2ps_beats_registry_at_scale():
+    assert standard_burst(16) > 10 * max(p2ps_burst(16, warm=True), 1e-9)

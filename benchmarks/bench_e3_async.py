@@ -1,0 +1,129 @@
+"""E3 — §III break 1: asynchrony suits unreliable nodes.
+
+"Asynchronicity allows for P2P style interactions with unreliable
+nodes ... current Web service implementations are often synchronous due
+in part to the use of HTTP which maintains an open connection."
+
+Experiment: N providers, a fraction of which are dead (the P2P reality
+of transient peers).  A client must collect one result from each.
+
+- sync client: invokes one at a time; every dead provider stalls it for
+  a full timeout — completion time grows linearly with failures;
+- async client: dispatches all invocations at once and reacts to events;
+  all timeouts overlap — completion time stays ~one timeout regardless.
+"""
+
+from _workloads import EchoService, build_standard_world, fmt_ms, print_table
+
+import numpy as np
+
+from repro.transport import TransportTimeoutError
+
+N_PROVIDERS = 12
+TIMEOUT = 2.0
+DEAD_FRACTIONS = [0.0, 0.25, 0.5]
+
+
+def build_world_with_dead(dead_fraction: float):
+    world = build_standard_world(n_providers=N_PROVIDERS, n_consumers=1)
+    consumer = world.consumers[0]
+    handles = [consumer.locate_one(f"Echo{i}") for i in range(N_PROVIDERS)]
+    n_dead = int(N_PROVIDERS * dead_fraction)
+    rng = np.random.default_rng(5)
+    dead = rng.choice(N_PROVIDERS, size=n_dead, replace=False)
+    for i in dead:
+        world.providers[i].node.go_down()
+    return world, consumer, handles
+
+
+def sync_client(dead_fraction: float) -> tuple[float, int]:
+    """(virtual completion time, successes) invoking sequentially."""
+    world, consumer, handles = build_world_with_dead(dead_fraction)
+    start = world.net.now
+    successes = 0
+    for handle in handles:
+        try:
+            consumer.invoke(handle, "echo", {"message": "x"}, timeout=TIMEOUT)
+            successes += 1
+        except TransportTimeoutError:
+            pass
+    return world.net.now - start, successes
+
+
+def async_client(dead_fraction: float) -> tuple[float, int]:
+    """(virtual completion time, successes) dispatching all at once."""
+    world, consumer, handles = build_world_with_dead(dead_fraction)
+    start = world.net.now
+    outcomes = []
+    for handle in handles:
+        consumer.invoke_async(
+            handle, "echo", {"message": "x"},
+            lambda result, error: outcomes.append(error is None),
+            timeout=TIMEOUT,
+        )
+    world.net.kernel.pump_until(lambda: len(outcomes) == len(handles))
+    return world.net.now - start, sum(outcomes)
+
+
+def run_e3_experiment():
+    rows = []
+    for fraction in DEAD_FRACTIONS:
+        sync_time, sync_ok = sync_client(fraction)
+        async_time, async_ok = async_client(fraction)
+        speedup = sync_time / async_time if async_time else float("inf")
+        rows.append(
+            [
+                f"{fraction * 100:.0f}%",
+                fmt_ms(sync_time),
+                fmt_ms(async_time),
+                f"{speedup:.1f}x",
+                f"{sync_ok}/{N_PROVIDERS}",
+            ]
+        )
+    print_table(
+        f"E3  sync vs async client, {N_PROVIDERS} providers, timeout={TIMEOUT}s",
+        ["dead providers", "sync completion", "async completion",
+         "async speedup", "successes"],
+        rows,
+        note="shape: sync completion grows by one full timeout per dead "
+        "provider; async overlaps everything and stays near one timeout",
+    )
+    return rows
+
+
+def test_e3_sync_degrades_linearly_with_dead_nodes():
+    time_clean, _ = sync_client(0.0)
+    time_quarter, _ = sync_client(0.25)
+    time_half, _ = sync_client(0.5)
+    n_dead_quarter = int(N_PROVIDERS * 0.25)
+    n_dead_half = int(N_PROVIDERS * 0.5)
+    assert time_quarter >= time_clean + n_dead_quarter * TIMEOUT * 0.95
+    assert time_half >= time_clean + n_dead_half * TIMEOUT * 0.95
+
+
+def test_e3_async_completion_flat():
+    time_clean, _ = async_client(0.0)
+    time_half, ok = async_client(0.5)
+    # with failures, async completes in ~one timeout, not N_dead timeouts
+    assert time_half <= TIMEOUT * 1.2
+    assert ok == N_PROVIDERS - int(N_PROVIDERS * 0.5)
+
+
+def test_e3_async_beats_sync_when_nodes_fail():
+    sync_time, _ = sync_client(0.5)
+    async_time, _ = async_client(0.5)
+    assert sync_time / async_time > 4
+
+
+def test_e3_both_collect_same_successes():
+    _, sync_ok = sync_client(0.25)
+    _, async_ok = async_client(0.25)
+    assert sync_ok == async_ok == N_PROVIDERS - int(N_PROVIDERS * 0.25)
+
+
+def test_bench_async_fanout(benchmark):
+    benchmark(lambda: async_client(0.0))
+
+
+if __name__ == "__main__":
+    run_e3_experiment()

@@ -1,0 +1,140 @@
+"""E4 — §III break 2: the lightweight container.
+
+"WSPeer reverses the power relationship between the deployed component
+and the environment ... allowing the component to become its own
+container."  The traditional model "becomes cumbersome and un-intuitive
+if the user wishes to deploy an application which already has an
+established environment or requires user input at runtime."
+
+Experiment: (a) deploy-to-first-response time — WSPeer deploys at
+runtime in zero virtual time (pure local state) and the service answers
+its first request one RTT later; (b) a *container-style* comparator
+that models the traditional cost: services must be packaged and
+registered before the container starts, and adding one more service
+requires a container restart (modelled as a fixed startup delay during
+which requests are refused); (c) request interception: the application
+handles requests directly, including for services the engine has no
+dispatcher for.
+"""
+
+from _workloads import EchoService, build_standard_world, fmt_ms, print_table
+
+from repro.core import WSPeer
+from repro.core.binding import StandardBinding
+from repro.soap.rpc import build_rpc_request
+
+CONTAINER_RESTART = 5.0  # a traditional redeploy cycle, virtual seconds
+
+
+class ContainerStyleHost:
+    """Comparator: the traditional container deployment model.
+
+    Adding a service requires a restart; during restart the endpoint is
+    down.  This models the "deploy into an external entity" pattern the
+    paper argues against.
+    """
+
+    def __init__(self, wspeer: WSPeer):
+        self.wspeer = wspeer
+        self.net = wspeer.node.network
+
+    def add_service(self, instance, name: str) -> float:
+        """Returns the virtual time spent unavailable."""
+        node = self.wspeer.node
+        was_up = node.up
+        node.go_down()  # container restart: endpoint offline
+        self.net.kernel.schedule(CONTAINER_RESTART, node.go_up)
+        self.net.run(until=self.net.now + CONTAINER_RESTART)
+        self.wspeer.deploy(instance, name=name)
+        if was_up and not node.up:
+            node.go_up()
+        return CONTAINER_RESTART
+
+
+def deploy_to_first_response(world, style: str) -> float:
+    """Virtual time from 'decide to deploy' to first successful reply."""
+    net = world.net
+    provider = WSPeer(
+        net.add_node(f"host-{style}-{len(net.node_ids)}"),
+        StandardBinding(world.registry.endpoint),
+    )
+    consumer = world.consumers[0]
+    start = net.now
+    if style == "wspeer":
+        provider.deploy(EchoService(), name="Svc")
+    else:
+        ContainerStyleHost(provider).add_service(EchoService(), "Svc")
+    handle = provider.local_handle("Svc")
+    consumer.invoke(handle, "echo", message="first")
+    return net.now - start
+
+
+def run_e4_experiment():
+    world = build_standard_world(n_providers=0, n_consumers=1)
+    wspeer_time = deploy_to_first_response(world, "wspeer")
+    container_time = deploy_to_first_response(world, "container")
+
+    rows = [
+        ["WSPeer lightweight (runtime deploy)", fmt_ms(wspeer_time)],
+        ["container-style (restart cycle)", fmt_ms(container_time)],
+        ["ratio", f"{container_time / wspeer_time:.0f}x"],
+    ]
+    print_table(
+        "E4  deploy-to-first-response time",
+        ["hosting model", "virtual time"],
+        rows,
+        note="WSPeer cost is exactly one request RTT: deployment itself is "
+        "local state, no container lifecycle anywhere",
+    )
+    return wspeer_time, container_time
+
+
+def test_e4_wspeer_deploy_costs_one_rtt():
+    world = build_standard_world(n_providers=0, n_consumers=1)
+    elapsed = deploy_to_first_response(world, "wspeer")
+    assert abs(elapsed - 0.010) < 0.002  # request + response hop
+
+
+def test_e4_container_model_is_orders_slower():
+    wspeer_time, container_time = run_e4_experiment()
+    assert container_time > 100 * wspeer_time
+
+
+def test_e4_interception_serves_undeployed_operations():
+    # the application as container: it can answer requests the engine
+    # has no dispatcher for
+    world = build_standard_world(n_providers=1, n_consumers=1)
+    provider, consumer = world.providers[0], world.consumers[0]
+    canned = build_rpc_request("urn:wspeer:Echo0", "anythingResponse", {"return": "app"})
+    provider.set_interceptor(lambda service, request: canned)
+    handle = consumer.locate_one("Echo0")
+    # 'anything' is NOT an operation of EchoService — the app answers it
+    assert consumer.invoke(handle, "echo", message="ignored") == "app"
+
+
+def test_e4_many_runtime_deploys_no_downtime():
+    world = build_standard_world(n_providers=0, n_consumers=1)
+    provider = WSPeer(world.net.add_node("multi"), StandardBinding(world.registry.endpoint))
+    consumer = world.consumers[0]
+    for k in range(8):
+        provider.deploy(EchoService(), name=f"S{k}")
+        handle = provider.local_handle(f"S{k}")
+        # every earlier service still answers while new ones appear
+        assert consumer.invoke(handle, "echo", message=str(k)) == str(k)
+    assert len(provider.deployed_services) == 8
+
+
+def test_bench_runtime_deploy(benchmark):
+    world = build_standard_world(n_providers=0)
+    provider = WSPeer(world.net.add_node("bench"), StandardBinding(world.registry.endpoint))
+    counter = [0]
+
+    def deploy():
+        counter[0] += 1
+        provider.deploy(EchoService(), name=f"B{counter[0]}")
+
+    benchmark(deploy)
+
+
+if __name__ == "__main__":
+    run_e4_experiment()

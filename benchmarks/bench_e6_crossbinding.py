@@ -1,0 +1,122 @@
+"""E6 — §IV: cross-binding composition.
+
+"It is also worth noting that these implementations need not remain
+self-contained.  A P2PS Client could use the UDDI enabled
+ServiceLocator defined in the standard implementation to search for
+services.  Likewise, a P2PS Server could use the UDDI conversant
+ServicePublisher."
+
+Experiment: run the locator × invoker matrix on one network hosting the
+same service both ways, and report which combinations complete an
+end-to-end invocation (plus the round-trip cost of each working combo).
+"""
+
+from _workloads import EchoService, fmt_ms, print_table
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding, StandardBinding
+from repro.core.invocation import HttpInvocation, P2psInvocation
+from repro.core.locator import P2psServiceLocator, UddiServiceLocator
+from repro.p2ps import PeerGroup
+from repro.simnet import FixedLatency, Network
+from repro.uddi import UddiRegistryNode
+
+
+def build_dual_world():
+    """One service reachable over HTTP/UDDI *and* over P2PS pipes."""
+    net = Network(latency=FixedLatency(0.005))
+    registry = UddiRegistryNode(net.add_node("registry"))
+    group = PeerGroup("main")
+
+    http_provider = WSPeer(net.add_node("hprov"), StandardBinding(registry.endpoint))
+    http_provider.deploy(EchoService(), name="Echo")
+    http_provider.publish("Echo")
+
+    p2ps_provider = WSPeer(net.add_node("pprov"), P2psBinding(group), name="pprov")
+    p2ps_provider.deploy(EchoService(), name="Echo")
+    p2ps_provider.publish("Echo")
+    net.run()
+    return net, registry, group
+
+
+def consumer_with(net, registry, group, locator_kind: str, invoker_kind: str):
+    """A consumer whose tree mixes the requested component kinds."""
+    name = f"mix-{locator_kind}-{invoker_kind}-{len(net.node_ids)}"
+    consumer = WSPeer(net.add_node(name), P2psBinding(group), name=name)
+    if locator_kind == "uddi":
+        consumer.client.register_locator(
+            UddiServiceLocator(consumer.node, registry.endpoint)
+        )
+    else:
+        consumer.client.register_locator(P2psServiceLocator(consumer.peer))
+    if invoker_kind == "http":
+        consumer.client.register_invocation(HttpInvocation(consumer.node))
+    else:
+        consumer.client.register_invocation(P2psInvocation(consumer.peer))
+    return consumer
+
+
+def run_e6_experiment():
+    net, registry, group = build_dual_world()
+    rows = []
+    outcomes = {}
+    for locator_kind in ("uddi", "p2ps"):
+        for invoker_kind in ("http", "p2ps"):
+            consumer = consumer_with(net, registry, group, locator_kind, invoker_kind)
+            start = net.now
+            try:
+                handle = consumer.locate_one("Echo", timeout=5.0)
+                result = consumer.invoke(
+                    handle, "echo", {"message": "mix"}, timeout=5.0
+                )
+                ok = result == "mix"
+                status = fmt_ms(net.now - start) if ok else "wrong result"
+            except Exception as exc:  # noqa: BLE001 - matrix probes failure modes
+                ok = False
+                status = f"fails: {type(exc).__name__}"
+            outcomes[(locator_kind, invoker_kind)] = ok
+            rows.append([locator_kind, invoker_kind, "works" if ok else "no", status])
+    print_table(
+        "E6  locator x invoker matrix (same service on both stacks)",
+        ["locator", "invoker", "end-to-end", "cost / failure"],
+        rows,
+        note="uddi+http and p2ps+p2ps are the native pairs; uddi+p2ps fails "
+        "because UDDI stores no pipe ids — exactly why the paper's EPR "
+        "mapping matters; p2ps+http fails for the reverse reason",
+    )
+    return outcomes
+
+
+def test_e6_native_pairs_work():
+    outcomes = run_e6_experiment()
+    assert outcomes[("uddi", "http")]
+    assert outcomes[("p2ps", "p2ps")]
+
+
+def test_e6_mismatched_pairs_fail_cleanly():
+    # failures must be clean errors, not hangs or crashes
+    outcomes = run_e6_experiment()
+    assert not outcomes[("uddi", "p2ps")]
+    assert not outcomes[("p2ps", "http")]
+
+
+def test_e6_uddi_locator_on_p2ps_peer_is_the_papers_mix():
+    # the specific §IV sentence: a P2PS client with a UDDI locator
+    net, registry, group = build_dual_world()
+    consumer = consumer_with(net, registry, group, "uddi", "http")
+    handle = consumer.locate_one("Echo")
+    assert handle.source == "uddi"
+    assert consumer.peer is not None  # it really is a P2PS-bound peer
+    assert consumer.invoke(handle, "echo", message="x") == "x"
+
+
+def test_bench_mixed_locate_invoke(benchmark):
+    net, registry, group = build_dual_world()
+    consumer = consumer_with(net, registry, group, "uddi", "http")
+    handle = consumer.locate_one("Echo")
+
+    benchmark(lambda: consumer.invoke(handle, "echo", message="bench"))
+
+
+if __name__ == "__main__":
+    run_e6_experiment()

@@ -1,0 +1,106 @@
+"""EXT2 — extension: firewalled/NATed peers via relays.
+
+§IV-B motivates logical peer ids because pipes must work for "peers ...
+who may be behind firewalls or NAT systems and therefore do not have
+accessible network addresses".  The extension adds a NAT gate model and
+relay forwarding.  Experiment: host the same service on a public peer
+and on a NATed peer (with and without a relay) and measure
+reachability and the relay's latency cost.
+"""
+
+from _workloads import fmt_ms, print_table
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding
+from repro.p2ps import Peer, PeerGroup
+from repro.simnet import FixedLatency, Network
+from repro.simnet.faults import NatGate
+
+
+class Echo:
+    def echo(self, message: str) -> str:
+        return message
+
+
+def build_provider(net, group, kind: str):
+    """kind: 'public' | 'natted-relayed' | 'natted-bare'."""
+    name = f"prov-{kind}"
+    provider = WSPeer(net.add_node(name), P2psBinding(group), name=name)
+    if kind.startswith("natted"):
+        if kind == "natted-relayed":
+            relay = Peer(net.add_node(f"relay-{kind}"), name=f"relay-{kind}")
+            relay.join(group)
+            provider.peer.relay_node_id = relay.node.id
+            provider.peer._safe_send(relay.node.id, "<hello/>")
+            net.run()
+        provider.peer.nat_gate = NatGate(net, name)
+    provider.deploy(Echo(), name=f"Echo-{kind}")
+    provider.publish(f"Echo-{kind}")
+    net.run()
+    return provider
+
+
+def probe(kind: str):
+    net = Network(latency=FixedLatency(0.005))
+    group = PeerGroup("g")
+    build_provider(net, group, kind)
+    consumer = WSPeer(net.add_node("cons"), P2psBinding(group), name="cons")
+    start = net.now
+    try:
+        handle = consumer.locate_one(f"Echo-{kind}", timeout=3.0)
+        result = consumer.invoke(handle, "echo", {"message": "hi"}, timeout=3.0)
+        return result == "hi", net.now - start
+    except Exception:  # noqa: BLE001 - reachability probe
+        return False, net.now - start
+
+
+def run_ext2_experiment():
+    rows = []
+    outcomes = {}
+    for kind in ("public", "natted-relayed", "natted-bare"):
+        ok, elapsed = probe(kind)
+        outcomes[kind] = (ok, elapsed)
+        rows.append([kind, "reachable" if ok else "UNREACHABLE",
+                     fmt_ms(elapsed) if ok else "-"])
+    print_table(
+        "EXT2  service reachability behind NAT",
+        ["provider", "end-to-end invoke", "locate+invoke time"],
+        rows,
+        note="the bare NATed peer published its advert (outbound frames "
+        "pass) but nobody can call it; the relay restores reachability at "
+        "one extra hop per inbound frame",
+    )
+    return outcomes
+
+
+def test_ext2_public_and_relayed_reachable():
+    outcomes = run_ext2_experiment()
+    assert outcomes["public"][0]
+    assert outcomes["natted-relayed"][0]
+
+
+def test_ext2_bare_natted_unreachable():
+    ok, _ = probe("natted-bare")
+    assert not ok
+
+
+def test_ext2_relay_costs_one_extra_hop():
+    _, t_public = probe("public")
+    ok, t_relayed = probe("natted-relayed")
+    assert ok
+    # inbound request detours through the relay: +1 hop each inbound leg
+    assert t_relayed > t_public
+
+
+def test_bench_relayed_invoke(benchmark):
+    net = Network(latency=FixedLatency(0.005))
+    group = PeerGroup("g")
+    build_provider(net, group, "natted-relayed")
+    consumer = WSPeer(net.add_node("cons"), P2psBinding(group), name="cons")
+    handle = consumer.locate_one("Echo-natted-relayed", timeout=3.0)
+
+    benchmark(lambda: consumer.invoke(handle, "echo", message="bench"))
+
+
+if __name__ == "__main__":
+    run_ext2_experiment()

@@ -1,0 +1,93 @@
+"""F1 — Fig. 1: WSPeer structure (application ⇄ WSPeer ⇄ remote services).
+
+The figure shows WSPeer sitting between application code and remote
+services, acting as "buffer and interpreter".  The reproduction: run the
+same application loop over both bindings and show (a) the application
+listener observes the full event stream of every exchange, and (b) the
+application code is byte-identical across middleware (the buffering
+claim).
+"""
+
+from _workloads import build_p2ps_world, build_standard_world, fmt_ms, print_table
+
+from repro.core.events import RecordingListener
+
+FAMILIES = [
+    "DiscoveryMessageEvent",
+    "PublishMessageEvent",
+    "ClientMessageEvent",
+    "ServerMessageEvent",
+    "DeploymentMessageEvent",
+]
+
+
+def application_loop(peer, consumer, service_name: str):
+    """The binding-agnostic application: locate then invoke twice."""
+    handle = consumer.locate_one(service_name)
+    consumer.invoke(handle, "echo", message="hello")
+    consumer.invoke(handle, "compute", values=[1.0, 2.0, 3.0])
+    return handle
+
+
+def run_structure_experiment():
+    rows = []
+    for label, builder in (("standard", build_standard_world), ("p2ps", build_p2ps_world)):
+        world = builder(n_providers=1, n_consumers=1)
+        listener = RecordingListener()
+        world.providers[0].add_listener(listener)
+        world.consumers[0].add_listener(listener)
+        start = world.net.now
+        application_loop(world.providers[0], world.consumers[0], "Echo0")
+        elapsed = world.net.now - start
+        counts = {family: 0 for family in FAMILIES}
+        for event in listener.events:
+            counts[type(event).__name__] += 1
+        rows.append(
+            [label, fmt_ms(elapsed)]
+            + [counts[family] for family in FAMILIES]
+        )
+    print_table(
+        "F1  Fig.1: app <-> WSPeer <-> middleware, same app loop on both bindings",
+        ["binding", "loop time", "discovery", "publish", "client", "server", "deploy"],
+        rows,
+        note="the application loop is identical code; only the Binding differs",
+    )
+    return rows
+
+
+def test_fig1_app_sees_all_event_families():
+    rows = run_structure_experiment()
+    for row in rows:
+        # discovery, client and server events must all have been heard
+        assert row[2] > 0, f"{row[0]}: no discovery events reached the app"
+        assert row[4] > 0, f"{row[0]}: no client events reached the app"
+        assert row[5] > 0, f"{row[0]}: no server events reached the app"
+
+
+def test_fig1_loop_is_binding_agnostic():
+    standard = build_standard_world()
+    p2ps = build_p2ps_world()
+    r1 = application_loop(standard.providers[0], standard.consumers[0], "Echo0")
+    r2 = application_loop(p2ps.providers[0], p2ps.consumers[0], "Echo0")
+    assert r1.operation_names() == r2.operation_names()
+    assert r1.source == "uddi" and r2.source == "p2ps"
+
+
+def test_bench_full_cycle_standard(benchmark):
+    def cycle():
+        world = build_standard_world()
+        return application_loop(world.providers[0], world.consumers[0], "Echo0")
+
+    benchmark(cycle)
+
+
+def test_bench_full_cycle_p2ps(benchmark):
+    def cycle():
+        world = build_p2ps_world()
+        return application_loop(world.providers[0], world.consumers[0], "Echo0")
+
+    benchmark(cycle)
+
+
+if __name__ == "__main__":
+    run_structure_experiment()

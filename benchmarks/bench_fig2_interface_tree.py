@@ -1,0 +1,111 @@
+"""F2 — Fig. 2: the interface tree.
+
+Peer → {Client → (ServiceLocator, Invocation), Server → (ServiceDeployer,
+ServicePublisher)}.  Reproduction: verify the constructed tree matches
+the figure, that every leaf's events reach the root, that child nodes
+can be replaced at runtime, and time the propagation overhead.
+"""
+
+from _workloads import build_standard_world, print_table
+
+from repro.core.events import EventSource, RecordingListener
+from repro.core.invocation import HttpInvocation
+from repro.core.locator import UddiServiceLocator
+
+
+def tree_shape(wspeer):
+    """(child node, parent node) edges of a live WSPeer tree."""
+    return {
+        ("client", wspeer.client.parent.node_name),
+        ("server", wspeer.server.parent.node_name),
+        ("locator", wspeer.client.locator.parent.node_name),
+        ("invocation", wspeer.client.invocation.parent.node_name),
+        ("deployer", wspeer.server.deployer.parent.node_name),
+        ("publisher", wspeer.server.publisher.parent.node_name),
+        ("container", wspeer.server.container.parent.node_name),
+    }
+
+
+def run_tree_experiment():
+    world = build_standard_world(n_providers=0, n_consumers=1)
+    from _workloads import EchoService
+
+    from repro.core import WSPeer
+    from repro.core.binding import StandardBinding
+
+    peer = WSPeer(world.net.add_node("prov"), StandardBinding(world.registry.endpoint))
+    listener = RecordingListener()
+    peer.add_listener(listener)  # listening BEFORE any activity
+    peer.deploy(EchoService(), name="Echo0")
+    peer.publish("Echo0")
+    consumer = world.consumers[0]
+    handle = consumer.locate_one("Echo0")
+    consumer.invoke(handle, "echo", message="x")
+
+    per_source = {}
+    for event in listener.events:
+        per_source.setdefault(event.source, []).append(event.kind)
+    rows = [[src, len(kinds), ", ".join(sorted(set(kinds)))] for src, kinds in sorted(per_source.items())]
+    print_table(
+        "F2  Fig.2: events fired per tree node, all heard at the Peer root",
+        ["tree node", "events", "kinds"],
+        rows,
+    )
+    return rows
+
+
+def test_fig2_tree_matches_figure():
+    world = build_standard_world()
+    edges = tree_shape(world.providers[0])
+    assert ("client", "peer") in edges
+    assert ("server", "peer") in edges
+    assert ("locator", "client") in edges
+    assert ("invocation", "client") in edges
+    assert ("deployer", "server") in edges
+    assert ("publisher", "server") in edges
+
+
+def test_fig2_all_leaves_report_to_root():
+    rows = run_tree_experiment()
+    sources = {row[0] for row in rows}
+    assert "deployer" in sources        # deployment events
+    assert "publisher" in sources       # publish events
+    assert "container" in sources       # server-side request events
+
+
+def test_fig2_runtime_child_replacement():
+    # "individual nodes in the tree [can] be replaced either at runtime
+    #  or as part of a new implementation without disrupting the overall
+    #  structure"
+    world = build_standard_world(n_consumers=1)
+    consumer = world.consumers[0]
+    listener = RecordingListener()
+    consumer.add_listener(listener)
+    replacement = UddiServiceLocator(consumer.node, world.registry.endpoint)
+    consumer.client.register_locator(replacement)
+    consumer.client.register_invocation(HttpInvocation(consumer.node))
+    handle = consumer.locate_one("Echo0")
+    assert consumer.invoke(handle, "echo", message="y") == "y"
+    # events from the replacement still reach the root
+    assert any(e.kind == "service-found" for e in listener.events)
+
+
+def test_bench_event_propagation(benchmark):
+    # cost of one event traversing leaf -> mid -> root with a listener
+    root = EventSource("peer")
+    mid = EventSource("client", parent=root)
+    leaf = EventSource("invocation", parent=mid)
+    root.add_listener(RecordingListener())
+
+    benchmark(lambda: leaf.fire_client("request-sent", service="S", operation="op"))
+
+
+def test_bench_tree_construction(benchmark):
+    def build():
+        return build_standard_world(n_providers=0, n_consumers=1, publish=False)
+
+    benchmark(build)
+
+
+if __name__ == "__main__":
+    run_tree_experiment()

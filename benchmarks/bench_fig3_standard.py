@@ -1,0 +1,109 @@
+"""F3 — Fig. 3: the standard implementation's four processes.
+
+deploy → (launch HTTP server) → publish(UDDI) → locate(UDDI) →
+invoke(HTTP).  Reproduction: run each numbered process, record its
+virtual-time cost, and check the figure's structure — publishing talks
+to the UDDI node, locating talks to the UDDI node, invoking talks to
+the provider directly.
+"""
+
+from _workloads import EchoService, build_standard_world, fmt_ms, print_table
+
+import numpy as np
+
+from repro.core import WSPeer
+from repro.core.binding import StandardBinding
+from repro.simnet import summarize
+
+
+def run_fig3_experiment(n_invocations: int = 50):
+    world = build_standard_world(n_providers=0, n_consumers=1, trace=True)
+    net = world.net
+    provider = WSPeer(net.add_node("prov"), StandardBinding(world.registry.endpoint))
+    consumer = world.consumers[0]
+
+    marks = {}
+    t0 = net.now
+    provider.deploy(EchoService(), name="Echo")
+    marks["deploy (launch server)"] = net.now - t0
+
+    t0 = net.now
+    provider.publish("Echo")
+    marks["publish (UDDI)"] = net.now - t0
+
+    t0 = net.now
+    handle = consumer.locate_one("Echo")
+    marks["locate (UDDI + WSDL fetch)"] = net.now - t0
+
+    samples = []
+    for i in range(n_invocations):
+        t0 = net.now
+        consumer.invoke(handle, "echo", message=f"m{i}")
+        samples.append(net.now - t0)
+    stats = summarize(samples)
+    marks[f"invoke (HTTP, n={n_invocations})"] = stats["mean"]
+
+    rows = [[process, fmt_ms(duration)] for process, duration in marks.items()]
+    print_table(
+        "F3  Fig.3 standard implementation: per-process virtual latency",
+        ["process", "virtual time"],
+        rows,
+        note=f"invoke p95={fmt_ms(stats['p95'])}; "
+        "deploy is purely local (server launch, no network)",
+    )
+    return world, provider, consumer, marks, stats
+
+
+def test_fig3_processes_and_traffic_pattern():
+    world, provider, consumer, marks, _ = run_fig3_experiment(10)
+    # deploy is local: zero network time
+    assert marks["deploy (launch server)"] == 0.0
+    # publish and locate both touched the registry node
+    assert world.net.stats.get("registry") > 0
+    # invoke goes direct to the provider, not through the registry
+    registry_before = world.net.stats.get("registry")
+    consumer.invoke(consumer.locate_one("Echo"), "echo", message="again")
+    # one more locate hit the registry, but the invoke itself went to prov
+    assert world.net.stats.get("prov") > 0
+    assert world.net.stats.get("registry") >= registry_before
+
+
+def test_fig3_invoke_latency_is_two_hops():
+    world, provider, consumer, marks, stats = run_fig3_experiment(20)
+    # request + response at 5 ms per hop = 10 ms
+    assert abs(stats["mean"] - 0.010) < 0.002
+
+
+def test_bench_invoke_http(benchmark):
+    world = build_standard_world()
+    handle = world.consumers[0].locate_one("Echo0")
+    consumer = world.consumers[0]
+
+    benchmark(lambda: consumer.invoke(handle, "echo", message="bench"))
+
+
+def test_bench_locate_uddi(benchmark):
+    world = build_standard_world()
+    consumer = world.consumers[0]
+
+    benchmark(lambda: consumer.locate_one("Echo0"))
+
+
+def test_bench_deploy_publish(benchmark):
+    world = build_standard_world(n_providers=0)
+    counter = [0]
+
+    def deploy_publish():
+        peer = WSPeer(
+            world.net.add_node(f"dp{counter[0]}"),
+            StandardBinding(world.registry.endpoint),
+        )
+        counter[0] += 1
+        peer.deploy(EchoService(), name=f"Svc{counter[0]}")
+        peer.publish(f"Svc{counter[0]}")
+
+    benchmark(deploy_publish)
+
+
+if __name__ == "__main__":
+    run_fig3_experiment()

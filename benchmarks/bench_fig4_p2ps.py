@@ -1,0 +1,102 @@
+"""F4 — Fig. 4: the P2PS implementation's four processes.
+
+deploy(pipes) → publish(advert broadcast) → locate(P2P query) →
+invoke(pipes + ReplyTo).  Same application-level loop as F3, radically
+different middleware underneath; the table shows the per-process costs
+for comparison against F3.
+"""
+
+from _workloads import EchoService, build_p2ps_world, fmt_ms, print_table
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding
+from repro.simnet import summarize
+
+
+def run_fig4_experiment(n_invocations: int = 50):
+    world = build_p2ps_world(n_providers=0, n_consumers=1, publish=False)
+    net = world.net
+    provider = WSPeer(
+        net.add_node("pprov"), P2psBinding(world.groups[0]), name="pprov"
+    )
+    consumer = world.consumers[0]
+
+    marks = {}
+    t0 = net.now
+    provider.deploy(EchoService(), name="Echo")
+    marks["deploy (open pipes)"] = net.now - t0
+
+    t0 = net.now
+    provider.publish("Echo")
+    net.run()  # broadcast settles
+    marks["publish (advert broadcast)"] = net.now - t0
+
+    t0 = net.now
+    handle = consumer.locate_one("Echo")
+    marks["locate (query + definition pipe)"] = net.now - t0
+
+    samples = []
+    for i in range(n_invocations):
+        t0 = net.now
+        consumer.invoke(handle, "echo", message=f"m{i}")
+        samples.append(net.now - t0)
+    stats = summarize(samples)
+    marks[f"invoke (pipes+ReplyTo, n={n_invocations})"] = stats["mean"]
+
+    rows = [[process, fmt_ms(duration)] for process, duration in marks.items()]
+    print_table(
+        "F4  Fig.4 P2PS implementation: per-process virtual latency",
+        ["process", "virtual time"],
+        rows,
+        note="locate is served from the group cache after the advert broadcast; "
+        "the definition-pipe WSDL fetch dominates it",
+    )
+    return world, provider, consumer, marks, stats
+
+
+def test_fig4_processes_work():
+    world, provider, consumer, marks, _ = run_fig4_experiment(5)
+    assert marks["deploy (open pipes)"] == 0.0  # pipes are local state
+    assert consumer.invoke(consumer.locate_one("Echo"), "compute", values=[1, 2]) == 3.0
+
+
+def test_fig4_invoke_is_two_pipe_hops():
+    # request down the op pipe + response down the reply pipe = 2 hops
+    world, provider, consumer, marks, stats = run_fig4_experiment(20)
+    assert abs(stats["mean"] - 0.010) < 0.002
+
+
+def test_fig4_no_registry_anywhere():
+    world, provider, consumer, _, _ = run_fig4_experiment(5)
+    assert "registry" not in world.net.node_ids
+
+
+def test_bench_invoke_p2ps(benchmark):
+    world = build_p2ps_world()
+    consumer = world.consumers[0]
+    handle = consumer.locate_one("Echo0")
+
+    benchmark(lambda: consumer.invoke(handle, "echo", message="bench"))
+
+
+def test_bench_locate_p2ps(benchmark):
+    world = build_p2ps_world()
+    consumer = world.consumers[0]
+
+    benchmark(lambda: consumer.locate_one("Echo0"))
+
+
+def test_bench_publish_advert(benchmark):
+    world = build_p2ps_world(n_providers=1, n_consumers=4, publish=False)
+    provider = world.providers[0]
+    provider.deploy(EchoService(), name="Again")
+
+    def publish():
+        provider.publish("Again")
+        world.net.run()
+
+    benchmark(publish)
+
+
+if __name__ == "__main__":
+    run_fig4_experiment()

@@ -1,0 +1,111 @@
+"""F6 — Fig. 6: the WSPeer/P2PS response process, step by step.
+
+1. Retrieve SOAP request from pipe
+2. Retrieve endpoint reference and convert to pipe advertisement
+3. Process request
+4. Request return pipe based on pipe advertisement
+5. P2PS returns pipe
+6. Send response down return pipe
+
+Paired with F5: the provider-side decomposition of the same exchange,
+timed from the event stream (each ServerMessageEvent carries its
+virtual timestamp).
+"""
+
+from _workloads import build_p2ps_world, fmt_ms, print_table
+
+from repro.core.events import RecordingListener
+
+
+def run_fig6_experiment():
+    world = build_p2ps_world()
+    consumer, provider = world.consumers[0], world.providers[0]
+    net = world.net
+    listener = RecordingListener()
+    provider.add_listener(listener)
+    consumer_listener = RecordingListener()
+    consumer.add_listener(consumer_listener)
+
+    handle = consumer.locate_one("Echo0")
+    listener.events.clear()
+    consumer_listener.events.clear()
+
+    t_send = net.now
+    result = consumer.invoke(handle, "echo", message="fig6")
+    t_done = net.now
+    assert result == "fig6"
+
+    received = listener.of_kind("request-received")[0]
+    responded = listener.of_kind("response-sent")[0]
+    completed = consumer_listener.of_kind("response-received")[0]
+
+    request_leg = received.time - t_send
+    processing = responded.time - received.time
+    response_leg = completed.time - responded.time
+
+    rows = [
+        ["1: request retrieved from pipe", fmt_ms(request_leg) + " after send"],
+        ["2: ReplyTo EPR -> pipe advert", "implicit (reply delivered)"],
+        ["3: request processed", fmt_ms(processing)],
+        ["4-5: return pipe resolved", "provider learned consumer endpoint"],
+        ["6: response down return pipe", fmt_ms(response_leg)],
+        ["total round trip", fmt_ms(t_done - t_send)],
+    ]
+    print_table("F6  Fig.6 response process: provider-side decomposition", ["step", "timing"], rows)
+    return request_leg, processing, response_leg, (t_done - t_send)
+
+
+def test_fig6_decomposition_sums_to_round_trip():
+    request_leg, processing, response_leg, total = run_fig6_experiment()
+    assert abs((request_leg + processing + response_leg) - total) < 1e-6
+    assert request_leg > 0          # one wire hop
+    assert processing == 0.0        # dispatch is instantaneous in virtual time
+    assert response_leg > 0         # one wire hop back
+
+
+def test_fig6_provider_resolves_consumer_endpoint():
+    # step 4: resolution uses the endpoint learned from the request frame.
+    # A second consumer receives the handle by hand-off (it never ran
+    # discovery), so the provider has never heard from it before.
+    from repro.core import WSPeer
+    from repro.core.binding import P2psBinding
+
+    world = build_p2ps_world()
+    consumer, provider = world.consumers[0], world.providers[0]
+    handle = consumer.locate_one("Echo0")
+    stranger = WSPeer(
+        world.net.add_node("stranger"), P2psBinding(world.groups[0]), name="stranger"
+    )
+    # the stranger must know the provider's address to send at all...
+    stranger.peer.resolver.learn(provider.peer.id, provider.node.id)
+    # ...but the provider has never heard of the stranger
+    assert not provider.peer.resolver.known(stranger.peer.id)
+    assert stranger.invoke(handle, "echo", message="x") == "x"
+    assert provider.peer.resolver.known(stranger.peer.id)
+
+
+def test_fig6_reply_undeliverable_event_when_consumer_dies():
+    world = build_p2ps_world()
+    consumer, provider = world.consumers[0], world.providers[0]
+    listener = RecordingListener()
+    provider.add_listener(listener)
+    handle = consumer.locate_one("Echo0")
+    consumer.invoke_async(handle, "echo", {"message": "x"}, lambda r, e: None)
+    # the consumer dies after the request leaves but before the reply
+    consumer.node.go_down()
+    world.net.run()
+    # provider processed the request; the reply frame was lost silently
+    assert listener.of_kind("request-received")
+    assert world.net.trace is not None
+
+
+def test_bench_response_process(benchmark):
+    world = build_p2ps_world()
+    consumer = world.consumers[0]
+    handle = consumer.locate_one("Echo0")
+
+    benchmark(lambda: consumer.invoke(handle, "echo", message="bench"))
+
+
+if __name__ == "__main__":
+    run_fig6_experiment()

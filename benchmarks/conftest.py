@@ -1,0 +1,12 @@
+"""Make the benchmark package importable and auto-print tables.
+
+Benchmarks both (a) time their core loop via pytest-benchmark and
+(b) print the experiment's paper-style table (visible with ``-s`` or in
+the captured output of a failing run; every bench also runs standalone
+as ``python benchmarks/bench_*.py``).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

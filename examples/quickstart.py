@@ -1,0 +1,77 @@
+"""Quickstart: host, publish, discover and invoke a Web service.
+
+Reproduces the paper's Fig. 3 loop with the standard (HTTP/UDDI)
+binding on a simulated network:
+
+    deploy -> launch HTTP server -> publish(UDDI) -> locate(UDDI) -> invoke(HTTP)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import WSPeer
+from repro.core.binding import StandardBinding
+from repro.core.events import RecordingListener
+from repro.simnet import FixedLatency, Network
+from repro.uddi import UddiRegistryNode
+
+
+class Greeter:
+    """The application object we expose — note: no container, no
+    deployment descriptor; the live object *is* the service."""
+
+    def __init__(self, greeting: str):
+        self.greeting = greeting
+
+    def greet(self, name: str) -> str:
+        """Produce a greeting for *name*."""
+        return f"{self.greeting}, {name}!"
+
+    def rename(self, greeting: str) -> str:
+        """Change the greeting at runtime (the object is stateful)."""
+        self.greeting = greeting
+        return greeting
+
+
+def main() -> None:
+    # -- the world: a simulated network with a UDDI registry node -----
+    net = Network(latency=FixedLatency(0.005))
+    registry = UddiRegistryNode(net.add_node("registry"))
+    print(f"UDDI registry listening at {registry.endpoint}")
+
+    # -- the provider peer ------------------------------------------------
+    listener = RecordingListener()
+    provider = WSPeer(
+        net.add_node("provider"), StandardBinding(registry.endpoint), listener=listener
+    )
+    greeter = Greeter("Hello")
+    provider.deploy(greeter, name="Greeter")   # HTTP server launches *now*
+    provider.publish("Greeter")                # registers in UDDI + WSDL URL
+    print(f"deployed + published: {provider.deployed_services}")
+
+    # -- the consumer peer ------------------------------------------------
+    consumer = WSPeer(net.add_node("consumer"), StandardBinding(registry.endpoint))
+    handle = consumer.locate_one("Greeter")
+    print(f"located via {handle.source}: operations {handle.operation_names()}")
+    print(f"endpoint: {handle.endpoints[0].address}")
+
+    # direct invocation
+    print("invoke:", consumer.invoke(handle, "greet", name="world"))
+
+    # dynamic stub — built straight to a class, no code generation
+    stub = consumer.create_stub(handle)
+    print("stub:  ", stub.greet(name="stub user"))
+
+    # the service fronts the *live* object: mutate it and re-invoke
+    greeter.greeting = "Howdy"
+    print("live:  ", stub.greet(name="again"))
+    stub.rename(greeting="Hei")
+    print("remote:", greeter.greeting, "(changed via the wire)")
+
+    # the event stream the provider's application observed
+    print("\nprovider events:")
+    for event in listener.events[:12]:
+        print(f"  t={event.time * 1000:7.2f}ms  {type(event).__name__:26s} {event.kind}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""WSPeer reproduction — an interface to Web service hosting and invocation.
+
+A from-scratch Python reproduction of Harrison & Taylor, "WSPeer — An
+Interface to Web Service Hosting and Invocation" (IPPS 2005).  See
+README.md for the tour and DESIGN.md for the per-subsystem inventory.
+
+The most common entry points are re-exported here::
+
+    from repro import WSPeer, StandardBinding, P2psBinding, Network
+
+    net = Network()
+    peer = WSPeer(net.add_node("me"), StandardBinding(registry_uri))
+"""
+
+from repro.core.binding import Binding, P2psBinding, StandardBinding
+from repro.core.events import PeerMessageListener
+from repro.core.handle import ServiceHandle
+from repro.core.query import P2PSServiceQuery, ServiceQuery, UDDIServiceQuery
+from repro.core.wspeer import WSPeer
+from repro.p2ps.group import PeerGroup
+from repro.simnet.network import Network
+from repro.uddi.service import UddiRegistryNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WSPeer",
+    "Binding",
+    "StandardBinding",
+    "P2psBinding",
+    "PeerMessageListener",
+    "ServiceHandle",
+    "ServiceQuery",
+    "UDDIServiceQuery",
+    "P2PSServiceQuery",
+    "PeerGroup",
+    "Network",
+    "UddiRegistryNode",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Application scenarios from §V of the paper.
+
+``workflow``
+    The Triana analogue: a toolbox of discovered services, wired into
+    DAG workflows and choreographed through WSPeer.
+``cactus``
+    The SC2004 demo: a finite-difference PDE simulation on a remote
+    resource streaming per-timestep output back through a Web service
+    the consumer deployed *at runtime*.
+``catnets``
+    The Catnets evaluation platform: economy-driven services trading in
+    a decentralised P2PS topology.
+"""
+
+from repro.apps.workflow import Tool, Toolbox, Workflow, WorkflowEngine, WorkflowError
+from repro.apps.cactus import CactusSimulation, ResultCollector, run_cactus_scenario
+from repro.apps.catnets import (
+    ConsumerAgent,
+    MarketStats,
+    ProviderAgent,
+    run_market_rounds,
+)
+
+__all__ = [
+    "Tool",
+    "Toolbox",
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowError",
+    "CactusSimulation",
+    "ResultCollector",
+    "run_cactus_scenario",
+    "ProviderAgent",
+    "ConsumerAgent",
+    "MarketStats",
+    "run_market_rounds",
+]

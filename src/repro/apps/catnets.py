@@ -1,0 +1,161 @@
+"""The Catnets scenario (§V): economy-driven services in a
+decentralised topology.
+
+"The P2PS implementation of WSPeer is currently being evaluated by the
+Catnets project as a potential application platform for exploring how
+economy driven services interact in a decentralised topology."
+
+Reproduction: provider peers sell a compute service whose price adapts
+to utilisation (price rises when busy, decays when idle); consumer
+peers discover providers through P2PS attribute queries, collect quotes,
+and buy from the cheapest.  The market statistics show the canonical
+catallactic behaviour — load spreads and prices converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.binding import P2psBinding
+from repro.core.query import P2PSServiceQuery
+from repro.core.wspeer import WSPeer
+from repro.p2ps.group import PeerGroup
+from repro.simnet.network import Network
+
+SERVICE_ATTR = {"market": "catnets"}
+
+
+class ComputeService:
+    """What a provider sells: quotable, priced units of work."""
+
+    def __init__(self, provider_name: str, base_price: float = 10.0):
+        self.provider_name = provider_name
+        self.price = base_price
+        self.jobs_done = 0
+        self.busy_units = 0
+
+    def quote(self) -> dict:
+        """Current offer: price and provider identity."""
+        return {"provider": self.provider_name, "price": self.price}
+
+    def execute(self, units: int) -> dict:
+        """Perform *units* of work at the quoted price; adjusts price up."""
+        self.jobs_done += 1
+        self.busy_units += units
+        cost = self.price * units
+        # demand pressure: each sale raises the ask
+        self.price *= 1.10
+        return {"provider": self.provider_name, "cost": cost, "units": units}
+
+    def decay_price(self, factor: float = 0.97, floor: float = 1.0) -> None:
+        """Idle decay applied between rounds."""
+        self.price = max(floor, self.price * factor)
+
+
+class ProviderAgent:
+    """A P2PS peer selling a ComputeService."""
+
+    def __init__(
+        self,
+        network: Network,
+        group: PeerGroup,
+        name: str,
+        base_price: float = 10.0,
+    ):
+        self.name = name
+        self.wspeer = WSPeer(network.add_node(f"prov-{name}"), P2psBinding(group), name=name)
+        self.service = ComputeService(name, base_price)
+        self.wspeer.deploy(self.service, name=f"Compute-{name}")
+        advert = self.wspeer.server.deployer.advert_for(f"Compute-{name}")
+        advert.attributes.update(SERVICE_ATTR)
+        self.wspeer.publish(f"Compute-{name}")
+
+
+class ConsumerAgent:
+    """A P2PS peer buying compute from the cheapest discovered provider."""
+
+    def __init__(self, network: Network, group: PeerGroup, name: str):
+        self.name = name
+        self.wspeer = WSPeer(network.add_node(f"cons-{name}"), P2psBinding(group), name=name)
+        self.spent = 0.0
+        self.purchases: list[dict] = []
+
+    def buy(self, units: int = 1, timeout: float = 5.0) -> Optional[dict]:
+        """Discover providers, collect quotes, buy from the cheapest."""
+        handles = self.wspeer.locate(
+            P2PSServiceQuery("Compute-%", attributes=SERVICE_ATTR),
+            timeout=timeout,
+            expect=2,
+        )
+        if not handles:
+            return None
+        quotes = []
+        for handle in handles:
+            try:
+                quote = self.wspeer.invoke(handle, "quote", timeout=timeout)
+            except Exception:  # noqa: BLE001 - provider may have died mid-market
+                continue
+            quotes.append((quote["price"], handle, quote))
+        if not quotes:
+            return None
+        quotes.sort(key=lambda q: q[0])
+        _, handle, _ = quotes[0]
+        receipt = self.wspeer.invoke(handle, "execute", units=units, timeout=timeout)
+        self.spent += receipt["cost"]
+        self.purchases.append(receipt)
+        return receipt
+
+
+@dataclass
+class MarketStats:
+    """Aggregate outcome of a market run."""
+
+    rounds: int
+    purchases: int
+    total_spend: float
+    jobs_per_provider: dict[str, int] = field(default_factory=dict)
+    final_prices: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean jobs ratio; 1.0 = perfectly even allocation."""
+        counts = np.array(list(self.jobs_per_provider.values()), dtype=float)
+        if counts.size == 0 or counts.mean() == 0:
+            return 0.0
+        return float(counts.max() / counts.mean())
+
+    @property
+    def price_spread(self) -> float:
+        """Relative spread of final asks (max-min over mean)."""
+        prices = np.array(list(self.final_prices.values()), dtype=float)
+        if prices.size == 0 or prices.mean() == 0:
+            return 0.0
+        return float((prices.max() - prices.min()) / prices.mean())
+
+
+def run_market_rounds(
+    providers: list[ProviderAgent],
+    consumers: list[ConsumerAgent],
+    rounds: int = 10,
+    units_per_purchase: int = 1,
+) -> MarketStats:
+    """Run the market: each round every consumer buys once, then idle
+    providers' prices decay.  Returns the aggregate statistics."""
+    purchases = 0
+    for _ in range(rounds):
+        for consumer in consumers:
+            receipt = consumer.buy(units=units_per_purchase)
+            if receipt is not None:
+                purchases += 1
+        for provider in providers:
+            provider.service.decay_price()
+    return MarketStats(
+        rounds=rounds,
+        purchases=purchases,
+        total_spend=sum(c.spent for c in consumers),
+        jobs_per_provider={p.name: p.service.jobs_done for p in providers},
+        final_prices={p.name: p.service.price for p in providers},
+    )

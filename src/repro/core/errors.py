@@ -1,0 +1,18 @@
+"""WSPeer-level error types."""
+
+
+class WsPeerError(Exception):
+    """Base class for WSPeer errors."""
+
+
+class DeploymentError(WsPeerError):
+    """A service could not be deployed or undeployed."""
+
+
+class DiscoveryError(WsPeerError):
+    """A locate operation failed (registry unreachable, no match, ...)."""
+
+
+class InvocationError(WsPeerError):
+    """An invocation failed at the WSPeer level (transport errors and
+    SOAP faults surface as their own types)."""

@@ -1,0 +1,61 @@
+"""ServiceHandle — the WSPeer-side view of a located service.
+
+"The application code deals with WSPeer data structures, not those that
+are transmitted over the wire, so the application does not have to care
+where or how the service has been located, or what its definition looks
+like" (§III).  A handle bundles everything the client side needs to
+invoke: the parsed WSDL, one or more addressable endpoints, and where
+it came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.wsa.epr import EndpointReference
+from repro.wsdl.model import WsdlDefinition
+
+
+@dataclass
+class ServiceHandle:
+    """A located (or locally deployed) service, ready to invoke."""
+
+    name: str
+    wsdl: WsdlDefinition
+    endpoints: list[EndpointReference] = field(default_factory=list)
+    source: str = "local"  # 'uddi' | 'p2ps' | 'local'
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def namespace(self) -> str:
+        return self.wsdl.target_namespace
+
+    def endpoint_for_scheme(self, scheme: str) -> Optional[EndpointReference]:
+        """First endpoint whose address uses *scheme* (e.g. 'http', 'p2ps')."""
+        prefix = scheme + "://"
+        for epr in self.endpoints:
+            if epr.address.startswith(prefix):
+                return epr
+        return None
+
+    @property
+    def schemes(self) -> list[str]:
+        out = []
+        for epr in self.endpoints:
+            scheme = epr.address.split("://", 1)[0]
+            if scheme not in out:
+                out.append(scheme)
+        return out
+
+    def operation_names(self) -> list[str]:
+        names: list[str] = []
+        for port_type in self.wsdl.port_types.values():
+            names.extend(op.name for op in port_type.operations)
+        return sorted(set(names))
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceHandle {self.name} via {self.source} "
+            f"endpoints={[e.address for e in self.endpoints]}>"
+        )

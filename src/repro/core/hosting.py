@@ -1,0 +1,204 @@
+"""The lightweight hosting container.
+
+"WSPeer reverses the power relationship between the deployed component
+and the environment used for deploying and exposing it, in effect
+allowing the component to become its own container" (§III).  Concretely:
+
+- :meth:`LightweightContainer.deploy` takes a *live object* (or a
+  prepared :class:`ServiceObject` with per-operation targets), generates
+  its WSDL, and wires a dispatcher — at runtime, no restart, no archive;
+- the owning application can set an ``interceptor`` that sees every
+  request *before* the messaging engine and may answer it directly; when
+  it declines (returns None) the engine dispatches as usual;
+- every request and response fires a ServerMessageEvent, so a listener
+  on the tree root observes traffic "either side of being processed by
+  the underlying messaging system".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.errors import DeploymentError
+from repro.core.events import EventSource
+from repro.soap.encoding import StructRegistry
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.handlers import HandlerChain, MessageContext, MustUnderstandHandler
+from repro.soap.rpc import RpcDispatcher, ServiceObject
+from repro.wsa.epr import EndpointReference
+from repro.wsdl.generator import generate_wsdl
+from repro.wsdl.model import WsdlDefinition
+from repro.xmlkit import ns
+
+#: An interceptor sees (service name, request envelope) and may return a
+#: complete response envelope to bypass the engine, or None to decline.
+Interceptor = Callable[[str, SoapEnvelope], Optional[SoapEnvelope]]
+
+
+class DeployedService:
+    """One deployed service: live object(s) + description + dispatcher."""
+
+    def __init__(
+        self,
+        service: ServiceObject,
+        registry: Optional[StructRegistry] = None,
+        transport: Optional[str] = None,
+    ):
+        self.service = service
+        self.registry = registry or StructRegistry()
+        self.dispatcher = RpcDispatcher(service, self.registry)
+        self.chain = HandlerChain([MustUnderstandHandler({ns.WSA})])
+        self.endpoints: list[EndpointReference] = []
+        self.transport = transport
+        self.requests_processed = 0
+        self._wsdl_locations: dict[str, str] = {}
+
+    @property
+    def name(self) -> str:
+        return self.service.name
+
+    @property
+    def namespace(self) -> str:
+        return self.service.namespace
+
+    def add_endpoint(self, epr: EndpointReference, port_name: str = "") -> None:
+        self.endpoints.append(epr)
+        self._wsdl_locations[port_name or f"{self.name}Port{len(self.endpoints)}"] = (
+            epr.address
+        )
+
+    def wsdl(self) -> WsdlDefinition:
+        """The current interface description (reflects live endpoints
+        and declares any registered struct types in <wsdl:types>)."""
+        kwargs = {}
+        if self.transport:
+            kwargs["transport"] = self.transport
+        return generate_wsdl(
+            self.service,
+            locations=self._wsdl_locations,
+            registry=self.registry,
+            **kwargs,
+        )
+
+    def __repr__(self) -> str:
+        return f"<DeployedService {self.name} endpoints={len(self.endpoints)}>"
+
+
+class LightweightContainer(EventSource):
+    """Holds the deployed services of one WSPeer server side."""
+
+    def __init__(self, parent: Optional[EventSource] = None, clock=None):
+        super().__init__("container", parent)
+        self._clock = clock or (lambda: 0.0)
+        self._services: dict[str, DeployedService] = {}
+        self.interceptor: Optional[Interceptor] = None
+
+    def _now(self) -> float:
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        source: Any,
+        name: Optional[str] = None,
+        namespace: Optional[str] = None,
+        include: Optional[list[str]] = None,
+        registry: Optional[StructRegistry] = None,
+        transport: Optional[str] = None,
+    ) -> DeployedService:
+        """Deploy *source* — a live object or a :class:`ServiceObject`.
+
+        For a plain object, its public methods become the operations;
+        pass a prepared :class:`ServiceObject` to map operations onto
+        several stateful objects.
+        """
+        if isinstance(source, ServiceObject):
+            service = source
+        else:
+            if name is None:
+                name = type(source).__name__
+            service = ServiceObject.from_instance(
+                name, source, namespace or f"urn:wspeer:{name}", include=include
+            )
+        if service.name in self._services:
+            raise DeploymentError(f"service {service.name!r} already deployed")
+        if not service.operations:
+            raise DeploymentError(f"service {service.name!r} has no operations")
+        deployed = DeployedService(service, registry, transport=transport)
+        self._services[service.name] = deployed
+        self.fire_deployment(
+            "deployed", service=service.name, operations=service.operation_names
+        )
+        return deployed
+
+    def undeploy(self, name: str) -> DeployedService:
+        deployed = self._services.pop(name, None)
+        if deployed is None:
+            raise DeploymentError(f"no deployed service named {name!r}")
+        self.fire_deployment("undeployed", service=name)
+        return deployed
+
+    def get(self, name: str) -> Optional[DeployedService]:
+        return self._services.get(name)
+
+    def require(self, name: str) -> DeployedService:
+        deployed = self._services.get(name)
+        if deployed is None:
+            raise DeploymentError(f"no deployed service named {name!r}")
+        return deployed
+
+    @property
+    def service_names(self) -> list[str]:
+        return sorted(self._services)
+
+    # ------------------------------------------------------------------
+    def process_request(self, service_name: str, request: SoapEnvelope) -> SoapEnvelope:
+        """The server-side message path shared by every transport.
+
+        1. ServerMessageEvent("request-received") — the app sees the raw
+           request;
+        2. the interceptor may answer directly (the app as container);
+        3. otherwise the handler chain + RPC dispatcher run;
+        4. ServerMessageEvent("response-sent") — the app sees the
+           response on its way out.
+        """
+        operation = (
+            request.body_content.name.local if request.body_content is not None else ""
+        )
+        self.fire_server(
+            "request-received",
+            service=service_name,
+            operation=operation,
+            envelope=request,
+        )
+        response: Optional[SoapEnvelope] = None
+        if self.interceptor is not None:
+            response = self.interceptor(service_name, request)
+            if response is not None:
+                self.fire_server(
+                    "request-intercepted", service=service_name, operation=operation
+                )
+        if response is None:
+            deployed = self._services.get(service_name)
+            if deployed is None:
+                from repro.soap.faults import FaultCode, SoapFault
+
+                response = SoapEnvelope.for_fault(
+                    SoapFault(
+                        FaultCode.CLIENT, f"no deployed service named {service_name!r}"
+                    )
+                )
+            else:
+                deployed.requests_processed += 1
+                context = MessageContext(request, service_name, operation)
+                response = deployed.chain.run(
+                    context, lambda ctx: deployed.dispatcher.dispatch(ctx.request)
+                )
+        self.fire_server(
+            "response-sent",
+            service=service_name,
+            operation=operation,
+            fault=response.is_fault,
+            envelope=response,
+        )
+        return response

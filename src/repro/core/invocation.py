@@ -1,0 +1,404 @@
+"""Invocations: the client side of the exchange.
+
+"Although WSPeer allows synchronous discovery and invocation, it is
+essentially an asynchronous, event driven system in which components
+subscribe to events and are notified when and if responses are returned
+from remote services" (§III).  Both invocation classes are async at the
+core — ``invoke_async`` with a completion callback — and synchronous
+``invoke`` pumps the simulation kernel until the callback fires, exactly
+how HTTP's held-open connection behaves.
+
+:class:`HttpInvocation`
+    SOAP POST to an ``http://`` (or, with an :class:`HttpgTransport`
+    supplied, ``httpg://``) endpoint.
+:class:`P2psInvocation`
+    The consumer flow of Fig. 5: create a reply pipe, serialise its
+    advert into a WS-Addressing ``ReplyTo``, listen, send the request
+    down the provider's operation pipe, and complete when the response
+    frame lands on the reply pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.errors import InvocationError
+from repro.core.events import EventSource
+from repro.core.handle import ServiceHandle
+from repro.core.p2psmap import action_for_pipe, epr_from_pipe, pipe_from_epr
+from repro.p2ps.peer import Peer
+from repro.p2ps.pipes import PipeError, ResolutionError
+from repro.simnet.kernel import SimTimeoutError
+from repro.simnet.network import Node
+from repro.soap.encoding import StructRegistry
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.rpc import build_rpc_request, extract_rpc_result
+from repro.soap.stubs import DynamicStubBuilder
+from repro.transport.base import Transport, TransportError
+from repro.transport.http import HttpTransport
+from repro.transport.uri import Uri
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageAddressingProperties, new_message_id
+from repro.wsdl.stubspec import to_stub_spec
+
+#: Completion callback: (result, error) — exactly one is non-None,
+#: except for void results where both may be None.
+InvokeCallback = Callable[[Any, Optional[Exception]], None]
+
+
+class Invocation(EventSource):
+    """Base invocation node of the interface tree."""
+
+    def __init__(self, clock, parent: Optional[EventSource] = None):
+        super().__init__("invocation", parent)
+        self._clock = clock
+        self.registry = StructRegistry()
+
+    def _now(self) -> float:
+        return self._clock()
+
+    # -- abstract -------------------------------------------------------------
+    def invoke_async(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: dict[str, Any],
+        callback: InvokeCallback,
+        timeout: Optional[float] = None,
+    ) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- shared ------------------------------------------------------------
+    def _kernel(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def invoke(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = 30.0,
+        **kwargs: Any,
+    ) -> Any:
+        """Synchronous invocation: pump virtual time until completion."""
+        all_args = dict(args or {})
+        all_args.update(kwargs)
+        box: dict[str, Any] = {}
+
+        def callback(result: Any, error: Optional[Exception]) -> None:
+            box["result"] = result
+            box["error"] = error
+
+        self.invoke_async(handle, operation, all_args, callback, timeout)
+        try:
+            self._kernel().pump_until(lambda: "result" in box or "error" in box)
+        except SimTimeoutError as exc:
+            raise InvocationError(f"invocation of {operation!r} never completed") from exc
+        if box.get("error") is not None:
+            raise box["error"]
+        return box.get("result")
+
+    def invoke_oneway(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: Optional[dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> None:
+        """Notification-style invocation: send and do not wait.
+
+        Default implementation dispatches asynchronously and discards
+        the completion; transports with genuinely one-way wires (P2PS
+        pipes) override this to skip creating a reply channel at all.
+        """
+        all_args = dict(args or {})
+        all_args.update(kwargs)
+        self.invoke_async(handle, operation, all_args, lambda result, error: None)
+
+    def create_stub(self, handle: ServiceHandle, timeout: Optional[float] = 30.0) -> Any:
+        """Build a dynamic proxy whose methods invoke through this node.
+
+        The WSPeer way: "generating stubs directly to bytes, bypassing
+        source generation and compilation" (§IV-A).
+        """
+        spec = to_stub_spec(handle.wsdl)
+
+        def invoke_fn(op: str, args: dict[str, Any]) -> Any:
+            return self.invoke(handle, op, args, timeout=timeout)
+
+        return DynamicStubBuilder().build(spec, invoke_fn)
+
+
+class HttpInvocation(Invocation):
+    """SOAP over request/response transports (HTTP and HTTPG)."""
+
+    def __init__(
+        self,
+        node: Node,
+        parent: Optional[EventSource] = None,
+        extra_transports: Optional[list[Transport]] = None,
+    ):
+        super().__init__(lambda: node.network.kernel.now, parent)
+        self.node = node
+        self._transports: dict[str, Transport] = {"http": HttpTransport(node)}
+        for transport in extra_transports or []:
+            self._transports[transport.scheme] = transport
+
+    def _kernel(self):
+        return self.node.network.kernel
+
+    def add_transport(self, transport: Transport) -> None:
+        self._transports[transport.scheme] = transport
+
+    def invoke_async(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: dict[str, Any],
+        callback: InvokeCallback,
+        timeout: Optional[float] = None,
+    ) -> None:
+        endpoint = self._pick_endpoint(handle)
+        if endpoint is None:
+            callback(
+                None,
+                InvocationError(
+                    f"service {handle.name!r} has no endpoint for schemes "
+                    f"{sorted(self._transports)}"
+                ),
+            )
+            return
+        uri = Uri.parse(endpoint.address)
+        transport = self._transports[uri.scheme]
+
+        envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
+        maps = MessageAddressingProperties.for_request(endpoint, operation)
+        maps.apply_to(envelope, target=endpoint)
+        self.fire_client(
+            "request-sent",
+            service=handle.name,
+            operation=operation,
+            endpoint=endpoint.address,
+            message_id=maps.message_id,
+        )
+
+        def on_response(body: Optional[str], error: Optional[Exception]) -> None:
+            if error is not None:
+                self.fire_client(
+                    "invoke-failed", service=handle.name, operation=operation,
+                    reason=str(error),
+                )
+                callback(None, error)
+                return
+            try:
+                response = SoapEnvelope.from_wire(body or "")
+                result = extract_rpc_result(response, self.registry)
+            except Exception as exc:  # includes SoapFault
+                self.fire_client(
+                    "invoke-failed", service=handle.name, operation=operation,
+                    reason=str(exc),
+                )
+                callback(None, exc)
+                return
+            self.fire_client(
+                "response-received", service=handle.name, operation=operation,
+                message_id=maps.message_id,
+            )
+            callback(result, None)
+
+        headers = {"SOAPAction": maps.action}
+        if timeout is not None and hasattr(transport, "client"):
+            transport.client.default_timeout = timeout  # type: ignore[attr-defined]
+        transport.send(uri, envelope.to_wire(), headers, on_response)
+
+    def _pick_endpoint(self, handle: ServiceHandle) -> Optional[EndpointReference]:
+        for scheme in self._transports:
+            endpoint = handle.endpoint_for_scheme(scheme)
+            if endpoint is not None:
+                return endpoint
+        return None
+
+
+class P2psInvocation(Invocation):
+    """SOAP over P2PS pipes — the consumer flow of Fig. 5.
+
+    ``default_retries`` adds retransmission over the lossy one-way
+    pipes: when an attempt's timeout lapses the same request (same
+    MessageID) is re-sent; the provider suppresses duplicate execution
+    and replays its retained response, so retries are safe even for
+    non-idempotent operations.
+    """
+
+    def __init__(
+        self,
+        peer: Peer,
+        parent: Optional[EventSource] = None,
+        default_retries: int = 0,
+    ):
+        super().__init__(lambda: peer.network.kernel.now, parent)
+        self.peer = peer
+        self.default_retries = default_retries
+
+    def _kernel(self):
+        return self.peer.network.kernel
+
+    def invoke_async(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: dict[str, Any],
+        callback: InvokeCallback,
+        timeout: Optional[float] = None,
+    ) -> None:
+        endpoint = self._endpoint_for_operation(handle, operation)
+        if endpoint is None:
+            callback(
+                None,
+                InvocationError(
+                    f"service {handle.name!r} has no p2ps pipe for operation {operation!r}"
+                ),
+            )
+            return
+        try:
+            target_advert = pipe_from_epr(endpoint)
+            out_pipe = self.peer.open_output_pipe(target_advert)
+        except Exception as exc:  # noqa: BLE001 - resolution/mapping boundary
+            callback(None, InvocationError(f"cannot reach provider: {exc}"))
+            return
+
+        # Fig. 5 step 1: request input pipe + advertisement from P2PS
+        done: dict[str, Any] = {"fired": False, "timeout_event": None}
+        reply_pipe, reply_advert = self.peer.create_input_pipe(
+            f"reply-{operation}"
+        )
+        # step 2/3: serialise the pipe advert to WS-Addressing and add
+        # to the SOAP request header
+        reply_epr = epr_from_pipe(reply_advert)
+        envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
+        maps = MessageAddressingProperties(
+            to=endpoint.address,
+            action=action_for_pipe(target_advert),
+            reply_to=reply_epr,
+            message_id=new_message_id(),
+        )
+        maps.apply_to(envelope, target=endpoint)
+
+        def finish(result: Any, error: Optional[Exception]) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            if done["timeout_event"] is not None:
+                done["timeout_event"].cancel()
+            self.peer.close_input_pipe(reply_advert.pipe_id)
+            if error is not None:
+                self.fire_client(
+                    "invoke-failed", service=handle.name, operation=operation,
+                    reason=str(error),
+                )
+            else:
+                self.fire_client(
+                    "response-received", service=handle.name, operation=operation,
+                    message_id=maps.message_id,
+                )
+            callback(result, error)
+
+        # step 4: add myself as a listener to the pipe
+        def on_reply(payload: str, meta: dict) -> None:
+            try:
+                response = SoapEnvelope.from_wire(payload)
+                result = extract_rpc_result(response, self.registry)
+            except Exception as exc:
+                finish(None, exc)
+                return
+            finish(result, None)
+
+        reply_pipe.add_listener(on_reply)
+
+        attempts = {"sent": 1}
+        max_attempts = 1 + self.default_retries
+
+        def on_attempt_timeout() -> None:
+            if done["fired"]:
+                return
+            if attempts["sent"] < max_attempts:
+                attempts["sent"] += 1
+                self.fire_client(
+                    "retransmit", service=handle.name, operation=operation,
+                    attempt=attempts["sent"], message_id=maps.message_id,
+                )
+                try:
+                    self.peer.send_down_pipe(out_pipe, envelope.to_wire())
+                except PipeError as exc:
+                    finish(None, InvocationError(str(exc)))
+                    return
+                done["timeout_event"] = self.peer.network.kernel.schedule(
+                    timeout, on_attempt_timeout
+                )
+            else:
+                finish(
+                    None,
+                    InvocationError(
+                        f"no response from {endpoint.address} for {operation!r} "
+                        f"after {attempts['sent']} attempt(s) of {timeout}s"
+                    ),
+                )
+
+        if timeout is not None:
+            done["timeout_event"] = self.peer.network.kernel.schedule(
+                timeout, on_attempt_timeout
+            )
+
+        self.fire_client(
+            "request-sent",
+            service=handle.name,
+            operation=operation,
+            endpoint=endpoint.address,
+            message_id=maps.message_id,
+        )
+        # step 5: send SOAP down the remote pipe
+        try:
+            self.peer.send_down_pipe(out_pipe, envelope.to_wire())
+        except PipeError as exc:
+            finish(None, InvocationError(str(exc)))
+
+    def invoke_oneway(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: Optional[dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> None:
+        """True one-way: no reply pipe is created and no ReplyTo header
+        is sent, so the provider does not answer (Fig. 6 short-circuits
+        after step 3)."""
+        all_args = dict(args or {})
+        all_args.update(kwargs)
+        endpoint = self._endpoint_for_operation(handle, operation)
+        if endpoint is None:
+            raise InvocationError(
+                f"service {handle.name!r} has no p2ps pipe for operation {operation!r}"
+            )
+        target_advert = pipe_from_epr(endpoint)
+        out_pipe = self.peer.open_output_pipe(target_advert)
+        envelope = build_rpc_request(handle.namespace, operation, all_args, self.registry)
+        maps = MessageAddressingProperties(
+            to=endpoint.address,
+            action=action_for_pipe(target_advert),
+            message_id=new_message_id(),
+        )
+        maps.apply_to(envelope, target=endpoint)
+        self.fire_client(
+            "oneway-sent", service=handle.name, operation=operation,
+            endpoint=endpoint.address, message_id=maps.message_id,
+        )
+        self.peer.send_down_pipe(out_pipe, envelope.to_wire())
+
+    def _endpoint_for_operation(
+        self, handle: ServiceHandle, operation: str
+    ) -> Optional[EndpointReference]:
+        for endpoint in handle.endpoints:
+            if not endpoint.address.startswith("p2ps://"):
+                continue
+            if endpoint.property_text("PipeName") == operation:
+                return endpoint
+        return None

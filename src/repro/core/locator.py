@@ -1,0 +1,341 @@
+"""ServiceLocators: find services and fetch their descriptions.
+
+"On the client side, locating a service involves retrieving the
+endpoint of the service and possibly its interface description as well"
+(§III).  Two implementations:
+
+:class:`UddiServiceLocator`
+    Queries a UDDI registry (the "UDDI conversant component"), then
+    fetches the WSDL over HTTP from the provider's ``.wsdl`` route.
+:class:`P2psServiceLocator`
+    Floods an attribute-based query into the peer group, converts the
+    returned ServiceAdvertisements into handles with per-operation pipe
+    EPRs, and retrieves the WSDL through the *definition pipe*.
+
+Both produce :class:`~repro.core.handle.ServiceHandle` objects, so the
+application never touches wire formats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.deployer import DEFINITION_PIPE_NAME
+from repro.core.errors import DiscoveryError
+from repro.core.events import EventSource
+from repro.core.handle import ServiceHandle
+from repro.core.p2psmap import epr_from_pipe
+from repro.core.query import P2PSServiceQuery, ServiceQuery, UDDIServiceQuery
+from repro.p2ps.advertisements import ServiceAdvertisement
+from repro.p2ps.peer import Peer
+from repro.p2ps.query import AdvertQuery
+from repro.simnet.kernel import SimTimeoutError
+from repro.simnet.network import Node
+from repro.soap.envelope import SoapEnvelope
+from repro.transport.base import TransportError
+from repro.transport.http import HttpClient, HttpRequest
+from repro.transport.uri import Uri
+from repro.uddi.client import UddiClient
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageAddressingProperties, new_message_id
+from repro.wsdl.parser import parse_wsdl
+
+
+class ServiceLocator(EventSource):
+    """Base locator node of the interface tree."""
+
+    def __init__(self, clock, parent: Optional[EventSource] = None):
+        super().__init__("locator", parent)
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock()
+
+    def locate(
+        self, query: ServiceQuery, timeout: float = 10.0, expect: int = 1
+    ) -> list[ServiceHandle]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class UddiServiceLocator(ServiceLocator):
+    """Searches a UDDI registry, then pulls WSDL from the provider."""
+
+    def __init__(
+        self,
+        node: Node,
+        registry_uri: str,
+        parent: Optional[EventSource] = None,
+        timeout: float = 30.0,
+    ):
+        super().__init__(lambda: node.network.kernel.now, parent)
+        self.node = node
+        self.uddi = UddiClient(node, registry_uri, timeout)
+        self.http = HttpClient(node, timeout)
+
+    def locate(
+        self, query: ServiceQuery, timeout: float = 10.0, expect: int = 1
+    ) -> list[ServiceHandle]:
+        categories = query.categories if isinstance(query, UDDIServiceQuery) else []
+        self.fire_discovery("query-issued", query=query.describe(), via="uddi")
+        try:
+            services = self.uddi.find_services(query.name_pattern, categories)
+        except TransportError as exc:
+            self.fire_discovery("query-failed", reason=str(exc))
+            raise DiscoveryError(f"UDDI registry unreachable: {exc}") from exc
+        handles: list[ServiceHandle] = []
+        for service in services:
+            bindings = self.uddi.access_points(service)
+            if not bindings:
+                continue
+            endpoints = [EndpointReference(b.access_point) for b in bindings]
+            wsdl_url = self.uddi.wsdl_url_for(service)
+            if not wsdl_url:
+                self.fire_discovery("service-skipped", service=service.name,
+                                    reason="no wsdlSpec tModel")
+                continue
+            try:
+                wsdl_text = self._fetch(wsdl_url)
+            except TransportError as exc:
+                self.fire_discovery("service-skipped", service=service.name,
+                                    reason=f"wsdl fetch failed: {exc}")
+                continue
+            handle = ServiceHandle(
+                service.name, parse_wsdl(wsdl_text), endpoints, source="uddi"
+            )
+            handles.append(handle)
+            self.fire_discovery(
+                "service-found", service=service.name, via="uddi",
+                endpoints=[e.address for e in endpoints],
+            )
+        if not handles:
+            self.fire_discovery("query-empty", query=query.describe())
+        return handles
+
+    def _fetch(self, url: str) -> str:
+        uri = Uri.parse(url)
+        response = self.http.request(
+            uri.host, uri.port or 80, HttpRequest("GET", "/" + uri.path)
+        )
+        if not response.ok:
+            raise TransportError(f"GET {url} -> {response.status}")
+        return response.body
+
+    # ------------------------------------------------------------------
+    def locate_async(
+        self,
+        query: ServiceQuery,
+        on_found: Callable[[ServiceHandle], None],
+        on_complete: Optional[Callable[[int, Optional[Exception]], None]] = None,
+    ) -> None:
+        """Event-driven UDDI discovery: no call in the chain blocks.
+
+        Chains find_service → get_service_detail → get_tmodel_detail →
+        WSDL GET entirely through callbacks; *on_found* fires per usable
+        service as its WSDL lands, *on_complete(count, error)* once the
+        whole sweep settles.
+        """
+        categories = query.categories if isinstance(query, UDDIServiceQuery) else []
+        self.fire_discovery("query-issued", query=query.describe(), via="uddi-async")
+        state = {"outstanding": 0, "found": 0, "finished_listing": False}
+
+        def maybe_complete(error: Optional[Exception] = None) -> None:
+            if error is not None:
+                self.fire_discovery("query-failed", reason=str(error))
+                if on_complete is not None:
+                    on_complete(state["found"], error)
+                return
+            if state["finished_listing"] and state["outstanding"] == 0:
+                if state["found"] == 0:
+                    self.fire_discovery("query-empty", query=query.describe())
+                if on_complete is not None:
+                    on_complete(state["found"], None)
+
+        def on_services(services, error) -> None:
+            if error is not None:
+                maybe_complete(error)
+                return
+            from repro.uddi.model import BusinessService
+
+            parsed = [BusinessService.from_dict(s) for s in services]
+            state["outstanding"] = len(parsed)
+            state["finished_listing"] = True
+            if not parsed:
+                maybe_complete()
+            for service in parsed:
+                self._resolve_service_async(service, on_found, state, maybe_complete)
+
+        self.uddi.call_async(
+            "find_service", on_services,
+            name_pattern=query.name_pattern, category_bag=categories,
+        )
+
+    def _resolve_service_async(self, service, on_found, state, maybe_complete) -> None:
+        def finish_one() -> None:
+            state["outstanding"] -= 1
+            maybe_complete()
+
+        def on_detail(detail, error) -> None:
+            if error is not None or not detail:
+                finish_one()
+                return
+            from repro.uddi.model import BusinessService
+
+            full = BusinessService.from_dict(detail)
+            if not full.binding_templates:
+                finish_one()
+                return
+            endpoints = [EndpointReference(b.access_point) for b in full.binding_templates]
+            tmodel_keys = [
+                key for b in full.binding_templates for key in b.tmodel_keys
+            ]
+            if not tmodel_keys:
+                self.fire_discovery("service-skipped", service=full.name,
+                                    reason="no wsdlSpec tModel")
+                finish_one()
+                return
+
+            def on_tmodel(tmodel, error) -> None:
+                if error is not None or not tmodel or not tmodel.get("overviewURL"):
+                    self.fire_discovery("service-skipped", service=full.name,
+                                        reason="no wsdl url")
+                    finish_one()
+                    return
+                uri = Uri.parse(tmodel["overviewURL"])
+
+                def on_wsdl(response, error) -> None:
+                    if error is not None or not response.ok:
+                        self.fire_discovery("service-skipped", service=full.name,
+                                            reason="wsdl fetch failed")
+                        finish_one()
+                        return
+                    handle = ServiceHandle(
+                        full.name, parse_wsdl(response.body), endpoints, source="uddi"
+                    )
+                    state["found"] += 1
+                    self.fire_discovery(
+                        "service-found", service=full.name, via="uddi-async",
+                        endpoints=[e.address for e in endpoints],
+                    )
+                    on_found(handle)
+                    finish_one()
+
+                self.http.request_async(
+                    uri.host, uri.port or 80,
+                    HttpRequest("GET", "/" + uri.path), on_wsdl,
+                )
+
+            self.uddi.call_async("get_tmodel_detail", on_tmodel, tmodel_key=tmodel_keys[0])
+
+        self.uddi.call_async("get_service_detail", on_detail, service_key=service.key)
+
+
+class P2psServiceLocator(ServiceLocator):
+    """Discovers ServiceAdvertisements in the peer group."""
+
+    def __init__(self, peer: Peer, parent: Optional[EventSource] = None):
+        super().__init__(lambda: peer.network.kernel.now, parent)
+        self.peer = peer
+
+    def locate(
+        self, query: ServiceQuery, timeout: float = 10.0, expect: int = 1
+    ) -> list[ServiceHandle]:
+        attributes = query.attributes if isinstance(query, P2PSServiceQuery) else {}
+        ttl = query.ttl if isinstance(query, P2PSServiceQuery) else None
+        advert_query = AdvertQuery("service", query.name_pattern, attributes)
+        self.fire_discovery("query-issued", query=query.describe(), via="p2ps")
+        handle = self.peer.discover(advert_query, ttl=ttl)
+        adverts = handle.wait_for(expect, timeout=timeout)
+        handles = []
+        for advert in adverts:
+            if isinstance(advert, ServiceAdvertisement):
+                service_handle = self._handle_from_advert(advert, timeout)
+                if service_handle is not None:
+                    handles.append(service_handle)
+                    self.fire_discovery(
+                        "service-found", service=advert.name, via="p2ps",
+                        provider=advert.peer_id,
+                    )
+        if not handles:
+            self.fire_discovery("query-empty", query=query.describe())
+        return handles
+
+    def locate_async(
+        self,
+        query: ServiceQuery,
+        on_found: Callable[[ServiceHandle], None],
+        timeout: float = 10.0,
+    ) -> None:
+        """Event-driven variant: *on_found* fires per discovered service."""
+        attributes = query.attributes if isinstance(query, P2PSServiceQuery) else {}
+        advert_query = AdvertQuery("service", query.name_pattern, attributes)
+        self.fire_discovery("query-issued", query=query.describe(), via="p2ps")
+        handle = self.peer.discover(advert_query)
+
+        def on_advert(advert):  # type: ignore[no-untyped-def]
+            if isinstance(advert, ServiceAdvertisement):
+                service_handle = self._handle_from_advert(advert, timeout)
+                if service_handle is not None:
+                    self.fire_discovery(
+                        "service-found", service=advert.name, via="p2ps",
+                        provider=advert.peer_id,
+                    )
+                    on_found(service_handle)
+
+        handle.on_result(on_advert)
+
+    # ------------------------------------------------------------------
+    def _handle_from_advert(
+        self, advert: ServiceAdvertisement, timeout: float
+    ) -> Optional[ServiceHandle]:
+        endpoints = [
+            epr_from_pipe(pipe)
+            for pipe in advert.pipes
+            if pipe.name != advert.definition_pipe
+        ]
+        try:
+            wsdl_text = self._fetch_definition(advert, timeout)
+        except (DiscoveryError, Exception) as exc:  # noqa: BLE001
+            self.fire_discovery(
+                "service-skipped", service=advert.name,
+                reason=f"definition fetch failed: {exc}",
+            )
+            return None
+        return ServiceHandle(
+            advert.name,
+            parse_wsdl(wsdl_text),
+            endpoints,
+            source="p2ps",
+            attributes=dict(advert.attributes),
+        )
+
+    def _fetch_definition(self, advert: ServiceAdvertisement, timeout: float) -> str:
+        """Pull the WSDL through the definition pipe (§IV-B).
+
+        Sends a header-only SOAP request with our reply pipe as ReplyTo
+        and pumps until the WSDL text arrives back down it.
+        """
+        definition = advert.pipe_named(advert.definition_pipe or DEFINITION_PIPE_NAME)
+        if definition is None:
+            raise DiscoveryError(f"advert {advert.name!r} has no definition pipe")
+        out_pipe = self.peer.open_output_pipe(definition)
+        reply_pipe, reply_advert = self.peer.create_input_pipe("reply-definition")
+        box: dict[str, str] = {}
+        reply_pipe.add_listener(lambda payload, meta: box.setdefault("wsdl", payload))
+        request = SoapEnvelope()
+        maps = MessageAddressingProperties(
+            to=epr_from_pipe(definition).address,
+            action=f"{epr_from_pipe(definition).address}#{DEFINITION_PIPE_NAME}",
+            reply_to=epr_from_pipe(reply_advert),
+            message_id=new_message_id(),
+        )
+        maps.apply_to(request)
+        try:
+            self.peer.send_down_pipe(out_pipe, request.to_wire())
+            self.peer.network.kernel.pump_until(lambda: "wsdl" in box, timeout=timeout)
+        except SimTimeoutError as exc:
+            raise DiscoveryError(
+                f"definition pipe of {advert.name!r} did not answer"
+            ) from exc
+        finally:
+            self.peer.close_input_pipe(reply_advert.pipe_id)
+        return box["wsdl"]

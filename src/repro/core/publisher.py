@@ -1,0 +1,122 @@
+"""ServicePublishers: make deployed services findable.
+
+"Publishing the service involves making the service endpoint and/or its
+interface description available to the network in some way" (§III).
+
+:class:`UddiServicePublisher`
+    Registers the service, its access point, and the WSDL location in a
+    UDDI registry — mirroring the client-side UDDI locator (§IV-A).
+:class:`P2psServicePublisher`
+    Broadcasts the ServiceAdvertisement assembled at deployment into
+    the peer group (§IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.deployer import P2psServiceDeployer
+from repro.core.errors import DeploymentError
+from repro.core.events import EventSource
+from repro.core.hosting import DeployedService
+from repro.p2ps.peer import Peer
+from repro.simnet.network import Node
+from repro.transport.base import TransportError
+from repro.uddi.client import UddiClient
+
+
+class ServicePublisher(EventSource):
+    """Base publisher node of the interface tree."""
+
+    def __init__(self, clock, parent: Optional[EventSource] = None):
+        super().__init__("publisher", parent)
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock()
+
+    def publish(self, deployed: DeployedService, **kwargs) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class UddiServicePublisher(ServicePublisher):
+    """Publishes endpoint + WSDL URL to a UDDI registry."""
+
+    def __init__(
+        self,
+        node: Node,
+        registry_uri: str,
+        business_name: str = "WSPeer",
+        parent: Optional[EventSource] = None,
+        timeout: float = 30.0,
+    ):
+        super().__init__(lambda: node.network.kernel.now, parent)
+        self.node = node
+        self.business_name = business_name
+        self.uddi = UddiClient(node, registry_uri, timeout)
+
+    def publish(
+        self,
+        deployed: DeployedService,
+        categories: Optional[list[dict]] = None,
+        description: str = "",
+        **kwargs,
+    ) -> None:
+        http_endpoint = next(
+            (e for e in deployed.endpoints if e.address.startswith(("http://", "httpg://"))),
+            None,
+        )
+        if http_endpoint is None:
+            raise DeploymentError(
+                f"service {deployed.name!r} has no HTTP endpoint to publish to UDDI"
+            )
+        wsdl_url = http_endpoint.address + ".wsdl"
+        try:
+            self.uddi.publish_service(
+                self.business_name,
+                deployed.name,
+                http_endpoint.address,
+                wsdl_url=wsdl_url,
+                description=description,
+                categories=categories,
+            )
+        except TransportError as exc:
+            self.fire_publish("publish-failed", service=deployed.name, reason=str(exc))
+            raise DeploymentError(f"UDDI publication failed: {exc}") from exc
+        self.fire_publish(
+            "published", service=deployed.name, via="uddi",
+            access_point=http_endpoint.address, wsdl=wsdl_url,
+        )
+
+    def withdraw(self, deployed: DeployedService) -> None:
+        for service in self.uddi.find_services(deployed.name):
+            self.uddi.call("delete_service", service_key=service.key)
+        self.fire_publish("withdrawn", service=deployed.name, via="uddi")
+
+
+class P2psServicePublisher(ServicePublisher):
+    """Broadcasts the service advertisement into the peer group."""
+
+    def __init__(
+        self,
+        peer: Peer,
+        deployer: P2psServiceDeployer,
+        parent: Optional[EventSource] = None,
+    ):
+        super().__init__(lambda: peer.network.kernel.now, parent)
+        self.peer = peer
+        self.deployer = deployer
+
+    def publish(self, deployed: DeployedService, **kwargs) -> None:
+        advert = self.deployer.advert_for(deployed.name)
+        self.peer.publish(advert)
+        self.fire_publish(
+            "published", service=deployed.name, via="p2ps",
+            advert=advert.key(), pipes=len(advert.pipes),
+        )
+
+    def withdraw(self, deployed: DeployedService) -> None:
+        advert = self.deployer.adverts.get(deployed.name)
+        if advert is not None:
+            self.peer.cache.remove(advert.key())
+        self.fire_publish("withdrawn", service=deployed.name, via="p2ps")

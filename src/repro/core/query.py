@@ -1,0 +1,50 @@
+"""ServiceQuery — WSPeer's query abstraction.
+
+"A ServiceQuery is an abstraction used by WSPeer to allow for varying
+kinds of query.  The simplest ServiceQuery queries on the name of a
+service.  More complex queries could be constructed from languages such
+as DAML" (§III).  Each locator implementation understands the query
+subtypes relevant to its network: the UDDI locator consumes
+:class:`UDDIServiceQuery` categories, the P2PS locator consumes
+:class:`P2PSServiceQuery` attributes; both accept a plain
+:class:`ServiceQuery` by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ServiceQuery:
+    """The simplest query: a service-name pattern (``%`` wildcard)."""
+
+    name_pattern: str = "%"
+
+    def describe(self) -> str:
+        return f"name~{self.name_pattern!r}"
+
+
+@dataclass
+class UDDIServiceQuery(ServiceQuery):
+    """A query that "understands UDDI specific categories to search
+    within" (§IV-A): keyedReference dicts ANDed together."""
+
+    categories: list[dict] = field(default_factory=list)
+    business_name: str = ""
+
+    def describe(self) -> str:
+        return f"uddi name~{self.name_pattern!r} categories={len(self.categories)}"
+
+
+@dataclass
+class P2PSServiceQuery(ServiceQuery):
+    """An attribute-based P2PS query (the capability §IV contrasts with
+    DHT key lookup)."""
+
+    attributes: dict[str, str] = field(default_factory=dict)
+    ttl: Optional[int] = None
+
+    def describe(self) -> str:
+        return f"p2ps name~{self.name_pattern!r} attrs={self.attributes}"

@@ -1,0 +1,61 @@
+"""P2PS — Peer-to-Peer Simplified (Wang, 2003), rebuilt from the paper.
+
+The original P2PS was a Java library; the WSPeer paper (§IV-B)
+describes the two characteristics its binding depends on, and this
+package implements both from that description:
+
+1. **Pipes** — abstract, generally unidirectional channels between
+   peers identified by *logical* ids.  Creating a pipe requires an
+   :class:`EndpointResolver` to turn a logical endpoint into a physical
+   one; data is received by adding a listener to an input pipe.
+2. **XML advertisements** — :class:`PipeAdvertisement` /
+   :class:`ServiceAdvertisement` / :class:`PeerAdvertisement` published
+   into the group and matched by queries.  Publish/discovery follows
+   the paper's P2P pattern: broadcast within the group, local cache
+   match, rendezvous peers caching adverts and propagating queries to
+   other rendezvous they know about.
+
+Everything rides the simulated network as real XML frames.
+"""
+
+from repro.p2ps.ids import new_peer_id, new_pipe_id, new_query_id
+from repro.p2ps.advertisements import (
+    AdvertError,
+    Advertisement,
+    PeerAdvertisement,
+    PipeAdvertisement,
+    ServiceAdvertisement,
+    parse_advertisement,
+)
+from repro.p2ps.cache import AdvertCache
+from repro.p2ps.query import AdvertQuery
+from repro.p2ps.pipes import (
+    EndpointResolver,
+    InputPipe,
+    OutputPipe,
+    PipeError,
+    ResolutionError,
+)
+from repro.p2ps.peer import Peer
+from repro.p2ps.group import PeerGroup
+
+__all__ = [
+    "new_peer_id",
+    "new_pipe_id",
+    "new_query_id",
+    "Advertisement",
+    "AdvertError",
+    "PipeAdvertisement",
+    "ServiceAdvertisement",
+    "PeerAdvertisement",
+    "parse_advertisement",
+    "AdvertCache",
+    "AdvertQuery",
+    "InputPipe",
+    "OutputPipe",
+    "PipeError",
+    "ResolutionError",
+    "EndpointResolver",
+    "Peer",
+    "PeerGroup",
+]

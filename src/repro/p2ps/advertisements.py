@@ -1,0 +1,274 @@
+"""XML advertisements: how P2PS exposes peers, pipes and services.
+
+"P2PS peers use XML advertisements to represent the various services
+available to the network and corresponding queries to discover these
+services" (§IV-B).  Three kinds exist here:
+
+- :class:`PeerAdvertisement` — a peer's logical id plus the transport
+  address of its host node (what endpoint resolution consumes);
+- :class:`PipeAdvertisement` — "essentially a named endpoint", the
+  logical id + name + direction of one pipe;
+- :class:`ServiceAdvertisement` — "simply a collection of named
+  PipeAdvertisements", extended per the paper with a *definition pipe*
+  "from which the service definition (WSDL in our case) can be
+  retrieved" and arbitrary attribute metadata to support
+  attribute-based search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmlkit import Element, QName, ns, parse, serialize
+
+P2PS_NS = ns.P2PS
+
+
+class AdvertError(ValueError):
+    """Malformed advertisement XML."""
+
+
+def _q(local: str) -> QName:
+    return QName(P2PS_NS, local, "p2ps")
+
+
+class Advertisement:
+    """Base class: every advert serialises to namespaced XML."""
+
+    kind = "advert"
+
+    def to_element(self) -> Element:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def to_wire(self) -> str:
+        return serialize(self.to_element())
+
+    def key(self) -> str:  # pragma: no cover - abstract
+        """Cache/dedup key."""
+        raise NotImplementedError
+
+
+class PeerAdvertisement(Advertisement):
+    kind = "peer"
+
+    def __init__(
+        self,
+        peer_id: str,
+        node_id: str,
+        name: str = "",
+        rendezvous: bool = False,
+        relay_node: str = "",
+    ):
+        if not peer_id or not node_id:
+            raise AdvertError("PeerAdvertisement needs peer_id and node_id")
+        self.peer_id = peer_id
+        self.node_id = node_id
+        self.name = name
+        self.rendezvous = rendezvous
+        # for NATed peers: the reachable node that forwards to us
+        self.relay_node = relay_node
+
+    def key(self) -> str:
+        return f"peer:{self.peer_id}"
+
+    def to_element(self) -> Element:
+        root = Element(_q("PeerAdvertisement"), nsdecls={"p2ps": P2PS_NS})
+        root.add(_q("PeerId"), text=self.peer_id)
+        root.add(_q("NodeId"), text=self.node_id)
+        if self.name:
+            root.add(_q("Name"), text=self.name)
+        if self.rendezvous:
+            root.add(_q("Rendezvous"), text="true")
+        if self.relay_node:
+            root.add(_q("RelayNode"), text=self.relay_node)
+        return root
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "PeerAdvertisement":
+        peer_id = elem.find_text("PeerId")
+        node_id = elem.find_text("NodeId")
+        if not peer_id or not node_id:
+            raise AdvertError("PeerAdvertisement missing PeerId/NodeId")
+        return cls(
+            peer_id,
+            node_id,
+            elem.find_text("Name"),
+            elem.find_text("Rendezvous") == "true",
+            elem.find_text("RelayNode"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PeerAdvertisement)
+            and (self.peer_id, self.node_id, self.name, self.rendezvous, self.relay_node)
+            == (other.peer_id, other.node_id, other.name, other.rendezvous, other.relay_node)
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        rdv = " rdv" if self.rendezvous else ""
+        return f"<PeerAdvertisement {self.peer_id}@{self.node_id}{rdv}>"
+
+
+class PipeAdvertisement(Advertisement):
+    """A named endpoint.  ``pipe_type`` is 'input' (receives) or
+    'output'; ``service_name`` ties it to a ServiceAdvertisement ('' for
+    bare pipes such as reply channels)."""
+
+    kind = "pipe"
+
+    def __init__(
+        self,
+        pipe_id: str,
+        name: str,
+        peer_id: str,
+        pipe_type: str = "input",
+        service_name: str = "",
+    ):
+        if not pipe_id or not peer_id:
+            raise AdvertError("PipeAdvertisement needs pipe_id and peer_id")
+        if pipe_type not in ("input", "output"):
+            raise AdvertError(f"bad pipe type {pipe_type!r}")
+        self.pipe_id = pipe_id
+        self.name = name
+        self.peer_id = peer_id
+        self.pipe_type = pipe_type
+        self.service_name = service_name
+
+    def key(self) -> str:
+        return f"pipe:{self.pipe_id}"
+
+    def to_element(self) -> Element:
+        root = Element(_q("PipeAdvertisement"), nsdecls={"p2ps": P2PS_NS})
+        root.add(_q("PipeId"), text=self.pipe_id)
+        root.add(_q("Name"), text=self.name)
+        root.add(_q("PeerId"), text=self.peer_id)
+        root.add(_q("Type"), text=self.pipe_type)
+        if self.service_name:
+            root.add(_q("ServiceName"), text=self.service_name)
+        return root
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "PipeAdvertisement":
+        pipe_id = elem.find_text("PipeId")
+        peer_id = elem.find_text("PeerId")
+        if not pipe_id or not peer_id:
+            raise AdvertError("PipeAdvertisement missing PipeId/PeerId")
+        return cls(
+            pipe_id,
+            elem.find_text("Name"),
+            peer_id,
+            elem.find_text("Type", "input"),
+            elem.find_text("ServiceName"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PipeAdvertisement)
+            and (self.pipe_id, self.name, self.peer_id, self.pipe_type, self.service_name)
+            == (other.pipe_id, other.name, other.peer_id, other.pipe_type, other.service_name)
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"<PipeAdvertisement {self.name}({self.pipe_id}) of {self.peer_id}>"
+
+
+class ServiceAdvertisement(Advertisement):
+    """A named collection of pipe adverts, plus WSPeer's extensions.
+
+    ``definition_pipe`` names the pipe serving the WSDL document;
+    ``attributes`` carries arbitrary metadata for attribute-based
+    search (the capability the paper prefers over DHT key lookup).
+    """
+
+    kind = "service"
+
+    def __init__(
+        self,
+        name: str,
+        peer_id: str,
+        pipes: Optional[list[PipeAdvertisement]] = None,
+        definition_pipe: str = "",
+        attributes: Optional[dict[str, str]] = None,
+    ):
+        if not name or not peer_id:
+            raise AdvertError("ServiceAdvertisement needs name and peer_id")
+        self.name = name
+        self.peer_id = peer_id
+        self.pipes = list(pipes or [])
+        self.definition_pipe = definition_pipe
+        self.attributes = dict(attributes or {})
+
+    def key(self) -> str:
+        return f"service:{self.peer_id}:{self.name}"
+
+    def pipe_named(self, name: str) -> Optional[PipeAdvertisement]:
+        for pipe in self.pipes:
+            if pipe.name == name:
+                return pipe
+        return None
+
+    def to_element(self) -> Element:
+        root = Element(_q("ServiceAdvertisement"), nsdecls={"p2ps": P2PS_NS})
+        root.add(_q("Name"), text=self.name)
+        root.add(_q("PeerId"), text=self.peer_id)
+        if self.definition_pipe:
+            root.add(_q("DefinitionPipe"), text=self.definition_pipe)
+        if self.attributes:
+            attrs = root.add(_q("Attributes"))
+            for key in sorted(self.attributes):
+                attrs.add(_q("Attribute"), text=self.attributes[key], name=key)
+        for pipe in self.pipes:
+            root.append(pipe.to_element())
+        return root
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "ServiceAdvertisement":
+        name = elem.find_text("Name")
+        peer_id = elem.find_text("PeerId")
+        if not name or not peer_id:
+            raise AdvertError("ServiceAdvertisement missing Name/PeerId")
+        pipes = [
+            PipeAdvertisement.from_element(p)
+            for p in elem.find_all(_q("PipeAdvertisement"))
+        ]
+        attributes: dict[str, str] = {}
+        attrs_elem = elem.find(_q("Attributes"))
+        if attrs_elem is not None:
+            for a in attrs_elem.find_all(_q("Attribute")):
+                key = a.get("name")
+                if key:
+                    attributes[key] = a.text
+        return cls(name, peer_id, pipes, elem.find_text("DefinitionPipe"), attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ServiceAdvertisement)
+            and (self.name, self.peer_id, self.definition_pipe, self.attributes)
+            == (other.name, other.peer_id, other.definition_pipe, other.attributes)
+            and self.pipes == other.pipes
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"<ServiceAdvertisement {self.name} of {self.peer_id} pipes={len(self.pipes)}>"
+
+
+_KINDS = {
+    "PeerAdvertisement": PeerAdvertisement,
+    "PipeAdvertisement": PipeAdvertisement,
+    "ServiceAdvertisement": ServiceAdvertisement,
+}
+
+
+def parse_advertisement(source: str | Element) -> Advertisement:
+    """Parse any advertisement kind from text or an element."""
+    elem = parse(source) if isinstance(source, str) else source
+    cls = _KINDS.get(elem.name.local)
+    if cls is None or elem.name.uri != P2PS_NS:
+        raise AdvertError(f"not a P2PS advertisement: {elem.name}")
+    return cls.from_element(elem)

@@ -1,0 +1,58 @@
+"""Local advertisement cache with virtual-time expiry.
+
+"When a peer receives a query it checks its local cache to see if it
+has a match" — this is that cache.  Entries expire after a lifetime so
+adverts from departed peers eventually vanish (the P2P answer to
+transient connectivity).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.p2ps.advertisements import Advertisement
+from repro.p2ps.query import AdvertQuery
+
+
+class AdvertCache:
+    """Keyed advert store: newest advert per key wins, entries expire."""
+
+    def __init__(self, clock: Callable[[], float], lifetime: float = 600.0):
+        self._clock = clock
+        self.lifetime = lifetime
+        self._entries: dict[str, tuple[Advertisement, float]] = {}
+
+    def put(self, advert: Advertisement) -> None:
+        self._entries[advert.key()] = (advert, self._clock() + self.lifetime)
+
+    def get(self, key: str) -> Optional[Advertisement]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        advert, expires = entry
+        if expires < self._clock():
+            del self._entries[key]
+            return None
+        return advert
+
+    def remove(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def match(self, query: AdvertQuery) -> list[Advertisement]:
+        self.purge()
+        return [advert for advert, _ in self._entries.values() if query.matches(advert)]
+
+    def purge(self) -> int:
+        """Drop expired entries; returns how many were dropped."""
+        now = self._clock()
+        stale = [key for key, (_, expires) in self._entries.items() if expires < now]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        self.purge()
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None

@@ -1,0 +1,27 @@
+"""Logical identifier minting.
+
+Sequential rather than random so simulation traces are reproducible.
+Peer ids are *logical*: they deliberately do not encode the physical
+node, which is the whole point of pipe endpoint resolution.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+_peer_counter = itertools.count(1)
+_pipe_counter = itertools.count(1)
+_query_counter = itertools.count(1)
+
+
+def new_peer_id(name: str = "") -> str:
+    n = next(_peer_counter)
+    return f"peer-{name}-{n:04d}" if name else f"peer-{n:04d}"
+
+
+def new_pipe_id() -> str:
+    return f"pipe-{next(_pipe_counter):06d}"
+
+
+def new_query_id() -> str:
+    return f"query-{next(_query_counter):06d}"

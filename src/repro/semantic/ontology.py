@@ -1,0 +1,90 @@
+"""A DAML-lite ontology: an is-a DAG over named concepts."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+
+class OntologyError(ValueError):
+    """Unknown concept, duplicate definition, or a cycle in is-a."""
+
+
+class Ontology:
+    """Concept hierarchy with multiple inheritance (a DAG).
+
+    Edges point child → parent ("is-a"), so subsumption is graph
+    reachability.  ``Thing`` is the implicit root every concept
+    ultimately specialises.
+    """
+
+    ROOT = "Thing"
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._graph.add_node(self.ROOT)
+
+    # ------------------------------------------------------------------
+    def add_concept(self, concept: str, parents: Optional[Iterable[str]] = None) -> str:
+        """Define *concept* specialising *parents* (default: the root)."""
+        if not concept or not concept.strip():
+            raise OntologyError("concept name cannot be empty")
+        if concept in self._graph:
+            raise OntologyError(f"concept {concept!r} already defined")
+        parent_list = list(parents) if parents else [self.ROOT]
+        for parent in parent_list:
+            if parent not in self._graph:
+                raise OntologyError(f"unknown parent concept {parent!r}")
+        self._graph.add_node(concept)
+        for parent in parent_list:
+            self._graph.add_edge(concept, parent)
+        return concept
+
+    def has(self, concept: str) -> bool:
+        return concept in self._graph
+
+    def _require(self, concept: str) -> None:
+        if concept not in self._graph:
+            raise OntologyError(f"unknown concept {concept!r}")
+
+    # ------------------------------------------------------------------
+    def parents(self, concept: str) -> set[str]:
+        self._require(concept)
+        return set(self._graph.successors(concept))
+
+    def ancestors(self, concept: str) -> set[str]:
+        """All concepts *concept* specialises (transitively), incl. root."""
+        self._require(concept)
+        return set(nx.descendants(self._graph, concept))
+
+    def descendants(self, concept: str) -> set[str]:
+        """All specialisations of *concept* (transitively)."""
+        self._require(concept)
+        return set(nx.ancestors(self._graph, concept))
+
+    def is_subconcept(self, specific: str, general: str) -> bool:
+        """True if *specific* is-a *general* (reflexive)."""
+        self._require(specific)
+        self._require(general)
+        if specific == general:
+            return True
+        return general in self.ancestors(specific)
+
+    def distance(self, specific: str, general: str) -> Optional[int]:
+        """Shortest is-a path length from *specific* up to *general*
+        (0 for equal concepts); None when not subsumed."""
+        if not self.is_subconcept(specific, general):
+            return None
+        return nx.shortest_path_length(self._graph, specific, general)
+
+    @property
+    def concepts(self) -> list[str]:
+        return sorted(self._graph.nodes)
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __repr__(self) -> str:
+        return f"<Ontology {self.name} concepts={len(self)}>"

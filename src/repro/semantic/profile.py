@@ -1,0 +1,86 @@
+"""DAML-S-style service profiles.
+
+A profile states, in ontology concepts, what a service consumes and
+produces — the "capability" the matchmaker reasons over.  Profiles
+serialise to XML for the wire and to a compact string for embedding in
+P2PS ServiceAdvertisement attributes / UDDI category bags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmlkit import Element, QName, ns, parse, serialize
+
+SEM_NS = ns.WSPEER + "/semantic"
+PROFILE_ATTRIBUTE = "semantic-profile"
+
+
+def _q(local: str) -> QName:
+    return QName(SEM_NS, local, "sem")
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """What a service consumes/produces, as ontology concepts."""
+
+    service_name: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    category: str = "Thing"
+
+    # -- XML form ----------------------------------------------------------
+    def to_element(self) -> Element:
+        root = Element(_q("Profile"), nsdecls={"sem": SEM_NS})
+        root.set("service", self.service_name)
+        root.set("category", self.category)
+        for concept in self.inputs:
+            root.add(_q("Input"), text=concept)
+        for concept in self.outputs:
+            root.add(_q("Output"), text=concept)
+        return root
+
+    def to_wire(self) -> str:
+        return serialize(self.to_element())
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "ServiceProfile":
+        return cls(
+            elem.get("service", ""),
+            tuple(i.text for i in elem.find_all(_q("Input"))),
+            tuple(o.text for o in elem.find_all(_q("Output"))),
+            elem.get("category", "Thing"),
+        )
+
+    @classmethod
+    def from_wire(cls, text: str) -> "ServiceProfile":
+        return cls.from_element(parse(text))
+
+    # -- compact form (advert attributes / category bags) ---------------------
+    def to_compact(self) -> str:
+        """``category|in1,in2|out1,out2`` — safe for attribute values."""
+        for concept in (*self.inputs, *self.outputs, self.category):
+            if "|" in concept or "," in concept:
+                raise ValueError(f"concept name unusable in compact form: {concept!r}")
+        return "|".join(
+            [self.category, ",".join(self.inputs), ",".join(self.outputs)]
+        )
+
+    @classmethod
+    def from_compact(cls, service_name: str, text: str) -> "ServiceProfile":
+        parts = text.split("|")
+        if len(parts) != 3:
+            raise ValueError(f"malformed compact profile: {text!r}")
+        category, inputs, outputs = parts
+        return cls(
+            service_name,
+            tuple(c for c in inputs.split(",") if c),
+            tuple(c for c in outputs.split(",") if c),
+            category or "Thing",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceProfile {self.service_name} "
+            f"{list(self.inputs)}->{list(self.outputs)} cat={self.category}>"
+        )

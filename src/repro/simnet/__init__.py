@@ -1,0 +1,41 @@
+"""Discrete-event simulated network — the testbed substrate.
+
+The WSPeer paper planned to evaluate large peer networks with an NS2
+agent driven through P2PS (§IV, reason 3).  This package is that
+substrate, reproduced in Python: a deterministic discrete-event kernel
+(:mod:`repro.simnet.kernel`) under a message-passing network model
+(:mod:`repro.simnet.network`) with pluggable latency distributions
+(:mod:`repro.simnet.latency`) and fault injection — message loss, node
+churn, partitions (:mod:`repro.simnet.faults`).
+
+All WSPeer transports (HTTP, HTTPG, P2PS pipes) send their frames
+through a :class:`Network`, so every experiment in ``benchmarks/`` runs
+on virtual time and is exactly reproducible from its seed.
+"""
+
+from repro.simnet.kernel import Kernel, ScheduledEvent, SimTimeoutError
+from repro.simnet.network import Frame, Network, NetworkError, Node, NodeDownError
+from repro.simnet.latency import FixedLatency, LatencyModel, SeededLatency, UniformLatency
+from repro.simnet.faults import ChurnInjector, DropInjector, PartitionInjector
+from repro.simnet.trace import Counter, TraceLog, summarize
+
+__all__ = [
+    "Kernel",
+    "ScheduledEvent",
+    "SimTimeoutError",
+    "Frame",
+    "Network",
+    "NetworkError",
+    "Node",
+    "NodeDownError",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "SeededLatency",
+    "DropInjector",
+    "ChurnInjector",
+    "PartitionInjector",
+    "Counter",
+    "TraceLog",
+    "summarize",
+]

@@ -1,0 +1,173 @@
+"""The discrete-event kernel: a virtual clock over a priority queue.
+
+Everything time-like in the reproduction — link latency, request
+timeouts, advert expiry, churn — is an event scheduled here.  The
+kernel is single-threaded and deterministic: events at equal timestamps
+fire in scheduling order (a monotonically increasing sequence number
+breaks ties), so a seeded run always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimTimeoutError(Exception):
+    """Raised by :meth:`Kernel.pump_until` when the predicate does not
+    become true within the allotted virtual time."""
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} #{self.seq} {state}>"
+
+
+class Kernel:
+    """A minimal, deterministic discrete-event simulation kernel."""
+
+    def __init__(self) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = ScheduledEvent(self._now + delay, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at absolute virtual *time*."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
+        event = ScheduledEvent(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule at the current instant (after already-queued same-time events)."""
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    def _pop_next(self) -> Optional[ScheduledEvent]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when queue is empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_fired += 1
+        event.fn(*event.args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events until the queue drains or virtual time passes *until*.
+
+        Returns the number of events fired by this call.  ``max_events``
+        guards against runaway feedback loops in experiments.
+        """
+        fired = 0
+        while fired < max_events:
+            if until is not None:
+                nxt = self._peek_time()
+                if nxt is None or nxt > until:
+                    self._now = max(self._now, until)
+                    break
+            if not self.step():
+                break
+            fired += 1
+        return fired
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain."""
+        return self.run(until=None, max_events=max_events)
+
+    def pump_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Fire events until *predicate()* is true.
+
+        This is how "synchronous" operations are built on the
+        event-driven core: an HTTP invocation pumps the kernel until its
+        response slot fills.  Raises :class:`SimTimeoutError` if the
+        queue drains or *timeout* virtual seconds elapse first.
+        Returns the virtual time at which the predicate became true.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        fired = 0
+        while not predicate():
+            if fired >= max_events:
+                raise SimTimeoutError(f"predicate not satisfied after {max_events} events")
+            nxt = self._peek_time()
+            if nxt is None:
+                raise SimTimeoutError("event queue drained before predicate was satisfied")
+            if deadline is not None and nxt > deadline:
+                self._now = deadline
+                raise SimTimeoutError(f"virtual timeout after {timeout}s")
+            self.step()
+            fired += 1
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def advance(self, delta: float) -> None:
+        """Advance the clock with no events (only valid past queue head)."""
+        target = self._now + delta
+        nxt = self._peek_time()
+        if nxt is not None and nxt < target:
+            raise ValueError("cannot advance past pending events; use run(until=...)")
+        self._now = target
+
+    def __repr__(self) -> str:
+        return f"<Kernel t={self._now:.6f} pending={self.pending}>"

@@ -1,0 +1,230 @@
+"""The simulated network: nodes, frames, delivery.
+
+A :class:`Network` owns a :class:`~repro.simnet.kernel.Kernel` and a set
+of :class:`Node`\\ s.  Frames are addressed to ``(node_id, port)``;
+ports are string channel names on which transports register handlers
+(e.g. ``"http:80"`` or a P2PS pipe id).  Delivery is fire-and-forget
+with latency sampled from the network's :class:`LatencyModel`; loss,
+partitions and churn are injected by the hooks in
+:mod:`repro.simnet.faults`.
+
+Frames carry *text* payloads — the actual serialised XML documents of
+the protocol stack — so the simulated wire carries genuine bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.simnet.kernel import Kernel
+from repro.simnet.latency import FixedLatency, LatencyModel
+from repro.simnet.trace import Counter, TraceLog
+
+
+class NetworkError(Exception):
+    """Base class for simulated-network errors."""
+
+
+class NodeDownError(NetworkError):
+    """An operation was attempted from/on a node that is down."""
+
+
+@dataclass
+class Frame:
+    """A unit of transmission on the simulated wire."""
+
+    src: str
+    dst: str
+    port: str
+    payload: str
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+FrameHandler = Callable[[Frame], None]
+DeliveryHook = Callable[[Frame], bool]  # return False to drop the frame
+
+
+class Node:
+    """A network endpoint with named ports.
+
+    ``up`` reflects churn state: a down node neither sends nor receives,
+    and its handlers stay registered so it can resume on restart (the
+    paper's "highly transient connectivity").
+    """
+
+    def __init__(self, node_id: str, network: "Network"):
+        self.id = node_id
+        self.network = network
+        self.up = True
+        self._handlers: dict[str, FrameHandler] = {}
+        #: per-frame processing time; > 0 turns the node into a serial
+        #: queue (frames wait while earlier ones are being processed),
+        #: which is how server saturation becomes visible in experiments
+        self.service_time = 0.0
+        self._busy_until = 0.0
+        self.max_queue_delay = 0.0
+
+    # -- ports ----------------------------------------------------------
+    def open_port(self, port: str, handler: FrameHandler) -> None:
+        if port in self._handlers:
+            raise NetworkError(f"port already open on {self.id}: {port}")
+        self._handlers[port] = handler
+
+    def close_port(self, port: str) -> None:
+        self._handlers.pop(port, None)
+
+    def has_port(self, port: str) -> bool:
+        return port in self._handlers
+
+    @property
+    def ports(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # -- traffic ----------------------------------------------------------
+    def send(self, dst: str, port: str, payload: str, **meta: Any) -> Frame:
+        """Send one frame; returns it (delivery is asynchronous)."""
+        return self.network.send(Frame(self.id, dst, port, payload, meta))
+
+    def _deliver(self, frame: Frame) -> None:
+        handler = self._handlers.get(frame.port)
+        if handler is None:
+            self.network.trace.emit(
+                self.network.kernel.now, "no-handler", node=self.id, port=frame.port
+            )
+            return
+        if self.service_time <= 0:
+            self.network.stats.incr(self.id)
+            handler(frame)
+            return
+        # serial processing queue: this frame starts once the node is free
+        now = self.network.kernel.now
+        start = max(now, self._busy_until)
+        finish = start + self.service_time
+        self._busy_until = finish
+        queue_delay = start - now
+        self.max_queue_delay = max(self.max_queue_delay, queue_delay)
+        if queue_delay > 0:
+            self.network.trace.emit(now, "queued", node=self.id, delay=queue_delay)
+        self.network.kernel.schedule(finish - now, self._process, frame, handler)
+
+    def _process(self, frame: Frame, handler: FrameHandler) -> None:
+        if not self.up:
+            return
+        self.network.stats.incr(self.id)
+        handler(frame)
+
+    # -- lifecycle ----------------------------------------------------------
+    def go_down(self) -> None:
+        self.up = False
+        self.network.trace.emit(self.network.kernel.now, "node-down", node=self.id)
+
+    def go_up(self) -> None:
+        self.up = True
+        self.network.trace.emit(self.network.kernel.now, "node-up", node=self.id)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id} {'up' if self.up else 'down'} ports={len(self._handlers)}>"
+
+
+class Network:
+    """Container of nodes plus the delivery fabric."""
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        latency: Optional[LatencyModel] = None,
+        trace: Optional[TraceLog] = None,
+    ):
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.latency = latency if latency is not None else FixedLatency()
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.stats = Counter()  # frames *handled* per node
+        self.sent = Counter()  # frames *sent* per node
+        self._nodes: dict[str, Node] = {}
+        self._delivery_hooks: list[DeliveryHook] = []
+
+    # -- node management ---------------------------------------------------
+    def add_node(self, node_id: str) -> Node:
+        if node_id in self._nodes:
+            raise NetworkError(f"duplicate node id: {node_id}")
+        node = Node(node_id, self)
+        self._nodes[node_id] = node
+        return node
+
+    def get_node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node: {node_id}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def remove_node(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[str]:
+        return sorted(self._nodes)
+
+    # -- fault hooks ---------------------------------------------------------
+    def add_delivery_hook(self, hook: DeliveryHook) -> None:
+        """Register a hook consulted per frame; returning False drops it."""
+        self._delivery_hooks.append(hook)
+
+    def remove_delivery_hook(self, hook: DeliveryHook) -> None:
+        self._delivery_hooks.remove(hook)
+
+    # -- transmission ---------------------------------------------------------
+    def send(self, frame: Frame) -> Frame:
+        src = self._nodes.get(frame.src)
+        if src is None:
+            raise NetworkError(f"unknown source node: {frame.src}")
+        if not src.up:
+            raise NodeDownError(f"source node is down: {frame.src}")
+        self.sent.incr(frame.src)
+
+        for hook in self._delivery_hooks:
+            if not hook(frame):
+                self.trace.emit(self.kernel.now, "dropped", src=frame.src, dst=frame.dst, port=frame.port)
+                return frame
+
+        if frame.dst not in self._nodes:
+            self.trace.emit(self.kernel.now, "unroutable", src=frame.src, dst=frame.dst)
+            return frame
+
+        if frame.src == frame.dst:
+            delay = self.latency.loopback()
+        else:
+            delay = self.latency.sample(frame.src, frame.dst, frame.size)
+        self.trace.emit(
+            self.kernel.now, "sent", src=frame.src, dst=frame.dst, port=frame.port, size=frame.size
+        )
+        self.kernel.schedule(delay, self._deliver, frame)
+        return frame
+
+    def _deliver(self, frame: Frame) -> None:
+        node = self._nodes.get(frame.dst)
+        if node is None or not node.up:
+            self.trace.emit(self.kernel.now, "lost", src=frame.src, dst=frame.dst, port=frame.port)
+            return
+        self.trace.emit(
+            self.kernel.now, "delivered", src=frame.src, dst=frame.dst, port=frame.port
+        )
+        node._deliver(frame)
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.kernel.run(until=until)
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={len(self._nodes)} t={self.kernel.now:.4f}>"

@@ -1,0 +1,83 @@
+"""Tracing and metric collection for experiments."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+
+@dataclass
+class TraceRecord:
+    time: float
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only record of network/simulation events, with query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, kind: str, **detail: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, detail))
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for r in self.records if r.kind == kind)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class Counter:
+    """Per-key tallies, used e.g. for messages handled per node."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def incr(self, key: str, by: int = 1) -> None:
+        self._counts[key] += by
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def top(self, n: int = 5) -> list[tuple[str, int]]:
+        return sorted(self._counts.items(), key=lambda kv: -kv[1])[:n]
+
+    def max(self) -> int:
+        return max(self._counts.values(), default=0)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+def summarize(samples: Iterable[float]) -> Optional[dict[str, float]]:
+    """Mean / median / p95 / min / max summary used by bench tables."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        return None
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p95": float(np.percentile(arr, 95)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,59 @@
+"""The SOAP engine — this reproduction's Apache Axis.
+
+WSPeer "uses SOAP as its messaging format (via Apache's Axis SOAP
+engine)".  This package is the Axis stand-in, built from scratch:
+
+``envelope``
+    :class:`SoapEnvelope` — header blocks + body, (de)serialised
+    through :mod:`repro.xmlkit` so real XML crosses the wire.
+``encoding``
+    Typed Python ⇄ XML value mapping (xsd primitives, arrays, structs,
+    registered dataclasses, nil) driven by ``xsi:type`` attributes.
+``faults``
+    :class:`SoapFault` — the SOAP fault model, raisable and
+    serialisable both ways.
+``handlers``
+    The request/response handler-chain pipeline (Axis's architecture),
+    including the mustUnderstand check.
+``rpc``
+    Server-side RPC dispatcher: body → method call → response body.
+``stubs``
+    Client stubs generated "directly to bytes" — dynamic proxy classes
+    built at runtime with no source-code generation step (§IV-A), plus
+    the source-codegen comparator used by experiment E5.
+"""
+
+from repro.soap.faults import FaultCode, SoapFault
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.encoding import (
+    EncodingError,
+    StructRegistry,
+    decode_value,
+    encode_value,
+)
+from repro.soap.handlers import (
+    Handler,
+    HandlerChain,
+    MessageContext,
+    MustUnderstandHandler,
+)
+from repro.soap.rpc import RpcDispatcher, ServiceObject
+from repro.soap.stubs import DynamicStubBuilder, SourceCodegenStubBuilder
+
+__all__ = [
+    "SoapEnvelope",
+    "SoapFault",
+    "FaultCode",
+    "EncodingError",
+    "StructRegistry",
+    "encode_value",
+    "decode_value",
+    "Handler",
+    "HandlerChain",
+    "MessageContext",
+    "MustUnderstandHandler",
+    "RpcDispatcher",
+    "ServiceObject",
+    "DynamicStubBuilder",
+    "SourceCodegenStubBuilder",
+]

@@ -1,0 +1,243 @@
+"""Typed Python ⇄ XML value encoding.
+
+The mapping follows the SOAP-encoding conventions Axis used:
+
+=================  ===========================  =========================
+Python             wire (``xsi:type``)          decoded back as
+=================  ===========================  =========================
+``str``            ``xsd:string``               ``str``
+``int``            ``xsd:int``                  ``int``
+``float``          ``xsd:double``               ``float``
+``bool``           ``xsd:boolean``              ``bool``
+``bytes``          ``xsd:base64Binary``         ``bytes``
+``None``           ``xsi:nil="true"``           ``None``
+``list``/``tuple`` ``soapenc:Array`` of item    ``list``
+``dict``           anonymous struct             ``dict``
+dataclass          registered complexType name  dataclass instance
+=================  ===========================  =========================
+
+Every element this module writes carries enough type information
+(``xsi:type`` or nil) for the receiving side to decode without any
+out-of-band schema, which is what lets WSPeer invoke services it only
+discovered at runtime.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+from typing import Any, Optional
+
+from repro.xmlkit import Element, QName, ns
+
+XSI_TYPE = QName(ns.XSI, "type", "xsi")
+XSI_NIL = QName(ns.XSI, "nil", "xsi")
+SOAPENC_ARRAY = QName(ns.SOAP_ENC, "Array", "soapenc")
+
+
+class EncodingError(ValueError):
+    """A value could not be encoded or an element could not be decoded."""
+
+
+class StructRegistry:
+    """Registry of dataclass types exchangeable as named complex types.
+
+    Both ends register the same dataclasses (the analogue of sharing a
+    schema); a registered type's instances serialise with
+    ``xsi:type="tns:<Name>"`` and decode back to the dataclass.
+    """
+
+    def __init__(self, namespace: str = ns.WSPEER + "/types"):
+        self.namespace = namespace
+        self._by_name: dict[str, type] = {}
+        self._by_type: dict[type, str] = {}
+
+    def register(self, cls: type, name: Optional[str] = None) -> type:
+        """Register *cls* (must be a dataclass).  Usable as a decorator."""
+        if not dataclasses.is_dataclass(cls):
+            raise EncodingError(f"{cls.__name__} is not a dataclass")
+        name = name or cls.__name__
+        self._by_name[name] = cls
+        self._by_type[cls] = name
+        return cls
+
+    def name_of(self, cls: type) -> Optional[str]:
+        return self._by_type.get(cls)
+
+    def type_of(self, name: str) -> Optional[type]:
+        return self._by_name.get(name)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+
+_EMPTY_REGISTRY = StructRegistry()
+
+_PRIMITIVES: dict[type, str] = {
+    str: "string",
+    int: "int",
+    float: "double",
+    bool: "boolean",
+}
+
+
+def _xsd(local: str) -> str:
+    return f"xsd:{local}"
+
+
+def encode_value(
+    name: QName | str,
+    value: Any,
+    registry: Optional[StructRegistry] = None,
+) -> Element:
+    """Encode *value* into an element called *name* with type info."""
+    registry = registry or _EMPTY_REGISTRY
+    elem = Element(name)
+    _encode_into(elem, value, registry)
+    return elem
+
+
+def _encode_into(elem: Element, value: Any, registry: StructRegistry) -> None:
+    if value is None:
+        elem.set(XSI_NIL, "true")
+        return
+    if isinstance(value, bool):  # must test before int
+        elem.set(XSI_TYPE, _xsd("boolean"))
+        elem.text = "true" if value else "false"
+        return
+    if isinstance(value, int):
+        elem.set(XSI_TYPE, _xsd("int"))
+        elem.text = str(value)
+        return
+    if isinstance(value, float):
+        elem.set(XSI_TYPE, _xsd("double"))
+        elem.text = repr(value)
+        return
+    if isinstance(value, str):
+        elem.set(XSI_TYPE, _xsd("string"))
+        elem.text = value
+        return
+    if isinstance(value, bytes):
+        elem.set(XSI_TYPE, _xsd("base64Binary"))
+        elem.text = base64.b64encode(value).decode("ascii")
+        return
+    if isinstance(value, (list, tuple)):
+        elem.set(XSI_TYPE, "soapenc:Array")
+        elem.nsdecls.setdefault("soapenc", ns.SOAP_ENC)
+        for item in value:
+            child = elem.add("item")
+            _encode_into(child, item, registry)
+        return
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        type_name = registry.name_of(type(value))
+        if type_name is None:
+            raise EncodingError(
+                f"dataclass {type(value).__name__} is not registered; "
+                "register it on both ends' StructRegistry"
+            )
+        elem.set(XSI_TYPE, f"tns:{type_name}")
+        elem.nsdecls.setdefault("tns", registry.namespace)
+        for field in dataclasses.fields(value):
+            child = elem.add(field.name)
+            _encode_into(child, getattr(value, field.name), registry)
+        return
+    if isinstance(value, dict):
+        elem.set(XSI_TYPE, "soapenc:Struct")
+        elem.nsdecls.setdefault("soapenc", ns.SOAP_ENC)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EncodingError(f"struct keys must be str, got {type(key).__name__}")
+            child = elem.add(key)
+            _encode_into(child, item, registry)
+        return
+    raise EncodingError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(
+    elem: Element,
+    registry: Optional[StructRegistry] = None,
+) -> Any:
+    """Decode an element produced by :func:`encode_value`."""
+    registry = registry or _EMPTY_REGISTRY
+    if elem.get(XSI_NIL) in ("true", "1"):
+        return None
+
+    type_text = elem.get(XSI_TYPE)
+    if type_text is None:
+        return _decode_untyped(elem, registry)
+
+    try:
+        type_qname = elem.resolve_qname_text(type_text)
+    except ValueError:
+        # Unresolvable prefix: fall back to the local part, which keeps
+        # us liberal in what we accept from foreign stacks.
+        _, _, local = type_text.rpartition(":")
+        type_qname = QName("", local)
+
+    local = type_qname.local
+    text = elem.text
+    if local == "string":
+        return text
+    if local in ("int", "long", "short", "integer", "byte"):
+        try:
+            return int(text)
+        except ValueError:
+            raise EncodingError(f"bad integer literal: {text!r}") from None
+    if local in ("double", "float", "decimal"):
+        try:
+            return float(text)
+        except ValueError:
+            raise EncodingError(f"bad float literal: {text!r}") from None
+    if local == "boolean":
+        if text in ("true", "1"):
+            return True
+        if text in ("false", "0"):
+            return False
+        raise EncodingError(f"bad boolean literal: {text!r}")
+    if local == "base64Binary":
+        try:
+            return base64.b64decode(text.encode("ascii"), validate=True)
+        except Exception:
+            raise EncodingError("bad base64 content") from None
+    if local == "Array":
+        return [decode_value(child, registry) for child in elem.children]
+    if local == "Struct":
+        return {child.name.local: decode_value(child, registry) for child in elem.children}
+
+    cls = registry.type_of(local)
+    if cls is not None:
+        kwargs = {child.name.local: decode_value(child, registry) for child in elem.children}
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise EncodingError(f"cannot build {cls.__name__}: {exc}") from None
+
+    raise EncodingError(f"unknown xsi:type {type_text!r}")
+
+
+def _decode_untyped(elem: Element, registry: StructRegistry) -> Any:
+    """Best-effort decoding when no xsi:type is present."""
+    if elem.children:
+        locals_seen = [c.name.local for c in elem.children]
+        if all(local == "item" for local in locals_seen):
+            return [decode_value(c, registry) for c in elem.children]
+        return {c.name.local: decode_value(c, registry) for c in elem.children}
+    return elem.text
+
+
+def python_type_to_xsd(py_type: Any) -> str:
+    """Map a Python annotation to an XSD type name for WSDL generation."""
+    if py_type in _PRIMITIVES:
+        return _xsd(_PRIMITIVES[py_type])
+    if py_type is bytes:
+        return _xsd("base64Binary")
+    if py_type in (list, tuple) or str(py_type).startswith(("list", "tuple", "typing.List")):
+        return "soapenc:Array"
+    if py_type is dict or str(py_type).startswith(("dict", "typing.Dict")):
+        return "soapenc:Struct"
+    if py_type is None or py_type is type(None):
+        return _xsd("anyType")
+    if dataclasses.is_dataclass(py_type):
+        return f"tns:{py_type.__name__}"
+    return _xsd("anyType")

@@ -1,0 +1,121 @@
+"""The SOAP envelope: header blocks and body."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.soap.faults import SoapFault
+from repro.xmlkit import Element, QName, ns, parse, serialize
+
+
+class SoapEnvelopeError(ValueError):
+    """Raised for documents that are not valid SOAP envelopes."""
+
+
+_ENVELOPE = QName(ns.SOAP_ENV, "Envelope", "soapenv")
+_HEADER = QName(ns.SOAP_ENV, "Header", "soapenv")
+_BODY = QName(ns.SOAP_ENV, "Body", "soapenv")
+MUST_UNDERSTAND = QName(ns.SOAP_ENV, "mustUnderstand", "soapenv")
+ACTOR = QName(ns.SOAP_ENV, "actor", "soapenv")
+
+
+class SoapEnvelope:
+    """A SOAP 1.1 envelope.
+
+    ``headers`` is the ordered list of header block elements;
+    ``body_content`` is the single body child (RPC operation element or
+    Fault).  An empty body is legal for pure-header messages.
+    """
+
+    def __init__(
+        self,
+        body_content: Optional[Element] = None,
+        headers: Optional[list[Element]] = None,
+    ):
+        self.headers: list[Element] = list(headers or [])
+        self.body_content = body_content
+
+    # ------------------------------------------------------------------
+    # header conveniences
+    # ------------------------------------------------------------------
+    def add_header(self, block: Element, must_understand: bool = False) -> Element:
+        if must_understand:
+            block.set(MUST_UNDERSTAND, "1")
+        self.headers.append(block)
+        return block
+
+    def find_header(self, name: QName | str) -> Optional[Element]:
+        for block in self.headers:
+            want = name if isinstance(name, QName) else QName("", name)
+            if block.name == want or (
+                isinstance(name, str) and block.name.local == name
+            ):
+                return block
+        return None
+
+    def find_headers(self, uri: str) -> list[Element]:
+        """All header blocks in namespace *uri*."""
+        return [b for b in self.headers if b.name.uri == uri]
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    @property
+    def is_fault(self) -> bool:
+        return self.body_content is not None and SoapFault.is_fault_element(self.body_content)
+
+    def fault(self) -> Optional[SoapFault]:
+        if not self.is_fault:
+            return None
+        assert self.body_content is not None
+        return SoapFault.from_element(self.body_content)
+
+    @classmethod
+    def for_fault(cls, fault: SoapFault) -> "SoapEnvelope":
+        return cls(body_content=fault.to_element())
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_element(self) -> Element:
+        env = Element(
+            _ENVELOPE,
+            nsdecls={
+                "soapenv": ns.SOAP_ENV,
+                "xsd": ns.XSD,
+                "xsi": ns.XSI,
+            },
+        )
+        header = env.add(_HEADER)
+        for block in self.headers:
+            header.append(block.copy())
+        body = env.add(_BODY)
+        if self.body_content is not None:
+            body.append(self.body_content.copy())
+        return env
+
+    def to_wire(self, pretty: bool = False) -> str:
+        return serialize(self.to_element(), pretty=pretty, xml_declaration=True)
+
+    @classmethod
+    def from_element(cls, env: Element) -> "SoapEnvelope":
+        if env.name != _ENVELOPE:
+            raise SoapEnvelopeError(f"not a SOAP envelope: {env.name}")
+        header = env.find(_HEADER)
+        body = env.find(_BODY)
+        if body is None:
+            raise SoapEnvelopeError("SOAP envelope has no Body")
+        headers = [b.copy_with_scope() for b in header.children] if header is not None else []
+        children = body.children
+        if len(children) > 1:
+            raise SoapEnvelopeError("multiple Body children are not supported")
+        content = children[0].copy_with_scope() if children else None
+        return cls(body_content=content, headers=headers)
+
+    @classmethod
+    def from_wire(cls, text: str) -> "SoapEnvelope":
+        return cls.from_element(parse(text))
+
+    def __repr__(self) -> str:
+        op = self.body_content.name.local if self.body_content is not None else "(empty)"
+        return f"<SoapEnvelope body={op} headers={len(self.headers)}>"

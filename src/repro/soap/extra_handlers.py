@@ -1,0 +1,117 @@
+"""Utility handlers for the SOAP pipeline (the Axis standard kit).
+
+Axis shipped a small library of reusable handlers; these are the
+equivalents this stack's users actually need:
+
+:class:`LoggingHandler`
+    Records every envelope passing either way (a wire-level tap).
+:class:`TimingHandler`
+    Measures per-exchange processing time on a supplied clock and keeps
+    summary statistics.
+:class:`HeaderInjectionHandler`
+    Stamps a fixed header block onto outgoing responses / incoming
+    requests — the classic way to propagate context (tenant ids,
+    tracing tokens) without touching service code.
+:class:`AllowListHandler`
+    Refuses operations not on an allow list (a minimal authorization
+    gate in the pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.faults import FaultCode, SoapFault
+from repro.soap.handlers import Direction, Handler, MessageContext
+from repro.xmlkit import Element
+
+
+class LoggingHandler(Handler):
+    """Keeps (direction, service, operation, wire text) tuples."""
+
+    name = "logging"
+
+    def __init__(self, capture_wire: bool = False):
+        self.capture_wire = capture_wire
+        self.records: list[tuple[str, str, str, str]] = []
+
+    def invoke(self, context: MessageContext) -> None:
+        envelope = context.current
+        wire = envelope.to_wire() if (self.capture_wire and envelope) else ""
+        self.records.append(
+            (context.direction.name.lower(), context.service_name, context.operation, wire)
+        )
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class TimingHandler(Handler):
+    """Measures request→response time per exchange on *clock*."""
+
+    name = "timing"
+
+    def __init__(self, clock: Callable[[], float]):
+        self.clock = clock
+        self.samples: list[float] = []
+        self._started: Optional[float] = None
+
+    def invoke(self, context: MessageContext) -> None:
+        if context.direction is Direction.REQUEST:
+            self._started = self.clock()
+        elif self._started is not None:
+            self.samples.append(self.clock() - self._started)
+            self._started = None
+
+    def on_fault(self, context: MessageContext, fault: SoapFault) -> None:
+        # faulted exchanges still complete the measurement
+        if self._started is not None:
+            self.samples.append(self.clock() - self._started)
+            self._started = None
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+
+class HeaderInjectionHandler(Handler):
+    """Adds a copy of *block* to every envelope in *direction*."""
+
+    name = "header-injection"
+
+    def __init__(self, block: Element, direction: Direction = Direction.RESPONSE):
+        self.block = block
+        self.direction = direction
+
+    def invoke(self, context: MessageContext) -> None:
+        if context.direction is not self.direction:
+            return
+        envelope = context.current
+        if envelope is not None:
+            envelope.add_header(self.block.copy())
+
+
+class AllowListHandler(Handler):
+    """Faults requests whose operation is not explicitly allowed."""
+
+    name = "allow-list"
+
+    def __init__(self, allowed_operations: set[str]):
+        self.allowed = set(allowed_operations)
+        self.refused = 0
+
+    def invoke(self, context: MessageContext) -> None:
+        if context.direction is not Direction.REQUEST:
+            return
+        if context.operation not in self.allowed:
+            self.refused += 1
+            raise SoapFault(
+                FaultCode.CLIENT,
+                f"operation {context.operation!r} is not permitted on "
+                f"{context.service_name!r}",
+            )

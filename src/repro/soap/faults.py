@@ -1,0 +1,73 @@
+"""SOAP faults: the error half of the message model."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from repro.xmlkit import Element, QName, ns
+
+
+class FaultCode(Enum):
+    """SOAP 1.1 fault codes (env namespace qualified on the wire)."""
+
+    VERSION_MISMATCH = "VersionMismatch"
+    MUST_UNDERSTAND = "MustUnderstand"
+    CLIENT = "Client"
+    SERVER = "Server"
+
+
+class SoapFault(Exception):
+    """A SOAP fault, usable as a Python exception and as wire content.
+
+    ``detail`` is an optional :class:`Element` carried verbatim in the
+    fault's ``<detail>`` wrapper.
+    """
+
+    def __init__(
+        self,
+        code: FaultCode,
+        message: str,
+        actor: str = "",
+        detail: Optional[Element] = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.actor = actor
+        self.detail = detail
+
+    def to_element(self) -> Element:
+        fault = Element(QName(ns.SOAP_ENV, "Fault", "soapenv"))
+        # faultcode is an env-qualified QName in text content
+        fault.add("faultcode", f"soapenv:{self.code.value}")
+        fault.add("faultstring", self.message)
+        if self.actor:
+            fault.add("faultactor", self.actor)
+        if self.detail is not None:
+            wrapper = fault.add("detail")
+            wrapper.append(self.detail.copy())
+        return fault
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "SoapFault":
+        code_text = elem.find_text("faultcode", "Server")
+        _, _, local = code_text.rpartition(":")
+        try:
+            code = FaultCode(local)
+        except ValueError:
+            code = FaultCode.SERVER
+        message = elem.find_text("faultstring", "")
+        actor = elem.find_text("faultactor", "")
+        detail_wrapper = elem.find("detail")
+        detail = None
+        if detail_wrapper is not None and detail_wrapper.children:
+            detail = detail_wrapper.children[0].copy()
+        return cls(code, message, actor, detail)
+
+    @staticmethod
+    def is_fault_element(elem: Element) -> bool:
+        return elem.name == QName(ns.SOAP_ENV, "Fault")
+
+    def __repr__(self) -> str:
+        return f"<SoapFault {self.code.value}: {self.message!r}>"

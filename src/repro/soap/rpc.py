@@ -1,0 +1,180 @@
+"""Server-side RPC dispatch: envelope in, envelope out.
+
+The unit of deployment is a :class:`ServiceObject`.  Per the paper's
+third break with tradition (§III), a service is an *interface to live
+objects*: "each operation given to the service can map to a different
+stateful object in memory".  :meth:`ServiceObject.map_operation` is
+exactly that facility; :meth:`ServiceObject.from_instance` is the common
+case of exposing one object's public methods.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Optional
+
+from repro.soap.encoding import StructRegistry, decode_value, encode_value
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.faults import FaultCode, SoapFault
+from repro.xmlkit import Element, QName
+
+
+class Operation:
+    """One callable operation of a service."""
+
+    def __init__(self, name: str, target: Any, method_name: str):
+        self.name = name
+        self.target = target
+        self.method_name = method_name
+        self.callable: Callable[..., Any] = getattr(target, method_name)
+        try:
+            self.signature: Optional[inspect.Signature] = inspect.signature(self.callable)
+        except (TypeError, ValueError):
+            self.signature = None
+
+    @property
+    def parameter_names(self) -> list[str]:
+        if self.signature is None:
+            return []
+        return [
+            p.name
+            for p in self.signature.parameters.values()
+            if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name} -> {type(self.target).__name__}.{self.method_name}>"
+
+
+class ServiceObject:
+    """A deployable service: named operations over in-memory objects."""
+
+    def __init__(self, name: str, namespace: str):
+        self.name = name
+        self.namespace = namespace
+        self.operations: dict[str, Operation] = {}
+
+    @classmethod
+    def from_instance(
+        cls,
+        name: str,
+        instance: Any,
+        namespace: str,
+        include: Optional[list[str]] = None,
+    ) -> "ServiceObject":
+        """Expose the public methods of *instance* as operations.
+
+        *include* restricts to the listed method names; otherwise every
+        non-underscore callable attribute becomes an operation.
+        """
+        service = cls(name, namespace)
+        names = include
+        if names is None:
+            names = [
+                attr
+                for attr in dir(instance)
+                if not attr.startswith("_") and callable(getattr(instance, attr))
+            ]
+        for method_name in names:
+            if not callable(getattr(instance, method_name, None)):
+                raise ValueError(f"{method_name!r} is not a callable of {instance!r}")
+            service.map_operation(method_name, instance, method_name)
+        return service
+
+    def map_operation(self, op_name: str, target: Any, method_name: Optional[str] = None) -> Operation:
+        """Map operation *op_name* to ``target.<method_name>``.
+
+        Different operations may target different objects — the paper's
+        "a service can be an interface to multiple objects".
+        """
+        op = Operation(op_name, target, method_name or op_name)
+        self.operations[op_name] = op
+        return op
+
+    @property
+    def operation_names(self) -> list[str]:
+        return sorted(self.operations)
+
+    def __repr__(self) -> str:
+        return f"<ServiceObject {self.name} ops={self.operation_names}>"
+
+
+class RpcDispatcher:
+    """Decodes an RPC request body, calls the operation, encodes the reply."""
+
+    def __init__(self, service: ServiceObject, registry: Optional[StructRegistry] = None):
+        self.service = service
+        self.registry = registry or StructRegistry()
+
+    def dispatch(self, request: SoapEnvelope) -> SoapEnvelope:
+        body = request.body_content
+        if body is None:
+            raise SoapFault(FaultCode.CLIENT, "empty request body")
+        op_name = body.name.local
+        operation = self.service.operations.get(op_name)
+        if operation is None:
+            raise SoapFault(
+                FaultCode.CLIENT,
+                f"service {self.service.name!r} has no operation {op_name!r}",
+            )
+        args, kwargs = self._decode_args(operation, body)
+        try:
+            result = operation.callable(*args, **kwargs)
+        except SoapFault:
+            raise
+        except TypeError as exc:
+            raise SoapFault(FaultCode.CLIENT, f"bad arguments for {op_name}: {exc}") from exc
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            raise SoapFault(FaultCode.SERVER, f"{type(exc).__name__}: {exc}") from exc
+        return self._encode_response(op_name, result)
+
+    def _decode_args(self, operation: Operation, body: Element) -> tuple[list, dict]:
+        param_names = operation.parameter_names
+        positional: list[Any] = []
+        keyword: dict[str, Any] = {}
+        for child in body.children:
+            value = decode_value(child, self.registry)
+            name = child.name.local
+            if name in param_names:
+                keyword[name] = value
+            else:
+                positional.append(value)
+        return positional, keyword
+
+    def _encode_response(self, op_name: str, result: Any) -> SoapEnvelope:
+        wrapper = Element(
+            QName(self.service.namespace, f"{op_name}Response", "tns"),
+            nsdecls={"tns": self.service.namespace},
+        )
+        wrapper.append(encode_value(QName("", "return"), result, self.registry))
+        return SoapEnvelope(body_content=wrapper)
+
+
+def build_rpc_request(
+    namespace: str,
+    op_name: str,
+    args: dict[str, Any],
+    registry: Optional[StructRegistry] = None,
+) -> SoapEnvelope:
+    """Client-side helper: build the RPC request envelope for *op_name*."""
+    wrapper = Element(QName(namespace, op_name, "tns"), nsdecls={"tns": namespace})
+    for name, value in args.items():
+        wrapper.append(encode_value(QName("", name), value, registry))
+    return SoapEnvelope(body_content=wrapper)
+
+
+def extract_rpc_result(
+    response: SoapEnvelope,
+    registry: Optional[StructRegistry] = None,
+) -> Any:
+    """Client-side helper: pull the return value (or raise the fault)."""
+    fault = response.fault()
+    if fault is not None:
+        raise fault
+    body = response.body_content
+    if body is None:
+        return None
+    ret = body.find("return")
+    if ret is None:
+        return None
+    return decode_value(ret, registry)

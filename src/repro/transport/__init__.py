@@ -1,0 +1,55 @@
+"""Pluggable transports over the simulated network.
+
+The paper treats transports as "incidental to the environment the Web
+service is deployed into".  This package makes that concrete: a
+:class:`Transport` SPI with three implementations —
+
+``http``
+    Request/response with held-open connections (the standard binding's
+    default), full message model with status codes and headers.
+``httpg``
+    The Globus authenticated-HTTP analogue: same message model behind a
+    credential handshake validated against a certificate authority.
+``datagram``
+    Fire-and-forget one-way frames; the raw material P2PS pipes are
+    built from.
+
+A :class:`TransportRegistry` maps URI schemes to transports so an
+:class:`~repro.core.invocation.Invocation` can pick its wire by looking
+at the endpoint address alone.
+"""
+
+from repro.transport.uri import Uri, UriError
+from repro.transport.base import (
+    Transport,
+    TransportError,
+    TransportRegistry,
+    TransportTimeoutError,
+)
+from repro.transport.http import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    HttpTransport,
+)
+from repro.transport.httpg import CertificateAuthority, Credential, HttpgTransport
+from repro.transport.datagram import DatagramTransport
+
+__all__ = [
+    "Uri",
+    "UriError",
+    "Transport",
+    "TransportError",
+    "TransportTimeoutError",
+    "TransportRegistry",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "HttpClient",
+    "HttpTransport",
+    "CertificateAuthority",
+    "Credential",
+    "HttpgTransport",
+    "DatagramTransport",
+]

@@ -1,0 +1,83 @@
+"""Transport SPI and scheme registry."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+from repro.transport.uri import Uri
+
+
+class TransportError(Exception):
+    """Base class for transport failures (connection refused, auth, ...)."""
+
+
+class TransportTimeoutError(TransportError):
+    """No response arrived within the caller's (virtual-time) timeout."""
+
+
+# A server-side handler: (request_text, headers) -> (response_text, headers).
+ServerHandler = Callable[[str, dict[str, str]], tuple[str, dict[str, str]]]
+# Completion callback for async requests: (response_text | None, error | None).
+ResponseCallback = Callable[[Optional[str], Optional[Exception]], None]
+
+
+class Transport(abc.ABC):
+    """A way of moving a request message to an endpoint URI and
+    (for request/response transports) getting a reply back.
+
+    Implementations are bound to one :class:`~repro.simnet.network.Node`
+    — the paper's peer is simultaneously client and server, so a single
+    node typically holds several transports.
+    """
+
+    #: URI scheme this transport serves, e.g. ``"http"``.
+    scheme: str = ""
+
+    @abc.abstractmethod
+    def send(
+        self,
+        endpoint: Uri,
+        body: str,
+        headers: Optional[dict[str, str]] = None,
+        on_response: Optional[ResponseCallback] = None,
+    ) -> None:
+        """Send *body* to *endpoint*.
+
+        Asynchronous: *on_response* fires when the reply (or failure)
+        arrives.  One-way transports invoke it immediately with
+        ``(None, None)`` after the frame leaves.
+        """
+
+    @abc.abstractmethod
+    def listen(self, address: Uri, handler: ServerHandler) -> None:
+        """Start accepting requests addressed to *address*."""
+
+    @abc.abstractmethod
+    def stop_listening(self, address: Uri) -> None:
+        """Stop accepting requests at *address*."""
+
+
+class TransportRegistry:
+    """scheme → :class:`Transport` lookup used by invocation machinery."""
+
+    def __init__(self) -> None:
+        self._by_scheme: dict[str, Transport] = {}
+
+    def register(self, transport: Transport) -> None:
+        if not transport.scheme:
+            raise TransportError("transport has no scheme")
+        self._by_scheme[transport.scheme] = transport
+
+    def lookup(self, scheme: str) -> Transport:
+        try:
+            return self._by_scheme[scheme]
+        except KeyError:
+            raise TransportError(f"no transport registered for scheme {scheme!r}") from None
+
+    def for_uri(self, uri: Uri) -> Transport:
+        return self.lookup(uri.scheme)
+
+    @property
+    def schemes(self) -> list[str]:
+        return sorted(self._by_scheme)

@@ -1,0 +1,54 @@
+"""One-way datagram transport — the raw material of P2PS pipes.
+
+P2PS pipes are "generally unidirectional" (§IV-B); at the wire level a
+pipe write is a single fire-and-forget frame to the resolved endpoint.
+No delivery report exists: an unreachable peer simply never hears the
+message, exactly the unreliability the paper's asynchronous design
+copes with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.network import Node, NodeDownError
+from repro.transport.base import ResponseCallback, ServerHandler, Transport, TransportError
+from repro.transport.uri import Uri
+
+
+class DatagramTransport(Transport):
+    """Fire-and-forget frames addressed by ``dgram://node/port-name``."""
+
+    scheme = "dgram"
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    def send(
+        self,
+        endpoint: Uri,
+        body: str,
+        headers: Optional[dict[str, str]] = None,
+        on_response: Optional[ResponseCallback] = None,
+    ) -> None:
+        try:
+            self.node.send(endpoint.host, f"dgram:{endpoint.path}", body, **(headers or {}))
+        except NodeDownError as exc:
+            if on_response is not None:
+                on_response(None, exc)
+            return
+        if on_response is not None:
+            # one-way: completion means "it left the node"
+            on_response(None, None)
+
+    def listen(self, address: Uri, handler: ServerHandler) -> None:
+        if not address.path:
+            raise TransportError("datagram listen address needs a path (port name)")
+
+        def on_frame(frame):  # type: ignore[no-untyped-def]
+            handler(frame.payload, {str(k): str(v) for k, v in frame.meta.items()})
+
+        self.node.open_port(f"dgram:{address.path}", on_frame)
+
+    def stop_listening(self, address: Uri) -> None:
+        self.node.close_port(f"dgram:{address.path}")

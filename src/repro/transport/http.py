@@ -1,0 +1,360 @@
+"""HTTP over the simulated network.
+
+The message model is a faithful miniature of HTTP/1.1: request line,
+status line, headers, ``Content-Length``-framed bodies, all serialised
+to real text on the wire.  Connection semantics are what matter to the
+paper — HTTP "maintains an open connection for return messages" (§III),
+which is why standard Web-service stacks ended up synchronous.  Here a
+connection is an ephemeral reply port the client holds open until the
+response frame lands.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.simnet.network import Frame, Network, NetworkError, Node, NodeDownError
+from repro.transport.base import (
+    ResponseCallback,
+    ServerHandler,
+    Transport,
+    TransportError,
+    TransportTimeoutError,
+)
+from repro.transport.uri import Uri
+
+DEFAULT_HTTP_PORT = 80
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def _render_headers(headers: dict[str, str]) -> str:
+    return "".join(f"{k}: {v}\r\n" for k, v in headers.items())
+
+
+def _parse_head(text: str) -> tuple[str, dict[str, str], str]:
+    """Split raw message into (start line, headers, body)."""
+    head, sep, body = text.partition("\r\n\r\n")
+    if not sep:
+        raise TransportError("malformed HTTP message: missing header terminator")
+    lines = head.split("\r\n")
+    start = lines[0]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, colon, value = line.partition(":")
+        if not colon:
+            raise TransportError(f"malformed HTTP header line: {line!r}")
+        headers[name.strip()] = value.strip()
+    if "Content-Length" in headers:
+        try:
+            length = int(headers["Content-Length"])
+        except ValueError:
+            raise TransportError("bad Content-Length") from None
+        if length != len(body):
+            raise TransportError(
+                f"Content-Length mismatch: declared {length}, got {len(body)}"
+            )
+    return start, headers, body
+
+
+class HttpRequest:
+    """An HTTP request message."""
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        body: str = "",
+        headers: Optional[dict[str, str]] = None,
+    ):
+        self.method = method.upper()
+        self.path = path if path.startswith("/") else "/" + path
+        self.body = body
+        self.headers = dict(headers or {})
+
+    def to_wire(self) -> str:
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        return f"{self.method} {self.path} HTTP/1.1\r\n{_render_headers(headers)}\r\n{self.body}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "HttpRequest":
+        start, headers, body = _parse_head(text)
+        parts = start.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise TransportError(f"malformed request line: {start!r}")
+        return cls(parts[0], parts[1], body, headers)
+
+    def __repr__(self) -> str:
+        return f"<HttpRequest {self.method} {self.path} body={len(self.body)}B>"
+
+
+class HttpResponse:
+    """An HTTP response message."""
+
+    def __init__(
+        self,
+        status: int,
+        body: str = "",
+        headers: Optional[dict[str, str]] = None,
+        reason: Optional[str] = None,
+    ):
+        self.status = status
+        self.body = body
+        self.headers = dict(headers or {})
+        self.reason = reason if reason is not None else _REASONS.get(status, "Unknown")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def to_wire(self) -> str:
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        return f"HTTP/1.1 {self.status} {self.reason}\r\n{_render_headers(headers)}\r\n{self.body}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "HttpResponse":
+        start, headers, body = _parse_head(text)
+        parts = start.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise TransportError(f"malformed status line: {start!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            raise TransportError(f"malformed status code in {start!r}") from None
+        reason = parts[2] if len(parts) == 3 else ""
+        return cls(status, body, headers, reason)
+
+    def __repr__(self) -> str:
+        return f"<HttpResponse {self.status} {self.reason} body={len(self.body)}B>"
+
+
+RequestHandler = Callable[[HttpRequest], HttpResponse]
+
+
+class HttpServer:
+    """A lightweight HTTP listener on one node.
+
+    Mirrors the paper's server: launched only when something deploys
+    (§IV-A: "the HTTP server is only launched once the application has
+    deployed a service"), capable of listing what it hosts and routing
+    requests to per-path handlers.  A catch-all *interceptor* may claim
+    a request before routing — that is WSPeer's "application handles the
+    request directly" hook.
+    """
+
+    def __init__(self, node: Node, port: int = DEFAULT_HTTP_PORT):
+        self.node = node
+        self.port = port
+        self.routes: dict[str, RequestHandler] = {}
+        self.interceptor: Optional[Callable[[HttpRequest], Optional[HttpResponse]]] = None
+        self.started = False
+        self.requests_served = 0
+
+    @property
+    def wire_port(self) -> str:
+        return f"http:{self.port}"
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.node.open_port(self.wire_port, self._on_frame)
+        self.started = True
+
+    def stop(self) -> None:
+        if self.started:
+            self.node.close_port(self.wire_port)
+            self.started = False
+
+    def add_route(self, path: str, handler: RequestHandler) -> None:
+        path = path if path.startswith("/") else "/" + path
+        self.routes[path] = handler
+
+    def remove_route(self, path: str) -> None:
+        path = path if path.startswith("/") else "/" + path
+        self.routes.pop(path, None)
+
+    def _on_frame(self, frame: Frame) -> None:
+        reply_port = frame.meta.get("reply_port")
+        try:
+            request = HttpRequest.from_wire(frame.payload)
+        except TransportError as exc:
+            response = HttpResponse(400, str(exc))
+        else:
+            response = self._handle(request)
+        if reply_port:
+            self.node.send(frame.src, reply_port, response.to_wire())
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        self.requests_served += 1
+        if self.interceptor is not None:
+            intercepted = self.interceptor(request)
+            if intercepted is not None:
+                return intercepted
+        if request.method == "GET" and request.path == "/":
+            listing = "\n".join(sorted(self.routes))
+            return HttpResponse(200, listing, {"Content-Type": "text/plain"})
+        handler = self.routes.get(request.path)
+        if handler is None:
+            return HttpResponse(404, f"no service at {request.path}")
+        if request.method not in ("POST", "GET"):
+            return HttpResponse(405, f"method {request.method} not allowed")
+        try:
+            return handler(request)
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            return HttpResponse(500, f"{type(exc).__name__}: {exc}")
+
+
+class HttpClient:
+    """Issues requests from a node; one ephemeral reply port per request."""
+
+    _conn_ids = itertools.count(1)
+
+    def __init__(self, node: Node, default_timeout: Optional[float] = 30.0):
+        self.node = node
+        self.network: Network = node.network
+        self.default_timeout = default_timeout
+
+    def request_async(
+        self,
+        target_node: str,
+        port: int,
+        request: HttpRequest,
+        callback: Callable[[Optional[HttpResponse], Optional[Exception]], None],
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Send *request*; *callback* fires with the response or error."""
+        conn = f"http-conn:{next(self._conn_ids)}"
+        timeout = timeout if timeout is not None else self.default_timeout
+        done: dict = {"fired": False, "timeout_event": None}
+
+        def finish(response: Optional[HttpResponse], error: Optional[Exception]) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            if done["timeout_event"] is not None:
+                done["timeout_event"].cancel()
+            if self.node.has_port(conn):
+                self.node.close_port(conn)
+            callback(response, error)
+
+        def on_reply(frame: Frame) -> None:
+            try:
+                response = HttpResponse.from_wire(frame.payload)
+            except TransportError as exc:
+                finish(None, exc)
+                return
+            finish(response, None)
+
+        self.node.open_port(conn, on_reply)
+        if timeout is not None:
+            done["timeout_event"] = self.network.kernel.schedule(
+                timeout,
+                finish,
+                None,
+                TransportTimeoutError(
+                    f"no response from {target_node}:{port}{request.path} within {timeout}s"
+                ),
+            )
+        try:
+            self.node.send(target_node, f"http:{port}", request.to_wire(), reply_port=conn)
+        except (NetworkError, NodeDownError) as exc:
+            finish(None, exc)
+
+    def request(
+        self,
+        target_node: str,
+        port: int,
+        request: HttpRequest,
+        timeout: Optional[float] = None,
+    ) -> HttpResponse:
+        """Synchronous request: pumps the kernel until the reply arrives.
+
+        This is the paper's "HTTP maintains an open connection": virtual
+        time advances inside this call until the response or timeout.
+        """
+        box: dict[str, object] = {}
+
+        def callback(response: Optional[HttpResponse], error: Optional[Exception]) -> None:
+            box["response"] = response
+            box["error"] = error
+
+        self.request_async(target_node, port, request, callback, timeout)
+        self.network.kernel.pump_until(lambda: "response" in box or "error" in box)
+        if box.get("error") is not None:
+            raise box["error"]  # type: ignore[misc]
+        return box["response"]  # type: ignore[return-value]
+
+
+class HttpTransport(Transport):
+    """Transport SPI adapter: SOAP-over-HTTP POST."""
+
+    scheme = "http"
+
+    def __init__(self, node: Node, default_timeout: Optional[float] = 30.0):
+        self.node = node
+        self.client = HttpClient(node, default_timeout)
+        self._servers: dict[int, HttpServer] = {}
+
+    def server_for(self, port: int = DEFAULT_HTTP_PORT) -> HttpServer:
+        """Get (lazily starting) the HTTP server on *port* of this node."""
+        if port not in self._servers:
+            self._servers[port] = HttpServer(self.node, port)
+        return self._servers[port]
+
+    def send(
+        self,
+        endpoint: Uri,
+        body: str,
+        headers: Optional[dict[str, str]] = None,
+        on_response: Optional[ResponseCallback] = None,
+    ) -> None:
+        request = HttpRequest("POST", "/" + endpoint.path, body, headers)
+        request.headers.setdefault("Content-Type", "text/xml; charset=utf-8")
+        request.headers.setdefault("Host", endpoint.authority)
+
+        def callback(response: Optional[HttpResponse], error: Optional[Exception]) -> None:
+            if on_response is None:
+                return
+            if error is not None:
+                on_response(None, error)
+            elif response is not None and not response.ok and response.status != 500:
+                # 500 carries a SOAP fault body the engine will decode;
+                # other failure codes are transport-level errors.
+                on_response(None, TransportError(f"HTTP {response.status}: {response.body[:200]}"))
+            else:
+                on_response(response.body if response else None, None)
+
+        self.client.request_async(
+            endpoint.host, endpoint.port or DEFAULT_HTTP_PORT, request, callback
+        )
+
+    def listen(self, address: Uri, handler: ServerHandler) -> None:
+        server = self.server_for(address.port or DEFAULT_HTTP_PORT)
+        server.start()
+
+        def route(request: HttpRequest) -> HttpResponse:
+            body, headers = handler(request.body, dict(request.headers))
+            status = int(headers.pop("X-Status", "200"))
+            headers.setdefault("Content-Type", "text/xml; charset=utf-8")
+            return HttpResponse(status, body, headers)
+
+        server.add_route("/" + address.path, route)
+
+    def stop_listening(self, address: Uri) -> None:
+        server = self._servers.get(address.port or DEFAULT_HTTP_PORT)
+        if server is not None:
+            server.remove_route("/" + address.path)
+            if not server.routes:
+                server.stop()

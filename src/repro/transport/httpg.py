@@ -1,0 +1,189 @@
+"""HTTPG — the authenticated transport.
+
+The paper's standard implementation supports "HTTPG (the transport used
+by Globus for authenticated communication)".  Globus HTTPG wraps HTTP
+in GSI mutual authentication; we reproduce the *protocol-visible*
+behaviour: both ends hold credentials issued by a common
+:class:`CertificateAuthority`, every request carries the caller's
+credential token, and the listener verifies it (and, for mutual auth,
+answers with its own).  Requests with missing/forged/expired
+credentials are refused with 401 before any handler runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simnet.network import Node
+from repro.transport.base import ResponseCallback, ServerHandler, Transport, TransportError
+from repro.transport.http import HttpClient, HttpRequest, HttpResponse, HttpServer
+from repro.transport.uri import Uri
+
+DEFAULT_HTTPG_PORT = 8443
+
+
+class AuthenticationError(TransportError):
+    """Credential missing, unknown, forged or expired."""
+
+
+@dataclass(frozen=True)
+class Credential:
+    """An identity signed by a CA.
+
+    ``token`` is the CA's signature over (subject, serial, expiry); the
+    verifier recomputes it, so tampering with any field invalidates the
+    credential — a faithful miniature of certificate signatures.
+    """
+
+    subject: str
+    serial: int
+    expires_at: float
+    token: str
+
+    def header_value(self) -> str:
+        return f"{self.subject};{self.serial};{self.expires_at};{self.token}"
+
+    @classmethod
+    def from_header_value(cls, text: str) -> "Credential":
+        parts = text.split(";")
+        if len(parts) != 4:
+            raise AuthenticationError("malformed credential header")
+        try:
+            return cls(parts[0], int(parts[1]), float(parts[2]), parts[3])
+        except ValueError:
+            raise AuthenticationError("malformed credential fields") from None
+
+
+class CertificateAuthority:
+    """Issues and verifies credentials with an HMAC-like keyed digest."""
+
+    def __init__(self, name: str = "repro-ca", secret: str = "ca-secret"):
+        self.name = name
+        self._secret = secret
+        self._serials = itertools.count(1)
+        self._revoked: set[int] = set()
+
+    def _sign(self, subject: str, serial: int, expires_at: float) -> str:
+        material = f"{self._secret}|{subject}|{serial}|{expires_at}"
+        return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+    def issue(self, subject: str, expires_at: float = float("inf")) -> Credential:
+        serial = next(self._serials)
+        return Credential(subject, serial, expires_at, self._sign(subject, serial, expires_at))
+
+    def revoke(self, credential: Credential) -> None:
+        self._revoked.add(credential.serial)
+
+    def verify(self, credential: Credential, now: float) -> None:
+        """Raise :class:`AuthenticationError` unless valid at time *now*."""
+        if credential.serial in self._revoked:
+            raise AuthenticationError(f"credential {credential.serial} revoked")
+        if credential.expires_at < now:
+            raise AuthenticationError(f"credential for {credential.subject} expired")
+        expected = self._sign(credential.subject, credential.serial, credential.expires_at)
+        if expected != credential.token:
+            raise AuthenticationError("credential signature mismatch")
+
+
+class HttpgTransport(Transport):
+    """Authenticated request/response transport (Globus HTTPG analogue)."""
+
+    scheme = "httpg"
+
+    CRED_HEADER = "X-Globus-Credential"
+    PEER_CRED_HEADER = "X-Globus-Peer-Credential"
+
+    def __init__(
+        self,
+        node: Node,
+        ca: CertificateAuthority,
+        credential: Credential,
+        default_timeout: Optional[float] = 30.0,
+        mutual: bool = True,
+    ):
+        self.node = node
+        self.ca = ca
+        self.credential = credential
+        self.mutual = mutual
+        self.client = HttpClient(node, default_timeout)
+        self._servers: dict[int, HttpServer] = {}
+        self.auth_failures = 0
+
+    def send(
+        self,
+        endpoint: Uri,
+        body: str,
+        headers: Optional[dict[str, str]] = None,
+        on_response: Optional[ResponseCallback] = None,
+    ) -> None:
+        request = HttpRequest("POST", "/" + endpoint.path, body, headers)
+        request.headers[self.CRED_HEADER] = self.credential.header_value()
+        request.headers.setdefault("Content-Type", "text/xml; charset=utf-8")
+
+        def callback(response: Optional[HttpResponse], error: Optional[Exception]) -> None:
+            if on_response is None:
+                return
+            if error is not None:
+                on_response(None, error)
+                return
+            assert response is not None
+            if response.status == 401:
+                on_response(None, AuthenticationError(response.body))
+                return
+            if self.mutual:
+                peer = response.headers.get(self.PEER_CRED_HEADER)
+                if peer is None:
+                    on_response(None, AuthenticationError("server did not authenticate"))
+                    return
+                try:
+                    self.ca.verify(
+                        Credential.from_header_value(peer), self.node.network.now
+                    )
+                except AuthenticationError as exc:
+                    on_response(None, exc)
+                    return
+            if not response.ok and response.status != 500:
+                on_response(None, TransportError(f"HTTPG {response.status}: {response.body[:200]}"))
+                return
+            on_response(response.body, None)
+
+        self.client.request_async(
+            endpoint.host, endpoint.port or DEFAULT_HTTPG_PORT, request, callback
+        )
+
+    def listen(self, address: Uri, handler: ServerHandler) -> None:
+        port = address.port or DEFAULT_HTTPG_PORT
+        if port not in self._servers:
+            self._servers[port] = HttpServer(self.node, port)
+        server = self._servers[port]
+        server.start()
+
+        def route(request: HttpRequest) -> HttpResponse:
+            cred_text = request.headers.get(self.CRED_HEADER)
+            if cred_text is None:
+                self.auth_failures += 1
+                return HttpResponse(401, "no credential presented")
+            try:
+                self.ca.verify(
+                    Credential.from_header_value(cred_text), self.node.network.now
+                )
+            except AuthenticationError as exc:
+                self.auth_failures += 1
+                return HttpResponse(401, str(exc))
+            body, headers = handler(request.body, dict(request.headers))
+            status = int(headers.pop("X-Status", "200"))
+            headers.setdefault("Content-Type", "text/xml; charset=utf-8")
+            headers[self.PEER_CRED_HEADER] = self.credential.header_value()
+            return HttpResponse(status, body, headers)
+
+        server.add_route("/" + address.path, route)
+
+    def stop_listening(self, address: Uri) -> None:
+        server = self._servers.get(address.port or DEFAULT_HTTPG_PORT)
+        if server is not None:
+            server.remove_route("/" + address.path)
+            if not server.routes:
+                server.stop()

@@ -1,0 +1,141 @@
+"""Client proxy for a remote UDDI registry node."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.simnet.network import Node
+from repro.soap.rpc import build_rpc_request, extract_rpc_result
+from repro.transport.http import HttpClient, HttpRequest
+from repro.transport.uri import Uri
+from repro.uddi.model import BindingTemplate, BusinessService, TModel
+from repro.uddi.service import UDDI_NAMESPACE, UDDI_PATH
+
+
+class UddiClient:
+    """Invokes a :class:`UddiRegistryNode` over SOAP/HTTP.
+
+    ``registry_uri`` is the inquiry endpoint, e.g.
+    ``http://registry:80/uddi/inquiry`` (what the paper calls a
+    "user defined UDDI registry").
+    """
+
+    def __init__(self, node: Node, registry_uri: str, timeout: Optional[float] = 30.0):
+        self.node = node
+        self.uri = Uri.parse(registry_uri)
+        self.http = HttpClient(node, timeout)
+
+    def _build_http_request(self, operation: str, args: dict[str, Any]) -> HttpRequest:
+        request = build_rpc_request(UDDI_NAMESPACE, operation, args)
+        return HttpRequest(
+            "POST",
+            "/" + self.uri.path if not self.uri.path.startswith("/") else self.uri.path,
+            request.to_wire(),
+            {"Content-Type": "text/xml; charset=utf-8", "SOAPAction": operation},
+        )
+
+    def call(self, operation: str, **args: Any) -> Any:
+        response = self.http.request(
+            self.uri.host, self.uri.port or 80, self._build_http_request(operation, args)
+        )
+        from repro.soap import SoapEnvelope
+
+        return extract_rpc_result(SoapEnvelope.from_wire(response.body))
+
+    def call_async(self, operation: str, callback, **args: Any) -> None:
+        """Asynchronous inquiry: *callback(result, error)* fires later.
+
+        The event-driven path of the paper's §III — nothing blocks while
+        the registry answers.
+        """
+        from repro.soap import SoapEnvelope
+
+        def on_response(response, error) -> None:
+            if error is not None:
+                callback(None, error)
+                return
+            try:
+                result = extract_rpc_result(SoapEnvelope.from_wire(response.body))
+            except Exception as exc:  # includes SoapFault
+                callback(None, exc)
+                return
+            callback(result, None)
+
+        self.http.request_async(
+            self.uri.host,
+            self.uri.port or 80,
+            self._build_http_request(operation, args),
+            on_response,
+        )
+
+    # -- publish conveniences ------------------------------------------------
+    def publish_service(
+        self,
+        business_name: str,
+        service_name: str,
+        access_point: str,
+        wsdl_url: str = "",
+        description: str = "",
+        categories: Optional[list[dict]] = None,
+    ) -> dict[str, Any]:
+        """One-shot publication of a WSDL-described service.
+
+        Creates (or reuses) the business, registers the service with its
+        category bag, attaches a bindingTemplate for *access_point*, and
+        records the WSDL location as a wsdlSpec tModel.  Returns the
+        serviceDetail dict.
+        """
+        businesses = self.call("find_business", name_pattern=business_name)
+        if businesses:
+            business_key = businesses[0]["businessKey"]
+        else:
+            business_key = self.call("save_business", name=business_name)["businessKey"]
+        tmodel_keys = []
+        if wsdl_url:
+            tmodel = self.call(
+                "save_tmodel",
+                name=f"{service_name}-wsdlSpec",
+                overview_url=wsdl_url,
+                description="wsdlSpec",
+            )
+            tmodel_keys.append(tmodel["tModelKey"])
+        service = self.call(
+            "save_service",
+            business_key=business_key,
+            name=service_name,
+            description=description,
+            category_bag=categories or [],
+        )
+        self.call(
+            "save_binding",
+            service_key=service["serviceKey"],
+            access_point=access_point,
+            tmodel_keys=tmodel_keys,
+        )
+        return self.call("get_service_detail", service_key=service["serviceKey"])
+
+    # -- inquiry conveniences ------------------------------------------------
+    def find_services(
+        self,
+        name_pattern: str = "%",
+        categories: Optional[list[dict]] = None,
+    ) -> list[BusinessService]:
+        found = self.call(
+            "find_service", name_pattern=name_pattern, category_bag=categories or []
+        )
+        return [BusinessService.from_dict(s) for s in found]
+
+    def access_points(self, service: BusinessService) -> list[BindingTemplate]:
+        detail = self.call("get_service_detail", service_key=service.key)
+        return BusinessService.from_dict(detail).binding_templates
+
+    def wsdl_url_for(self, service: BusinessService) -> str:
+        """The overviewURL of the service's wsdlSpec tModel ('' if none)."""
+        for binding in self.access_points(service):
+            for tmodel_key in binding.tmodel_keys:
+                detail = TModel.from_dict(
+                    self.call("get_tmodel_detail", tmodel_key=tmodel_key)
+                )
+                if detail.overview_url:
+                    return detail.overview_url
+        return ""

@@ -1,0 +1,180 @@
+"""UDDI v2 data structures.
+
+Each structure mirrors its UDDI namesake closely enough that the
+registry's publish/inquiry semantics (keys, ownership, category bags)
+behave like the real thing.  Structures (de)serialise to plain dicts,
+which is how they ride the SOAP layer's struct encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class UddiError(Exception):
+    """Registry-level error (unknown key, bad query, ...)."""
+
+
+@dataclass(frozen=True)
+class KeyedReference:
+    """A categorisation entry: (tModel, name, value)."""
+
+    tmodel_key: str
+    key_name: str
+    key_value: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "tModelKey": self.tmodel_key,
+            "keyName": self.key_name,
+            "keyValue": self.key_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "KeyedReference":
+        return cls(data["tModelKey"], data.get("keyName", ""), data["keyValue"])
+
+
+@dataclass
+class TModel:
+    """A technical model: a named concept, often pointing at a spec.
+
+    For WSDL-described services the ``overview_url`` points at the
+    service's WSDL document (the wsdlSpec convention).
+    """
+
+    key: str
+    name: str
+    overview_url: str = ""
+    description: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tModelKey": self.key,
+            "name": self.name,
+            "overviewURL": self.overview_url,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TModel":
+        return cls(
+            data["tModelKey"],
+            data["name"],
+            data.get("overviewURL", ""),
+            data.get("description", ""),
+        )
+
+
+@dataclass
+class BindingTemplate:
+    """An endpoint of a service: access point + implemented tModels."""
+
+    key: str
+    service_key: str
+    access_point: str
+    tmodel_keys: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bindingKey": self.key,
+            "serviceKey": self.service_key,
+            "accessPoint": self.access_point,
+            "tModelKeys": list(self.tmodel_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BindingTemplate":
+        return cls(
+            data["bindingKey"],
+            data["serviceKey"],
+            data.get("accessPoint", ""),
+            list(data.get("tModelKeys", [])),
+        )
+
+
+@dataclass
+class BusinessService:
+    """A published service of a business."""
+
+    key: str
+    business_key: str
+    name: str
+    description: str = ""
+    binding_templates: list[BindingTemplate] = field(default_factory=list)
+    category_bag: list[KeyedReference] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "serviceKey": self.key,
+            "businessKey": self.business_key,
+            "name": self.name,
+            "description": self.description,
+            "bindingTemplates": [b.to_dict() for b in self.binding_templates],
+            "categoryBag": [k.to_dict() for k in self.category_bag],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BusinessService":
+        return cls(
+            data["serviceKey"],
+            data.get("businessKey", ""),
+            data["name"],
+            data.get("description", ""),
+            [BindingTemplate.from_dict(b) for b in data.get("bindingTemplates", [])],
+            [KeyedReference.from_dict(k) for k in data.get("categoryBag", [])],
+        )
+
+
+@dataclass
+class BusinessEntity:
+    """A publishing organisation."""
+
+    key: str
+    name: str
+    description: str = ""
+    service_keys: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "businessKey": self.key,
+            "name": self.name,
+            "description": self.description,
+            "serviceKeys": list(self.service_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BusinessEntity":
+        return cls(
+            data["businessKey"],
+            data["name"],
+            data.get("description", ""),
+            list(data.get("serviceKeys", [])),
+        )
+
+
+def match_name(pattern: str, name: str) -> bool:
+    """UDDI name matching: case-insensitive, ``%`` is a wildcard.
+
+    A trailing ``%`` gives prefix match (the common UDDI idiom);
+    interior ``%`` splits into ordered fragments.
+    """
+    pattern_lower = pattern.lower()
+    name_lower = name.lower()
+    if "%" not in pattern_lower:
+        return pattern_lower == name_lower
+    fragments = pattern_lower.split("%")
+    position = 0
+    for i, fragment in enumerate(fragments):
+        if not fragment:
+            continue
+        found = name_lower.find(fragment, position)
+        if found < 0:
+            return False
+        if i == 0 and found != 0:
+            return False  # pattern did not start with %
+        position = found + len(fragment)
+    if fragments[-1] and position != len(name_lower):
+        return False  # pattern did not end with %
+    return True

@@ -1,0 +1,187 @@
+"""The registry core: UDDI publish + inquiry over in-memory stores.
+
+This is the server brain; :mod:`repro.uddi.service` wraps it in SOAP.
+All operations take/return plain dicts so they cross the SOAP struct
+encoding unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.uddi.model import (
+    BindingTemplate,
+    BusinessEntity,
+    BusinessService,
+    KeyedReference,
+    TModel,
+    UddiError,
+    match_name,
+)
+
+
+class UddiRegistry:
+    """An in-memory UDDI registry."""
+
+    def __init__(self, operator: str = "repro-registry"):
+        self.operator = operator
+        self._businesses: dict[str, BusinessEntity] = {}
+        self._services: dict[str, BusinessService] = {}
+        self._tmodels: dict[str, TModel] = {}
+        self._key_counter = itertools.count(1)
+        self.inquiries = 0
+        self.publishes = 0
+
+    def _new_key(self, kind: str) -> str:
+        return f"uuid:{kind}-{next(self._key_counter):06d}"
+
+    # ------------------------------------------------------------------
+    # publish API
+    # ------------------------------------------------------------------
+    def save_business(self, name: str, description: str = "") -> dict[str, Any]:
+        self.publishes += 1
+        business = BusinessEntity(self._new_key("biz"), name, description)
+        self._businesses[business.key] = business
+        return business.to_dict()
+
+    def save_service(
+        self,
+        business_key: str,
+        name: str,
+        description: str = "",
+        category_bag: Optional[list[dict]] = None,
+    ) -> dict[str, Any]:
+        self.publishes += 1
+        business = self._businesses.get(business_key)
+        if business is None:
+            raise UddiError(f"unknown businessKey {business_key!r}")
+        service = BusinessService(
+            self._new_key("svc"),
+            business_key,
+            name,
+            description,
+            category_bag=[KeyedReference.from_dict(k) for k in (category_bag or [])],
+        )
+        self._services[service.key] = service
+        business.service_keys.append(service.key)
+        return service.to_dict()
+
+    def save_binding(
+        self,
+        service_key: str,
+        access_point: str,
+        tmodel_keys: Optional[list[str]] = None,
+    ) -> dict[str, Any]:
+        self.publishes += 1
+        service = self._services.get(service_key)
+        if service is None:
+            raise UddiError(f"unknown serviceKey {service_key!r}")
+        binding = BindingTemplate(
+            self._new_key("bind"), service_key, access_point, list(tmodel_keys or [])
+        )
+        service.binding_templates.append(binding)
+        return binding.to_dict()
+
+    def save_tmodel(
+        self, name: str, overview_url: str = "", description: str = ""
+    ) -> dict[str, Any]:
+        self.publishes += 1
+        tmodel = TModel(self._new_key("tm"), name, overview_url, description)
+        self._tmodels[tmodel.key] = tmodel
+        return tmodel.to_dict()
+
+    def delete_service(self, service_key: str) -> bool:
+        service = self._services.pop(service_key, None)
+        if service is None:
+            return False
+        business = self._businesses.get(service.business_key)
+        if business is not None and service_key in business.service_keys:
+            business.service_keys.remove(service_key)
+        return True
+
+    def delete_business(self, business_key: str) -> bool:
+        business = self._businesses.pop(business_key, None)
+        if business is None:
+            return False
+        for service_key in business.service_keys:
+            self._services.pop(service_key, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # inquiry API
+    # ------------------------------------------------------------------
+    def find_business(
+        self, name_pattern: str, max_rows: int = 0
+    ) -> list[dict[str, Any]]:
+        self.inquiries += 1
+        out = [
+            b.to_dict()
+            for b in self._businesses.values()
+            if match_name(name_pattern, b.name)
+        ]
+        return out[:max_rows] if max_rows > 0 else out
+
+    def find_service(
+        self,
+        name_pattern: str = "%",
+        category_bag: Optional[list[dict]] = None,
+        business_key: str = "",
+        max_rows: int = 0,
+    ) -> list[dict[str, Any]]:
+        """Find services by name pattern and (all-of) category matches.
+
+        ``max_rows`` > 0 truncates the result set, per the UDDI v2
+        inquiry API's ``maxRows`` attribute.
+        """
+        self.inquiries += 1
+        wanted = [KeyedReference.from_dict(k) for k in (category_bag or [])]
+        out = []
+        for service in self._services.values():
+            if business_key and service.business_key != business_key:
+                continue
+            if not match_name(name_pattern, service.name):
+                continue
+            if wanted and not all(ref in service.category_bag for ref in wanted):
+                continue
+            out.append(service.to_dict())
+            if max_rows > 0 and len(out) >= max_rows:
+                break
+        return out
+
+    def get_service_detail(self, service_key: str) -> dict[str, Any]:
+        self.inquiries += 1
+        service = self._services.get(service_key)
+        if service is None:
+            raise UddiError(f"unknown serviceKey {service_key!r}")
+        return service.to_dict()
+
+    def get_business_detail(self, business_key: str) -> dict[str, Any]:
+        self.inquiries += 1
+        business = self._businesses.get(business_key)
+        if business is None:
+            raise UddiError(f"unknown businessKey {business_key!r}")
+        return business.to_dict()
+
+    def get_tmodel_detail(self, tmodel_key: str) -> dict[str, Any]:
+        self.inquiries += 1
+        tmodel = self._tmodels.get(tmodel_key)
+        if tmodel is None:
+            raise UddiError(f"unknown tModelKey {tmodel_key!r}")
+        return tmodel.to_dict()
+
+    def find_tmodel(self, name_pattern: str, max_rows: int = 0) -> list[dict[str, Any]]:
+        self.inquiries += 1
+        out = [
+            t.to_dict() for t in self._tmodels.values() if match_name(name_pattern, t.name)
+        ]
+        return out[:max_rows] if max_rows > 0 else out
+
+    # ------------------------------------------------------------------
+    @property
+    def service_count(self) -> int:
+        return len(self._services)
+
+    @property
+    def business_count(self) -> int:
+        return len(self._businesses)

@@ -1,0 +1,75 @@
+"""The UDDI registry exposed as a SOAP service on a network node.
+
+The registry node is exactly the kind of centralised server the paper's
+§II warns about: every inquiry and publish in a standard-binding
+network lands here, which is what experiments E1/E2 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.network import Network, Node
+from repro.soap import HandlerChain, MessageContext, RpcDispatcher, ServiceObject, SoapEnvelope
+from repro.transport.http import DEFAULT_HTTP_PORT, HttpRequest, HttpResponse, HttpServer
+from repro.uddi.registry import UddiRegistry
+
+UDDI_SERVICE_NAME = "UddiRegistry"
+UDDI_NAMESPACE = "urn:uddi-org:api_v2"
+UDDI_PATH = "/uddi/inquiry"
+
+
+class UddiRegistryNode:
+    """Hosts a :class:`UddiRegistry` behind SOAP-over-HTTP on *node*."""
+
+    def __init__(
+        self,
+        node: Node,
+        registry: Optional[UddiRegistry] = None,
+        port: int = DEFAULT_HTTP_PORT,
+    ):
+        self.node = node
+        self.registry = registry if registry is not None else UddiRegistry()
+        self.port = port
+        service = ServiceObject.from_instance(
+            UDDI_SERVICE_NAME,
+            self.registry,
+            UDDI_NAMESPACE,
+            include=[
+                "save_business",
+                "save_service",
+                "save_binding",
+                "save_tmodel",
+                "delete_service",
+                "delete_business",
+                "find_business",
+                "find_service",
+                "find_tmodel",
+                "get_service_detail",
+                "get_business_detail",
+                "get_tmodel_detail",
+            ],
+        )
+        self.dispatcher = RpcDispatcher(service)
+        self.chain = HandlerChain()
+        self.server = HttpServer(node, port)
+        self.server.add_route(UDDI_PATH, self._handle)
+        self.server.start()
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self.node.id}:{self.port}{UDDI_PATH}"
+
+    def _handle(self, request: HttpRequest) -> HttpResponse:
+        envelope = SoapEnvelope.from_wire(request.body)
+        context = MessageContext(envelope, UDDI_SERVICE_NAME)
+        response = self.chain.run(context, lambda ctx: self.dispatcher.dispatch(ctx.request))
+        status = 500 if response.is_fault else 200
+        return HttpResponse(status, response.to_wire())
+
+    def stop(self) -> None:
+        self.server.stop()
+
+    @property
+    def network(self) -> Network:
+        return self.node.network

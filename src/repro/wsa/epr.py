@@ -1,0 +1,95 @@
+"""The WS-Addressing EndpointReference."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmlkit import Element, QName, ns
+
+
+class WsaError(ValueError):
+    """Malformed WS-Addressing content."""
+
+
+_EPR = QName(ns.WSA, "EndpointReference", "wsa")
+_ADDRESS = QName(ns.WSA, "Address", "wsa")
+_REF_PROPS = QName(ns.WSA, "ReferenceProperties", "wsa")
+
+
+class EndpointReference:
+    """An abstract endpoint: mandatory Address URI + extension content.
+
+    ``reference_properties`` is a list of arbitrary elements — "an
+    extensibility element ... that can contain arbitrary protocol or
+    application defined properties" (§IV-B).  The P2PS binding stores
+    the pipe advertisement fields here.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        reference_properties: Optional[list[Element]] = None,
+    ):
+        if not address:
+            raise WsaError("EndpointReference requires a non-empty Address")
+        self.address = address
+        self.reference_properties: list[Element] = [
+            e.copy() for e in (reference_properties or [])
+        ]
+
+    # ------------------------------------------------------------------
+    def add_property(self, elem: Element) -> Element:
+        self.reference_properties.append(elem)
+        return elem
+
+    def find_property(self, name: QName | str) -> Optional[Element]:
+        for prop in self.reference_properties:
+            if isinstance(name, QName):
+                if prop.name == name:
+                    return prop
+            elif prop.name.local == name:
+                return prop
+        return None
+
+    def property_text(self, name: QName | str, default: str = "") -> str:
+        prop = self.find_property(name)
+        return prop.text if prop is not None else default
+
+    # ------------------------------------------------------------------
+    def to_element(self, tag: Optional[QName] = None) -> Element:
+        """Serialise; *tag* overrides the element name (e.g. wsa:ReplyTo)."""
+        root = Element(tag or _EPR, nsdecls={"wsa": ns.WSA})
+        root.add(_ADDRESS, text=self.address)
+        if self.reference_properties:
+            wrapper = root.add(_REF_PROPS)
+            for prop in self.reference_properties:
+                wrapper.append(prop.copy())
+        return root
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "EndpointReference":
+        address_elem = elem.find(_ADDRESS)
+        if address_elem is None or not address_elem.text:
+            raise WsaError(f"element {elem.name} has no wsa:Address")
+        props: list[Element] = []
+        wrapper = elem.find(_REF_PROPS)
+        if wrapper is not None:
+            props = [c.copy_with_scope() for c in wrapper.children]
+        return cls(address_elem.text, props)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EndpointReference):
+            return NotImplemented
+        return (
+            self.address == other.address
+            and len(self.reference_properties) == len(other.reference_properties)
+            and all(
+                a == b
+                for a, b in zip(self.reference_properties, other.reference_properties)
+            )
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"<EndpointReference {self.address} props={len(self.reference_properties)}>"

@@ -1,0 +1,156 @@
+"""Message addressing properties and the WS-Addressing SOAP binding.
+
+The binding rules the paper uses (§IV-B items 3–5):
+
+- ``To`` ← the Address URI of the target EPR (mandatory);
+- ``Action`` ← the Address URI plus a fragment naming the operation
+  ("a URI that corresponds to an abstract WSDL construct");
+- the target EPR's ReferenceProperties are copied *directly* into the
+  SOAP header, as siblings of the other wsa headers;
+- ``ReplyTo`` carries a full EPR for the response channel;
+- ``MessageID`` / ``RelatesTo`` correlate asynchronous replies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.soap.envelope import SoapEnvelope
+from repro.wsa.epr import EndpointReference, WsaError
+from repro.xmlkit import Element, QName, ns
+
+_TO = QName(ns.WSA, "To", "wsa")
+_ACTION = QName(ns.WSA, "Action", "wsa")
+_REPLY_TO = QName(ns.WSA, "ReplyTo", "wsa")
+_FROM = QName(ns.WSA, "From", "wsa")
+_FAULT_TO = QName(ns.WSA, "FaultTo", "wsa")
+_MESSAGE_ID = QName(ns.WSA, "MessageID", "wsa")
+_RELATES_TO = QName(ns.WSA, "RelatesTo", "wsa")
+
+_message_counter = itertools.count(1)
+
+
+def new_message_id(prefix: str = "urn:uuid:repro") -> str:
+    """Mint a unique (per-process) MessageID URI.
+
+    Deterministic counter rather than a random UUID so simulation runs
+    are reproducible.
+    """
+    return f"{prefix}-{next(_message_counter):08d}"
+
+
+class MessageAddressingProperties:
+    """The WS-A header values of one message."""
+
+    def __init__(
+        self,
+        to: str,
+        action: str,
+        reply_to: Optional[EndpointReference] = None,
+        message_id: Optional[str] = None,
+        relates_to: Optional[str] = None,
+        source: Optional[EndpointReference] = None,
+        fault_to: Optional[EndpointReference] = None,
+    ):
+        if not to:
+            raise WsaError("wsa:To is mandatory")
+        if not action:
+            raise WsaError("wsa:Action is mandatory")
+        self.to = to
+        self.action = action
+        self.reply_to = reply_to
+        self.message_id = message_id
+        self.relates_to = relates_to
+        self.source = source
+        self.fault_to = fault_to
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_request(
+        cls,
+        target: EndpointReference,
+        operation: str,
+        reply_to: Optional[EndpointReference] = None,
+    ) -> "MessageAddressingProperties":
+        """Build the MAPs addressing *operation* of *target*.
+
+        Action = target address + ``#operation`` fragment, following the
+        paper's rule that Action names the WSDL operation.
+        """
+        action = target.address
+        if operation:
+            action = f"{action}#{operation}"
+        return cls(
+            to=target.address,
+            action=action,
+            reply_to=reply_to,
+            message_id=new_message_id(),
+        )
+
+    @property
+    def operation(self) -> str:
+        """The operation name from the Action fragment ('' if none)."""
+        _, _, fragment = self.action.partition("#")
+        return fragment
+
+    # ------------------------------------------------------------------
+    def apply_to(
+        self,
+        envelope: SoapEnvelope,
+        target: Optional[EndpointReference] = None,
+    ) -> SoapEnvelope:
+        """Write the headers into *envelope*.
+
+        When *target* is given, its ReferenceProperties are copied
+        directly into the SOAP header (binding rule 3).
+        """
+        envelope.add_header(Element(_TO, text=self.to, nsdecls={"wsa": ns.WSA}))
+        envelope.add_header(Element(_ACTION, text=self.action, nsdecls={"wsa": ns.WSA}))
+        if self.message_id:
+            envelope.add_header(
+                Element(_MESSAGE_ID, text=self.message_id, nsdecls={"wsa": ns.WSA})
+            )
+        if self.relates_to:
+            envelope.add_header(
+                Element(_RELATES_TO, text=self.relates_to, nsdecls={"wsa": ns.WSA})
+            )
+        if self.reply_to is not None:
+            envelope.add_header(self.reply_to.to_element(_REPLY_TO))
+        if self.source is not None:
+            envelope.add_header(self.source.to_element(_FROM))
+        if self.fault_to is not None:
+            envelope.add_header(self.fault_to.to_element(_FAULT_TO))
+        if target is not None:
+            for prop in target.reference_properties:
+                envelope.add_header(prop.copy())
+        return envelope
+
+    @classmethod
+    def extract_from(cls, envelope: SoapEnvelope) -> "MessageAddressingProperties":
+        """Read the MAPs back out of a received envelope."""
+        to_block = envelope.find_header(_TO)
+        action_block = envelope.find_header(_ACTION)
+        if to_block is None or not to_block.text:
+            raise WsaError("message carries no wsa:To header")
+        if action_block is None or not action_block.text:
+            raise WsaError("message carries no wsa:Action header")
+
+        def epr_of(name: QName) -> Optional[EndpointReference]:
+            block = envelope.find_header(name)
+            return EndpointReference.from_element(block) if block is not None else None
+
+        message_id_block = envelope.find_header(_MESSAGE_ID)
+        relates_block = envelope.find_header(_RELATES_TO)
+        return cls(
+            to=to_block.text,
+            action=action_block.text,
+            reply_to=epr_of(_REPLY_TO),
+            message_id=message_id_block.text if message_id_block is not None else None,
+            relates_to=relates_block.text if relates_block is not None else None,
+            source=epr_of(_FROM),
+            fault_to=epr_of(_FAULT_TO),
+        )
+
+    def __repr__(self) -> str:
+        return f"<MAPs to={self.to} action={self.action}>"

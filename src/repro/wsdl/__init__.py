@@ -1,0 +1,58 @@
+"""WSDL 1.1 — service description.
+
+WSPeer "uses ... WSDL for service description"; deploying a service
+means "taking a code source, generating a service interface description
+from it" (§III).  This package provides:
+
+``model``
+    The WSDL object model: definitions, messages, port types,
+    operations, bindings, ports, services — and its XML (de)serialisation.
+``generator``
+    Python object → :class:`WsdlDefinition` via signature introspection
+    (the "generate WSDL from a code source" step of deployment).
+``parser``
+    WSDL text → :class:`WsdlDefinition` (the client side of "locating a
+    service involves retrieving ... its interface description").
+``validate``
+    Referential-integrity checks over a definition.
+
+A definition converts to a :class:`~repro.soap.stubs.StubSpec` with
+:func:`to_stub_spec`, which is how discovered WSDL turns into a live
+client proxy.
+"""
+
+from repro.wsdl.model import (
+    Binding,
+    Message,
+    Operation,
+    Part,
+    Port,
+    PortType,
+    Service,
+    WsdlDefinition,
+    WsdlError,
+    SOAP_HTTP_TRANSPORT,
+    SOAP_P2PS_TRANSPORT,
+)
+from repro.wsdl.generator import generate_wsdl
+from repro.wsdl.parser import parse_wsdl
+from repro.wsdl.validate import validate_wsdl
+from repro.wsdl.stubspec import to_stub_spec
+
+__all__ = [
+    "WsdlDefinition",
+    "WsdlError",
+    "Message",
+    "Part",
+    "PortType",
+    "Operation",
+    "Binding",
+    "Service",
+    "Port",
+    "SOAP_HTTP_TRANSPORT",
+    "SOAP_P2PS_TRANSPORT",
+    "generate_wsdl",
+    "parse_wsdl",
+    "validate_wsdl",
+    "to_stub_spec",
+]

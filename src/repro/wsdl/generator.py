@@ -1,0 +1,107 @@
+"""WSDL generation from live Python objects.
+
+This is the deployment-time half of WSPeer's lightweight hosting:
+"deploying a service involves taking a code source [and] generating a
+service interface description from it" (§III).  Operation signatures
+come from :mod:`inspect`; parameter/return annotations map to XSD type
+names via :func:`repro.soap.encoding.python_type_to_xsd` (unannotated
+parameters become ``xsd:anyType``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional
+
+from repro.soap.encoding import python_type_to_xsd
+from repro.soap.rpc import ServiceObject
+from repro.wsdl.model import (
+    Binding,
+    Message,
+    Operation,
+    Part,
+    Port,
+    PortType,
+    Service,
+    WsdlDefinition,
+    SOAP_HTTP_TRANSPORT,
+)
+
+
+def generate_wsdl(
+    service: ServiceObject,
+    locations: Optional[dict[str, str]] = None,
+    transport: str = SOAP_HTTP_TRANSPORT,
+    registry=None,
+) -> WsdlDefinition:
+    """Generate the WSDL definition describing *service*.
+
+    *locations* maps port name → endpoint URI text; by convention the
+    deployer passes one port per transport it exposes.  When omitted, a
+    service element with no ports is produced (an *abstract* WSDL, which
+    P2PS publication later concretises with pipe endpoints).
+
+    *registry* (a :class:`~repro.soap.encoding.StructRegistry`) adds a
+    ``<wsdl:types>`` schema declaring every registered dataclass as a
+    named complexType, so clients learn the struct field layout from the
+    description alone.
+    """
+    import dataclasses
+
+    definition = WsdlDefinition(service.name, service.namespace)
+    if registry is not None:
+        for type_name in registry.names:
+            cls = registry.type_of(type_name)
+            fields = [
+                (field.name, python_type_to_xsd(field.type))
+                for field in dataclasses.fields(cls)
+            ]
+            definition.add_schema_type(type_name, fields)
+
+    port_type = PortType(f"{service.name}PortType")
+    for op_name in service.operation_names:
+        operation = service.operations[op_name]
+        request_parts: list[Part] = []
+        if operation.signature is not None:
+            for param in operation.signature.parameters.values():
+                if param.kind not in (param.POSITIONAL_OR_KEYWORD, param.KEYWORD_ONLY):
+                    continue
+                annotated = (
+                    param.annotation
+                    if param.annotation is not inspect.Parameter.empty
+                    else None
+                )
+                request_parts.append(Part(param.name, python_type_to_xsd(annotated)))
+            return_annotation = operation.signature.return_annotation
+            return_type = python_type_to_xsd(
+                return_annotation
+                if return_annotation is not inspect.Signature.empty
+                else None
+            )
+        else:
+            return_type = "xsd:anyType"
+
+        request_message = Message(f"{op_name}Request", request_parts)
+        response_message = Message(f"{op_name}Response", [Part("return", return_type)])
+        definition.add_message(request_message)
+        definition.add_message(response_message)
+
+        doc = inspect.getdoc(operation.callable) or ""
+        port_type.operations.append(
+            Operation(
+                op_name,
+                input=request_message.name,
+                output=response_message.name,
+                documentation=doc.splitlines()[0] if doc else "",
+            )
+        )
+    definition.add_port_type(port_type)
+
+    binding = Binding(f"{service.name}SoapBinding", port_type.name, transport=transport)
+    definition.add_binding(binding)
+
+    svc = Service(service.name)
+    for port_name, location in (locations or {}).items():
+        svc.ports.append(Port(port_name, binding.name, location))
+    definition.add_service(svc)
+    return definition

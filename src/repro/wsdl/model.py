@@ -1,0 +1,224 @@
+"""The WSDL 1.1 object model and its XML form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xmlkit import Element, QName, ns, parse, serialize
+
+#: soap:binding transport URIs.  The HTTP one is the standard constant;
+#: the P2PS one is this reproduction's identifier for pipe transport.
+SOAP_HTTP_TRANSPORT = "http://schemas.xmlsoap.org/soap/http"
+SOAP_HTTPG_TRANSPORT = "http://repro.wspeer/transports/httpg"
+SOAP_P2PS_TRANSPORT = "http://repro.wspeer/transports/p2ps"
+
+
+class WsdlError(ValueError):
+    """Structurally invalid or unresolvable WSDL."""
+
+
+@dataclass
+class Part:
+    """A message part: a named, typed slot."""
+
+    name: str
+    type_text: str  # e.g. "xsd:int", "tns:Point", "soapenc:Array"
+
+
+@dataclass
+class Message:
+    name: str
+    parts: list[Part] = field(default_factory=list)
+
+
+@dataclass
+class Operation:
+    """An operation of a portType: input message → output message.
+
+    ``output`` of None models a one-way (notification-style) operation.
+    """
+
+    name: str
+    input: str  # message name (local, in target namespace)
+    output: Optional[str] = None
+    documentation: str = ""
+
+
+@dataclass
+class PortType:
+    name: str
+    operations: list[Operation] = field(default_factory=list)
+
+    def operation(self, name: str) -> Optional[Operation]:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        return None
+
+
+@dataclass
+class Binding:
+    """Concrete protocol binding of a portType."""
+
+    name: str
+    port_type: str  # portType name
+    transport: str = SOAP_HTTP_TRANSPORT
+    style: str = "rpc"
+
+
+@dataclass
+class Port:
+    """An endpoint: binding + address."""
+
+    name: str
+    binding: str  # binding name
+    location: str  # endpoint URI text (http://..., p2ps://...)
+
+
+@dataclass
+class Service:
+    name: str
+    ports: list[Port] = field(default_factory=list)
+
+    def port(self, name: str) -> Optional[Port]:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        return None
+
+
+class WsdlDefinition:
+    """A complete WSDL document."""
+
+    def __init__(self, name: str, target_namespace: str):
+        self.name = name
+        self.target_namespace = target_namespace
+        self.messages: dict[str, Message] = {}
+        self.port_types: dict[str, PortType] = {}
+        self.bindings: dict[str, Binding] = {}
+        self.services: dict[str, Service] = {}
+        #: named complexTypes (the <wsdl:types> schema):
+        #: type name -> ordered (field name, type text) pairs
+        self.schema_types: dict[str, list[tuple[str, str]]] = {}
+
+    def add_schema_type(self, name: str, fields: list[tuple[str, str]]) -> None:
+        if name in self.schema_types:
+            raise WsdlError(f"duplicate schema type {name!r}")
+        self.schema_types[name] = list(fields)
+
+    # -- construction helpers ------------------------------------------------
+    def add_message(self, message: Message) -> Message:
+        if message.name in self.messages:
+            raise WsdlError(f"duplicate message {message.name!r}")
+        self.messages[message.name] = message
+        return message
+
+    def add_port_type(self, port_type: PortType) -> PortType:
+        if port_type.name in self.port_types:
+            raise WsdlError(f"duplicate portType {port_type.name!r}")
+        self.port_types[port_type.name] = port_type
+        return port_type
+
+    def add_binding(self, binding: Binding) -> Binding:
+        if binding.name in self.bindings:
+            raise WsdlError(f"duplicate binding {binding.name!r}")
+        self.bindings[binding.name] = binding
+        return binding
+
+    def add_service(self, service: Service) -> Service:
+        if service.name in self.services:
+            raise WsdlError(f"duplicate service {service.name!r}")
+        self.services[service.name] = service
+        return service
+
+    # -- navigation ------------------------------------------------------------
+    def first_service(self) -> Service:
+        if not self.services:
+            raise WsdlError("definition has no service")
+        return next(iter(self.services.values()))
+
+    def port_type_for_port(self, port: Port) -> PortType:
+        binding = self.bindings.get(port.binding)
+        if binding is None:
+            raise WsdlError(f"port {port.name!r} references unknown binding {port.binding!r}")
+        port_type = self.port_types.get(binding.port_type)
+        if port_type is None:
+            raise WsdlError(
+                f"binding {binding.name!r} references unknown portType {binding.port_type!r}"
+            )
+        return port_type
+
+    # -- XML form ------------------------------------------------------------
+    def to_element(self) -> Element:
+        root = Element(
+            QName(ns.WSDL, "definitions", "wsdl"),
+            attributes={"name": self.name, "targetNamespace": self.target_namespace},
+            nsdecls={
+                "wsdl": ns.WSDL,
+                "soap": ns.WSDL_SOAP,
+                "xsd": ns.XSD,
+                "soapenc": ns.SOAP_ENC,
+                "tns": self.target_namespace,
+            },
+        )
+        if self.schema_types:
+            types = root.add(QName(ns.WSDL, "types", "wsdl"))
+            schema = types.add(
+                QName(ns.XSD, "schema", "xsd"),
+                targetNamespace=self.target_namespace,
+            )
+            for type_name, fields in self.schema_types.items():
+                complex_type = schema.add(
+                    QName(ns.XSD, "complexType", "xsd"), name=type_name
+                )
+                sequence = complex_type.add(QName(ns.XSD, "sequence", "xsd"))
+                for field_name, field_type in fields:
+                    sequence.add(
+                        QName(ns.XSD, "element", "xsd"),
+                        name=field_name,
+                        type=field_type,
+                    )
+        for message in self.messages.values():
+            m = root.add(QName(ns.WSDL, "message", "wsdl"), name=message.name)
+            for part in message.parts:
+                m.add(QName(ns.WSDL, "part", "wsdl"), name=part.name, type=part.type_text)
+        for port_type in self.port_types.values():
+            pt = root.add(QName(ns.WSDL, "portType", "wsdl"), name=port_type.name)
+            for op in port_type.operations:
+                o = pt.add(QName(ns.WSDL, "operation", "wsdl"), name=op.name)
+                if op.documentation:
+                    o.add(QName(ns.WSDL, "documentation", "wsdl"), text=op.documentation)
+                o.add(QName(ns.WSDL, "input", "wsdl"), message=f"tns:{op.input}")
+                if op.output is not None:
+                    o.add(QName(ns.WSDL, "output", "wsdl"), message=f"tns:{op.output}")
+        for binding in self.bindings.values():
+            b = root.add(
+                QName(ns.WSDL, "binding", "wsdl"),
+                name=binding.name,
+                type=f"tns:{binding.port_type}",
+            )
+            b.add(
+                QName(ns.WSDL_SOAP, "binding", "soap"),
+                transport=binding.transport,
+                style=binding.style,
+            )
+        for service in self.services.values():
+            s = root.add(QName(ns.WSDL, "service", "wsdl"), name=service.name)
+            for port in service.ports:
+                p = s.add(
+                    QName(ns.WSDL, "port", "wsdl"),
+                    name=port.name,
+                    binding=f"tns:{port.binding}",
+                )
+                p.add(QName(ns.WSDL_SOAP, "address", "soap"), location=port.location)
+        return root
+
+    def to_wire(self, pretty: bool = False) -> str:
+        return serialize(self.to_element(), pretty=pretty, xml_declaration=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"<WsdlDefinition {self.name!r} messages={len(self.messages)} "
+            f"portTypes={len(self.port_types)} services={len(self.services)}>"
+        )

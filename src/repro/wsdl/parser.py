@@ -1,0 +1,127 @@
+"""WSDL parsing: document text → :class:`WsdlDefinition`."""
+
+from __future__ import annotations
+
+from repro.wsdl.model import (
+    Binding,
+    Message,
+    Operation,
+    Part,
+    Port,
+    PortType,
+    Service,
+    WsdlDefinition,
+    WsdlError,
+    SOAP_HTTP_TRANSPORT,
+)
+from repro.xmlkit import Element, QName, XmlError, ns, parse
+
+
+def _local_ref(text: str) -> str:
+    """Strip the prefix off a ``tns:name`` reference."""
+    _, _, local = text.rpartition(":")
+    return local
+
+
+def parse_wsdl(text: str) -> WsdlDefinition:
+    try:
+        root = parse(text)
+    except XmlError as exc:
+        raise WsdlError(f"WSDL is not well-formed XML: {exc}") from exc
+    return parse_wsdl_element(root)
+
+
+def parse_wsdl_element(root: Element) -> WsdlDefinition:
+    if root.name != QName(ns.WSDL, "definitions"):
+        raise WsdlError(f"not a WSDL document: root is {root.name}")
+    target_namespace = root.get("targetNamespace")
+    if not target_namespace:
+        raise WsdlError("definitions element lacks targetNamespace")
+    definition = WsdlDefinition(root.get("name", ""), target_namespace)
+
+    types_elem = root.find(QName(ns.WSDL, "types"))
+    if types_elem is not None:
+        for schema in types_elem.find_all(QName(ns.XSD, "schema")):
+            for complex_type in schema.find_all(QName(ns.XSD, "complexType")):
+                type_name = complex_type.get("name")
+                if not type_name:
+                    continue
+                fields: list[tuple[str, str]] = []
+                sequence = complex_type.find(QName(ns.XSD, "sequence"))
+                if sequence is not None:
+                    for field in sequence.find_all(QName(ns.XSD, "element")):
+                        fields.append(
+                            (field.get("name", ""), field.get("type", "xsd:anyType"))
+                        )
+                definition.add_schema_type(type_name, fields)
+
+    for m in root.find_all(QName(ns.WSDL, "message")):
+        name = m.get("name")
+        if not name:
+            raise WsdlError("message without a name")
+        parts = []
+        for p in m.find_all(QName(ns.WSDL, "part")):
+            part_name = p.get("name")
+            part_type = p.get("type", "xsd:anyType")
+            if not part_name:
+                raise WsdlError(f"part without a name in message {name!r}")
+            parts.append(Part(part_name, part_type))
+        definition.add_message(Message(name, parts))
+
+    for pt in root.find_all(QName(ns.WSDL, "portType")):
+        name = pt.get("name")
+        if not name:
+            raise WsdlError("portType without a name")
+        port_type = PortType(name)
+        for o in pt.find_all(QName(ns.WSDL, "operation")):
+            op_name = o.get("name")
+            if not op_name:
+                raise WsdlError(f"operation without a name in portType {name!r}")
+            input_elem = o.find(QName(ns.WSDL, "input"))
+            if input_elem is None:
+                raise WsdlError(f"operation {op_name!r} has no input message")
+            output_elem = o.find(QName(ns.WSDL, "output"))
+            doc_elem = o.find(QName(ns.WSDL, "documentation"))
+            port_type.operations.append(
+                Operation(
+                    op_name,
+                    input=_local_ref(input_elem.get("message", "")),
+                    output=(
+                        _local_ref(output_elem.get("message", ""))
+                        if output_elem is not None
+                        else None
+                    ),
+                    documentation=doc_elem.text if doc_elem is not None else "",
+                )
+            )
+        definition.add_port_type(port_type)
+
+    for b in root.find_all(QName(ns.WSDL, "binding")):
+        name = b.get("name")
+        if not name:
+            raise WsdlError("binding without a name")
+        soap_binding = b.find(QName(ns.WSDL_SOAP, "binding"))
+        transport = SOAP_HTTP_TRANSPORT
+        style = "rpc"
+        if soap_binding is not None:
+            transport = soap_binding.get("transport", transport)
+            style = soap_binding.get("style", style)
+        definition.add_binding(
+            Binding(name, _local_ref(b.get("type", "")), transport=transport, style=style)
+        )
+
+    for s in root.find_all(QName(ns.WSDL, "service")):
+        name = s.get("name")
+        if not name:
+            raise WsdlError("service without a name")
+        service = Service(name)
+        for p in s.find_all(QName(ns.WSDL, "port")):
+            port_name = p.get("name")
+            if not port_name:
+                raise WsdlError(f"port without a name in service {name!r}")
+            address = p.find(QName(ns.WSDL_SOAP, "address"))
+            location = address.get("location", "") if address is not None else ""
+            service.ports.append(Port(port_name, _local_ref(p.get("binding", "")), location))
+        definition.add_service(service)
+
+    return definition

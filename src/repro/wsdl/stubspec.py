@@ -1,0 +1,60 @@
+"""Bridge: WSDL definition → stub specification.
+
+Turning a discovered interface description into a callable client proxy
+is the heart of WSPeer's client side; this module extracts the
+operation shapes the stub builders need.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.soap.stubs import OperationSpec, StubSpec
+from repro.wsdl.model import Port, WsdlDefinition, WsdlError
+
+
+def to_stub_spec(
+    definition: WsdlDefinition,
+    service_name: Optional[str] = None,
+    port_name: Optional[str] = None,
+) -> StubSpec:
+    """Build a :class:`StubSpec` for one port of one service.
+
+    Defaults to the first service and its first port; for a portless
+    (abstract) service, falls back to the definition's first portType.
+    """
+    if service_name is not None:
+        service = definition.services.get(service_name)
+        if service is None:
+            raise WsdlError(f"no service {service_name!r} in definition")
+    else:
+        service = definition.first_service()
+
+    port: Optional[Port] = None
+    if port_name is not None:
+        port = service.port(port_name)
+        if port is None:
+            raise WsdlError(f"no port {port_name!r} in service {service.name!r}")
+    elif service.ports:
+        port = service.ports[0]
+
+    if port is not None:
+        port_type = definition.port_type_for_port(port)
+    else:
+        if not definition.port_types:
+            raise WsdlError("definition has no portType")
+        port_type = next(iter(definition.port_types.values()))
+
+    operations = []
+    for op in port_type.operations:
+        message = definition.messages.get(op.input)
+        if message is None:
+            raise WsdlError(f"operation {op.name!r}: unknown input message {op.input!r}")
+        operations.append(
+            OperationSpec(
+                op.name,
+                tuple(part.name for part in message.parts),
+                doc=op.documentation,
+            )
+        )
+    return StubSpec(service.name, tuple(operations))

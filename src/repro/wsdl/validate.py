@@ -1,0 +1,52 @@
+"""Referential-integrity validation for WSDL definitions."""
+
+from __future__ import annotations
+
+from repro.wsdl.model import WsdlDefinition
+
+
+def validate_wsdl(definition: WsdlDefinition) -> list[str]:
+    """Return a list of problems (empty = valid).
+
+    Checks: operations reference existing messages; bindings reference
+    existing portTypes; ports reference existing bindings and have
+    addresses; duplicate operation names within a portType.
+    """
+    problems: list[str] = []
+
+    for port_type in definition.port_types.values():
+        seen: set[str] = set()
+        for op in port_type.operations:
+            if op.name in seen:
+                problems.append(
+                    f"portType {port_type.name!r}: duplicate operation {op.name!r}"
+                )
+            seen.add(op.name)
+            if op.input not in definition.messages:
+                problems.append(
+                    f"operation {op.name!r}: unknown input message {op.input!r}"
+                )
+            if op.output is not None and op.output not in definition.messages:
+                problems.append(
+                    f"operation {op.name!r}: unknown output message {op.output!r}"
+                )
+
+    for binding in definition.bindings.values():
+        if binding.port_type not in definition.port_types:
+            problems.append(
+                f"binding {binding.name!r}: unknown portType {binding.port_type!r}"
+            )
+
+    for service in definition.services.values():
+        for port in service.ports:
+            if port.binding not in definition.bindings:
+                problems.append(
+                    f"port {port.name!r} in service {service.name!r}: "
+                    f"unknown binding {port.binding!r}"
+                )
+            if not port.location:
+                problems.append(
+                    f"port {port.name!r} in service {service.name!r}: missing address"
+                )
+
+    return problems

@@ -1,0 +1,44 @@
+"""From-scratch, namespace-aware XML infoset for the WSPeer reproduction.
+
+Every document that crosses the simulated wire in this repository — SOAP
+envelopes, WSDL definitions, UDDI messages, P2PS advertisements — is real
+XML text produced and consumed by this package.  Nothing in the rest of
+the codebase touches :mod:`xml.etree`; the tokenizer, parser and
+serialiser here are self-contained so the wire format is fully under our
+control (and fully testable).
+
+Public surface:
+
+``QName``
+    Namespace-qualified name with URI/local-part/prefix.
+``Element``
+    Mutable tree node carrying a :class:`QName`, attributes, namespaces,
+    text and children.
+``parse`` / ``parse_fragment``
+    Text → :class:`Element` tree.
+``serialize``
+    :class:`Element` tree → text (optionally pretty-printed).
+``XmlError`` and subclasses
+    Raised on malformed input.
+
+Common namespace URIs used by the stack live in :mod:`repro.xmlkit.ns`.
+"""
+
+from repro.xmlkit.errors import XmlError, XmlParseError, XmlWellFormednessError
+from repro.xmlkit.names import QName
+from repro.xmlkit.element import Element
+from repro.xmlkit.parser import parse, parse_fragment
+from repro.xmlkit.serializer import serialize
+from repro.xmlkit import ns
+
+__all__ = [
+    "QName",
+    "Element",
+    "parse",
+    "parse_fragment",
+    "serialize",
+    "XmlError",
+    "XmlParseError",
+    "XmlWellFormednessError",
+    "ns",
+]

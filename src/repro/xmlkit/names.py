@@ -1,0 +1,82 @@
+"""Qualified names (QNames) and name validity checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+XMLNS_URI = "http://www.w3.org/2000/xmlns/"
+XML_URI = "http://www.w3.org/XML/1998/namespace"
+
+
+def is_ncname(name: str) -> bool:
+    """Return True if *name* is a valid NCName (no-colon name).
+
+    We restrict to the ASCII subset of the XML NCName production, which
+    is all this stack ever emits.
+    """
+    if not name:
+        return False
+    if name[0] not in _NAME_START:
+        return False
+    return all(c in _NAME_CHARS for c in name[1:])
+
+
+def split_prefixed(name: str) -> tuple[str, str]:
+    """Split ``prefix:local`` into ``(prefix, local)``; prefix may be ''."""
+    if ":" in name:
+        prefix, _, local = name.partition(":")
+        return prefix, local
+    return "", name
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """A namespace-qualified XML name.
+
+    ``uri`` is the namespace URI ('' for no namespace), ``local`` the
+    local part, and ``prefix`` a *hint* for serialisation (the
+    serialiser may pick a different prefix if the hint collides).
+    Equality and hashing ignore the prefix, per XML namespaces
+    semantics.
+    """
+
+    uri: str
+    local: str
+    prefix: str = ""
+
+    def __post_init__(self):
+        if not is_ncname(self.local):
+            raise ValueError(f"invalid local name: {self.local!r}")
+        if self.prefix and not is_ncname(self.prefix):
+            raise ValueError(f"invalid prefix: {self.prefix!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QName):
+            return self.uri == other.uri and self.local == other.local
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.uri, self.local))
+
+    def __str__(self) -> str:
+        if self.uri:
+            return "{%s}%s" % (self.uri, self.local)
+        return self.local
+
+    def clark(self) -> str:
+        """Clark notation ``{uri}local`` ('' uri omitted)."""
+        return str(self)
+
+    @classmethod
+    def from_clark(cls, text: str, prefix: str = "") -> "QName":
+        """Parse Clark notation: ``{uri}local`` or bare ``local``."""
+        if text.startswith("{"):
+            uri, _, local = text[1:].partition("}")
+            return cls(uri, local, prefix)
+        return cls("", text, prefix)
+
+    def with_prefix(self, prefix: str) -> "QName":
+        return QName(self.uri, self.local, prefix)

@@ -1,0 +1,29 @@
+"""Well-known namespace URIs used across the WSPeer stack.
+
+The SOAP/WSDL/WSA URIs follow the 2004-era specifications the paper
+cites; UDDI follows v2; the ``P2PS``/``WSPEER`` URIs are this
+reproduction's own vocabularies (the originals were never published as
+schemas).
+"""
+
+# Core XML
+XSD = "http://www.w3.org/2001/XMLSchema"
+XSI = "http://www.w3.org/2001/XMLSchema-instance"
+
+# SOAP 1.1 (the version Axis 1.x, and hence WSPeer, spoke)
+SOAP_ENV = "http://schemas.xmlsoap.org/soap/envelope/"
+SOAP_ENC = "http://schemas.xmlsoap.org/soap/encoding/"
+
+# WSDL 1.1
+WSDL = "http://schemas.xmlsoap.org/wsdl/"
+WSDL_SOAP = "http://schemas.xmlsoap.org/wsdl/soap/"
+
+# WS-Addressing (March 2004 member submission, as cited by the paper)
+WSA = "http://schemas.xmlsoap.org/ws/2004/03/addressing"
+
+# UDDI v2
+UDDI = "urn:uddi-org:api_v2"
+
+# This reproduction's vocabularies
+P2PS = "http://repro.wspeer/p2ps"
+WSPEER = "http://repro.wspeer/core"

@@ -1,0 +1,165 @@
+"""Parser: token stream → Element tree, with namespace resolution."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmlkit.element import Element
+from repro.xmlkit.errors import XmlParseError, XmlWellFormednessError
+from repro.xmlkit.names import QName, XML_URI, split_prefixed
+from repro.xmlkit.tokenizer import Token, TokenType, Tokenizer
+
+
+class _NsScope:
+    """Stack of prefix → URI bindings mirroring the open-element stack."""
+
+    def __init__(self) -> None:
+        self._stack: list[dict[str, str]] = [{"xml": XML_URI, "": ""}]
+
+    def push(self, decls: dict[str, str]) -> None:
+        self._stack.append(decls)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def resolve(self, prefix: str) -> Optional[str]:
+        for frame in reversed(self._stack):
+            if prefix in frame:
+                return frame[prefix]
+        return None
+
+
+def _split_tag_attrs(token: Token) -> tuple[dict[str, str], list[tuple[str, str]]]:
+    """Separate xmlns declarations from ordinary attributes."""
+    nsdecls: dict[str, str] = {}
+    plain: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    for name, value in token.attrs:
+        if name in seen:
+            raise XmlWellFormednessError(
+                f"duplicate attribute {name!r}", token.line, token.column
+            )
+        seen.add(name)
+        if name == "xmlns":
+            nsdecls[""] = value
+        elif name.startswith("xmlns:"):
+            prefix = name[len("xmlns:") :]
+            if not prefix:
+                raise XmlWellFormednessError("empty xmlns prefix", token.line, token.column)
+            nsdecls[prefix] = value
+        else:
+            plain.append((name, value))
+    return nsdecls, plain
+
+
+def _resolve_element(token: Token, scope: _NsScope) -> Element:
+    nsdecls, plain_attrs = _split_tag_attrs(token)
+    scope.push(nsdecls)
+    try:
+        prefix, local = split_prefixed(str(token.value))
+        uri = scope.resolve(prefix)
+        if uri is None:
+            raise XmlWellFormednessError(
+                f"undeclared namespace prefix {prefix!r} on element <{token.value}>",
+                token.line,
+                token.column,
+            )
+        elem = Element(QName(uri, local, prefix), nsdecls=nsdecls)
+        for aname, avalue in plain_attrs:
+            aprefix, alocal = split_prefixed(aname)
+            if aprefix:
+                auri = scope.resolve(aprefix)
+                if auri is None:
+                    raise XmlWellFormednessError(
+                        f"undeclared namespace prefix {aprefix!r} on attribute {aname!r}",
+                        token.line,
+                        token.column,
+                    )
+            else:
+                auri = ""  # unprefixed attributes are in no namespace
+            elem.attributes[QName(auri, alocal, aprefix)] = avalue
+        return elem
+    except Exception:
+        scope.pop()
+        raise
+
+
+def parse(text: str) -> Element:
+    """Parse an XML *document*: exactly one root element."""
+    root, trailing_ok = _parse_impl(text, fragment=False)
+    del trailing_ok
+    return root
+
+
+def parse_fragment(text: str) -> Element:
+    """Parse a single element, tolerating no document-level prolog checks.
+
+    Identical to :func:`parse` for well-formed single-rooted input; kept
+    as a separate name so call sites document their intent when handling
+    embedded fragments (e.g. adverts inside SOAP headers).
+    """
+    root, _ = _parse_impl(text, fragment=True)
+    return root
+
+
+def _parse_impl(text: str, fragment: bool) -> tuple[Element, bool]:
+    tokenizer = Tokenizer(text)
+    root: Optional[Element] = None
+    stack: list[Element] = []
+    scope = _NsScope()
+
+    for token in tokenizer.tokens():
+        if token.type is TokenType.DECLARATION:
+            if root is not None or stack:
+                raise XmlParseError("XML declaration after content", token.line, token.column)
+            continue
+        if token.type in (TokenType.COMMENT, TokenType.PI):
+            continue
+        if token.type is TokenType.TEXT:
+            chunk = str(token.value)
+            if not stack:
+                if chunk.strip():
+                    where = "before" if root is None else "after"
+                    raise XmlWellFormednessError(
+                        f"character data {where} root element", token.line, token.column
+                    )
+                continue
+            stack[-1].append_text(chunk)
+            continue
+        if token.type is TokenType.START_TAG:
+            if root is not None and not stack:
+                raise XmlWellFormednessError(
+                    "multiple root elements", token.line, token.column
+                )
+            elem = _resolve_element(token, scope)
+            if stack:
+                stack[-1].append(elem)
+            else:
+                root = elem
+            if token.self_closing:
+                scope.pop()
+            else:
+                stack.append(elem)
+            continue
+        if token.type is TokenType.END_TAG:
+            if not stack:
+                raise XmlWellFormednessError(
+                    f"unexpected closing tag </{token.value}>", token.line, token.column
+                )
+            open_elem = stack.pop()
+            prefix, local = split_prefixed(str(token.value))
+            if open_elem.name.local != local or open_elem.name.prefix != prefix:
+                raise XmlWellFormednessError(
+                    f"mismatched closing tag </{token.value}>; "
+                    f"open element is <{open_elem.name.prefix + ':' if open_elem.name.prefix else ''}{open_elem.name.local}>",
+                    token.line,
+                    token.column,
+                )
+            scope.pop()
+            continue
+
+    if stack:
+        raise XmlWellFormednessError(f"unclosed element <{stack[-1].name.local}>")
+    if root is None:
+        raise XmlParseError("no root element found")
+    return root, fragment

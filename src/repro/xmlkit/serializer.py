@@ -1,0 +1,176 @@
+"""Serialiser: Element tree → XML text.
+
+The serialiser guarantees the output re-parses to a structurally equal
+tree (the round-trip property the test suite checks with hypothesis).
+Namespace handling: explicit ``nsdecls`` on elements are honoured;
+elements or attributes whose namespace URI has no in-scope prefix get a
+generated ``ns<N>`` declaration at the point of use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.xmlkit.element import Element
+from repro.xmlkit.names import QName, XML_URI
+
+
+def escape_text(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def escape_attr(value: str) -> str:
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.decls: dict[str, str] = {}  # prefix -> uri
+
+    def resolve(self, prefix: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if prefix in scope.decls:
+                return scope.decls[prefix]
+            scope = scope.parent
+        if prefix == "xml":
+            return XML_URI
+        return None
+
+    def prefix_for(self, uri: str) -> Optional[str]:
+        """Innermost prefix bound to *uri*, honouring shadowing."""
+        shadowed: set[str] = set()
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            for prefix, bound in scope.decls.items():
+                if prefix in shadowed:
+                    continue
+                if bound == uri:
+                    return prefix
+                shadowed.add(prefix)
+            scope = scope.parent
+        if uri == XML_URI:
+            return "xml"
+        return None
+
+
+class _Serializer:
+    def __init__(self, pretty: bool):
+        self.pretty = pretty
+        self.counter = 0
+        self.parts: list[str] = []
+
+    def fresh_prefix(self, scope: _Scope) -> str:
+        while True:
+            self.counter += 1
+            candidate = f"ns{self.counter}"
+            if scope.resolve(candidate) is None:
+                return candidate
+
+    def element(self, elem: Element, parent_scope: _Scope, depth: int) -> None:
+        scope = _Scope(parent_scope)
+        scope.decls.update(elem.nsdecls)
+        extra_decls: dict[str, str] = {}
+
+        def prefix_of(q: QName, is_attr: bool) -> str:
+            if q.uri == "":
+                # Attributes never use the default namespace; elements in
+                # no namespace must not inherit a non-empty default.
+                if not is_attr and scope.resolve("") not in (None, ""):
+                    extra_decls[""] = ""
+                    scope.decls[""] = ""
+                return ""
+            # honour the hint when it is already bound correctly
+            if q.prefix and scope.resolve(q.prefix) == q.uri:
+                return q.prefix
+            existing = scope.prefix_for(q.uri)
+            if existing is not None and not (is_attr and existing == ""):
+                return existing
+            # need a declaration: use the hint if free, else generate
+            prefix = q.prefix if (q.prefix and scope.resolve(q.prefix) is None) else ""
+            if not prefix or (is_attr and prefix == ""):
+                prefix = self.fresh_prefix(scope)
+            extra_decls[prefix] = q.uri
+            scope.decls[prefix] = q.uri
+            return prefix
+
+        tag_prefix = prefix_of(elem.name, is_attr=False)
+        tag = f"{tag_prefix}:{elem.name.local}" if tag_prefix else elem.name.local
+
+        attr_parts: list[str] = []
+        for aname, avalue in elem.attributes.items():
+            ap = prefix_of(aname, is_attr=True)
+            key = f"{ap}:{aname.local}" if ap else aname.local
+            attr_parts.append(f' {key}="{escape_attr(avalue)}"')
+
+        decl_parts: list[str] = []
+        for prefix, uri in {**elem.nsdecls, **extra_decls}.items():
+            key = f"xmlns:{prefix}" if prefix else "xmlns"
+            decl_parts.append(f' {key}="{escape_attr(uri)}"')
+
+        indent = "  " * depth if self.pretty else ""
+        open_tag = f"{indent}<{tag}{''.join(decl_parts)}{''.join(attr_parts)}"
+
+        content = elem.content
+        if not content:
+            self.parts.append(open_tag + "/>")
+            if self.pretty:
+                self.parts.append("\n")
+            return
+
+        only_text = all(isinstance(c, str) for c in content)
+        self.parts.append(open_tag + ">")
+        if only_text:
+            self.parts.append(escape_text(elem.text))
+            self.parts.append(f"</{tag}>")
+            if self.pretty:
+                self.parts.append("\n")
+            return
+
+        if self.pretty:
+            self.parts.append("\n")
+        for c in content:
+            if isinstance(c, str):
+                if self.pretty:
+                    if c.strip():
+                        self.parts.append("  " * (depth + 1) + escape_text(c.strip()) + "\n")
+                else:
+                    self.parts.append(escape_text(c))
+            else:
+                self.element(c, scope, depth + 1)
+        self.parts.append(f"{indent}</{tag}>")
+        if self.pretty:
+            self.parts.append("\n")
+
+
+def serialize(
+    elem: Element,
+    *,
+    pretty: bool = False,
+    xml_declaration: bool = False,
+) -> str:
+    """Serialise *elem* (and subtree) to XML text.
+
+    With ``pretty=True`` the output is indented; note pretty output
+    inserts whitespace text nodes, so use it for humans, not for
+    signature-sensitive exchange.
+    """
+    ser = _Serializer(pretty)
+    ser.element(elem, _Scope(), 0)
+    body = "".join(ser.parts)
+    if pretty:
+        body = body.rstrip("\n") + "\n"
+    if xml_declaration:
+        return '<?xml version="1.0" encoding="utf-8"?>' + ("\n" if pretty else "") + body
+    return body

@@ -1,0 +1,212 @@
+"""A hand-rolled XML tokenizer.
+
+Produces a flat stream of tokens the parser assembles into an
+:class:`~repro.xmlkit.element.Element` tree.  Supports the XML subset
+our wire formats need: elements, attributes, character data, entity and
+numeric character references, CDATA sections, comments, processing
+instructions and the XML declaration.  DTDs are rejected (none of the
+2004-era Web-service formats require them, and skipping them removes a
+whole class of parser attacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator
+
+from repro.xmlkit.errors import XmlParseError
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_WS = " \t\r\n"
+
+
+class TokenType(Enum):
+    START_TAG = auto()       # value: tag name, attrs: list[(name, value)], self_closing: bool
+    END_TAG = auto()         # value: tag name
+    TEXT = auto()            # value: decoded character data
+    COMMENT = auto()         # value: comment body
+    PI = auto()              # value: (target, data)
+    DECLARATION = auto()     # value: the <?xml ...?> attribute string
+
+
+@dataclass
+class Token:
+    type: TokenType
+    value: object
+    line: int
+    column: int
+    attrs: list[tuple[str, str]] = field(default_factory=list)
+    self_closing: bool = False
+
+
+class Tokenizer:
+    """Single-pass cursor tokenizer over an XML string."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor ------------------------------------------------
+    def _peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def _advance(self, n: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + n]
+        for ch in chunk:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += n
+        return chunk
+
+    def _error(self, msg: str) -> XmlParseError:
+        return XmlParseError(msg, self.line, self.col)
+
+    def _expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in _WS:
+            self._advance()
+
+    def _read_until(self, literal: str, what: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise self._error(f"unterminated {what}")
+        chunk = self.text[self.pos : end]
+        self._advance(len(chunk) + len(literal))
+        return chunk
+
+    def _read_name(self) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] not in _WS + "=/>\"'<&":
+            self._advance()
+        if self.pos == start:
+            raise self._error("expected a name")
+        return self.text[start : self.pos]
+
+    # -- entity decoding --------------------------------------------------
+    def _decode_entities(self, raw: str, line: int, col: int) -> str:
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i + 1)
+            if end < 0:
+                raise XmlParseError("unterminated entity reference", line, col)
+            name = raw[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                try:
+                    out.append(chr(int(name[2:], 16)))
+                except ValueError:
+                    raise XmlParseError(f"bad character reference &{name};", line, col) from None
+            elif name.startswith("#"):
+                try:
+                    out.append(chr(int(name[1:])))
+                except ValueError:
+                    raise XmlParseError(f"bad character reference &{name};", line, col) from None
+            elif name in _PREDEFINED_ENTITIES:
+                out.append(_PREDEFINED_ENTITIES[name])
+            else:
+                raise XmlParseError(f"unknown entity &{name};", line, col)
+            i = end + 1
+        return "".join(out)
+
+    # -- token production ---------------------------------------------------
+    def tokens(self) -> Iterator[Token]:
+        while self.pos < len(self.text):
+            line, col = self.line, self.col
+            if self._peek() == "<":
+                nxt2 = self._peek(2)
+                nxt4 = self._peek(4)
+                nxt9 = self._peek(9)
+                if nxt4 == "<!--":
+                    self._advance(4)
+                    body = self._read_until("-->", "comment")
+                    if "--" in body:
+                        raise XmlParseError("'--' not allowed in comment", line, col)
+                    yield Token(TokenType.COMMENT, body, line, col)
+                elif nxt9 == "<![CDATA[":
+                    self._advance(9)
+                    body = self._read_until("]]>", "CDATA section")
+                    yield Token(TokenType.TEXT, body, line, col)
+                elif nxt2 == "<?":
+                    self._advance(2)
+                    body = self._read_until("?>", "processing instruction")
+                    target, _, data = body.partition(" ")
+                    if target.lower() == "xml":
+                        yield Token(TokenType.DECLARATION, data.strip(), line, col)
+                    else:
+                        yield Token(TokenType.PI, (target, data.strip()), line, col)
+                elif nxt2 == "<!":
+                    raise XmlParseError("DTD / doctype declarations are not supported", line, col)
+                elif nxt2 == "</":
+                    self._advance(2)
+                    name = self._read_name()
+                    self._skip_ws()
+                    self._expect(">")
+                    yield Token(TokenType.END_TAG, name, line, col)
+                else:
+                    yield self._read_start_tag(line, col)
+            else:
+                start = self.pos
+                nxt = self.text.find("<", self.pos)
+                if nxt < 0:
+                    nxt = len(self.text)
+                raw = self.text[start:nxt]
+                self._advance(len(raw))
+                yield Token(TokenType.TEXT, self._decode_entities(raw, line, col), line, col)
+
+    def _read_start_tag(self, line: int, col: int) -> Token:
+        self._expect("<")
+        name = self._read_name()
+        attrs: list[tuple[str, str]] = []
+        while True:
+            self._skip_ws()
+            nxt = self._peek()
+            if nxt == ">":
+                self._advance()
+                return Token(TokenType.START_TAG, name, line, col, attrs=attrs)
+            if self._peek(2) == "/>":
+                self._advance(2)
+                return Token(TokenType.START_TAG, name, line, col, attrs=attrs, self_closing=True)
+            if not nxt:
+                raise self._error(f"unterminated start tag <{name}")
+            aline, acol = self.line, self.col
+            aname = self._read_name()
+            self._skip_ws()
+            self._expect("=")
+            self._skip_ws()
+            quote = self._peek()
+            if quote not in "\"'":
+                raise self._error(f"attribute {aname!r} value must be quoted")
+            self._advance()
+            raw = self._read_until(quote, f"attribute {aname!r} value")
+            if "<" in raw:
+                raise XmlParseError(f"'<' not allowed in attribute value of {aname!r}", aline, acol)
+            attrs.append((aname, self._decode_entities(raw, aline, acol)))
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Convenience wrapper: iterate tokens of *text*."""
+    return Tokenizer(text).tokens()

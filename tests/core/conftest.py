@@ -1,0 +1,72 @@
+"""Shared fixtures for core (WSPeer) tests."""
+
+import pytest
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding, StandardBinding
+from repro.core.events import RecordingListener
+from repro.p2ps import PeerGroup
+from repro.simnet import FixedLatency, Network
+from repro.uddi import UddiRegistryNode
+
+
+class Echo:
+    """Canonical test service."""
+
+    def echo(self, message: str) -> str:
+        return message
+
+    def shout(self, message: str) -> str:
+        return message.upper()
+
+
+class Counter:
+    """Stateful test service."""
+
+    def __init__(self):
+        self.value = 0
+
+    def increment(self, by: int) -> int:
+        self.value += by
+        return self.value
+
+    def read(self) -> int:
+        return self.value
+
+
+class Broken:
+    def boom(self) -> str:
+        raise RuntimeError("deliberate failure")
+
+
+@pytest.fixture
+def net():
+    return Network(latency=FixedLatency(0.002))
+
+
+@pytest.fixture
+def registry_node(net):
+    return UddiRegistryNode(net.add_node("registry"))
+
+
+@pytest.fixture
+def standard_pair(net, registry_node):
+    """(provider, consumer, listener) over the standard binding."""
+    listener = RecordingListener()
+    provider = WSPeer(
+        net.add_node("prov"), StandardBinding(registry_node.endpoint), listener=listener
+    )
+    consumer = WSPeer(net.add_node("cons"), StandardBinding(registry_node.endpoint))
+    return provider, consumer, listener
+
+
+@pytest.fixture
+def p2ps_pair(net):
+    """(provider, consumer, listener) over the P2PS binding."""
+    group = PeerGroup("main")
+    listener = RecordingListener()
+    provider = WSPeer(
+        net.add_node("pprov"), P2psBinding(group), name="pprov", listener=listener
+    )
+    consumer = WSPeer(net.add_node("pcons"), P2psBinding(group), name="pcons")
+    return provider, consumer, listener

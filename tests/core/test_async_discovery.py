@@ -1,0 +1,141 @@
+"""Tests for fully event-driven discovery on both bindings."""
+
+import pytest
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding, StandardBinding
+from repro.core.events import RecordingListener
+from repro.core.query import P2PSServiceQuery, ServiceQuery
+from repro.p2ps import PeerGroup
+from repro.simnet import FixedLatency, Network
+from repro.uddi import UddiRegistryNode
+from tests.core.conftest import Counter, Echo
+
+
+@pytest.fixture
+def std_world():
+    net = Network(latency=FixedLatency(0.002))
+    registry = UddiRegistryNode(net.add_node("registry"))
+    provider = WSPeer(net.add_node("prov"), StandardBinding(registry.endpoint))
+    consumer = WSPeer(net.add_node("cons"), StandardBinding(registry.endpoint))
+    provider.deploy(Echo(), name="EchoA")
+    provider.deploy(Counter(), name="EchoB")
+    provider.publish("EchoA")
+    provider.publish("EchoB")
+    return net, registry, provider, consumer
+
+
+class TestUddiAsyncLocate:
+    def test_nothing_happens_until_network_runs(self, std_world):
+        net, registry, provider, consumer = std_world
+        found = []
+        consumer.client.locator.locate_async(ServiceQuery("Echo%"), found.append)
+        assert found == []  # truly asynchronous
+        net.run()
+        assert sorted(h.name for h in found) == ["EchoA", "EchoB"]
+
+    def test_on_complete_reports_count(self, std_world):
+        net, registry, provider, consumer = std_world
+        done = []
+        consumer.client.locator.locate_async(
+            ServiceQuery("Echo%"), lambda h: None,
+            on_complete=lambda count, error: done.append((count, error)),
+        )
+        net.run()
+        assert done == [(2, None)]
+
+    def test_found_handles_are_invocable(self, std_world):
+        net, registry, provider, consumer = std_world
+        found = []
+        consumer.client.locator.locate_async(ServiceQuery("EchoA"), found.append)
+        net.run()
+        assert consumer.invoke(found[0], "echo", message="via-async") == "via-async"
+
+    def test_empty_result_completes_with_zero(self, std_world):
+        net, registry, provider, consumer = std_world
+        done = []
+        consumer.client.locator.locate_async(
+            ServiceQuery("Nothing%"), lambda h: None,
+            on_complete=lambda count, error: done.append((count, error)),
+        )
+        net.run()
+        assert done == [(0, None)]
+
+    def test_registry_down_reports_error(self, std_world):
+        net, registry, provider, consumer = std_world
+        registry.node.go_down()
+        consumer.client.locator.uddi.http.default_timeout = 0.5
+        done = []
+        consumer.client.locator.locate_async(
+            ServiceQuery("Echo%"), lambda h: None,
+            on_complete=lambda count, error: done.append((count, error)),
+        )
+        net.run()
+        assert done[0][0] == 0
+        assert done[0][1] is not None
+
+    def test_discovery_events_fired(self, std_world):
+        net, registry, provider, consumer = std_world
+        listener = RecordingListener()
+        consumer.add_listener(listener)
+        consumer.client.locator.locate_async(ServiceQuery("Echo%"), lambda h: None)
+        net.run()
+        kinds = listener.kinds()
+        assert "query-issued" in kinds
+        assert kinds.count("service-found") == 2
+
+    def test_unusable_services_skipped_but_sweep_completes(self, std_world):
+        net, registry, provider, consumer = std_world
+        from repro.uddi import UddiClient
+
+        raw = UddiClient(provider.node, registry.endpoint)
+        raw.publish_service("Biz", "EchoNoWsdl", "http://prov:80/x")  # no wsdl
+        done = []
+        found = []
+        consumer.client.locator.locate_async(
+            ServiceQuery("Echo%"), found.append,
+            on_complete=lambda count, error: done.append(count),
+        )
+        net.run()
+        assert done == [2]
+        assert "EchoNoWsdl" not in [h.name for h in found]
+
+
+class TestP2psAsyncLocate:
+    def test_async_locate_over_pipes(self):
+        net = Network(latency=FixedLatency(0.002))
+        group = PeerGroup("g")
+        provider = WSPeer(net.add_node("pp"), P2psBinding(group), name="pp")
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        net.run()
+        consumer = WSPeer(net.add_node("pc"), P2psBinding(group), name="pc")
+        found = []
+        consumer.client.locator.locate_async(
+            P2PSServiceQuery("Echo"), found.append
+        )
+        net.run()
+        assert [h.name for h in found] == ["Echo"]
+
+
+class TestFacadeAsyncLocate:
+    def test_facade_locate_async_uddi(self, std_world):
+        net, registry, provider, consumer = std_world
+        found = []
+        consumer.locate_async("Echo%", found.append)
+        assert found == []
+        net.run()
+        assert sorted(h.name for h in found) == ["EchoA", "EchoB"]
+
+    def test_facade_locate_async_p2ps(self):
+        net = Network(latency=FixedLatency(0.002))
+        group = PeerGroup("g")
+        provider = WSPeer(net.add_node("fp"), P2psBinding(group), name="fp")
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        net.run()
+        consumer = WSPeer(net.add_node("fc"), P2psBinding(group), name="fc")
+        found = []
+        consumer.locate_async("Echo", found.append)
+        net.run()
+        assert [h.name for h in found] == ["Echo"]

@@ -1,0 +1,115 @@
+"""Tests for the event model and interface-tree propagation."""
+
+from repro.core.events import (
+    ClientMessageEvent,
+    DeploymentMessageEvent,
+    DiscoveryMessageEvent,
+    EventSource,
+    PeerMessageListener,
+    PublishMessageEvent,
+    RecordingListener,
+    ServerMessageEvent,
+)
+
+
+class TestEventSource:
+    def test_local_listener_notified(self):
+        source = EventSource("leaf")
+        listener = RecordingListener()
+        source.add_listener(listener)
+        source.fire_client("request-sent", service="S")
+        assert listener.kinds() == ["request-sent"]
+
+    def test_propagation_to_root(self):
+        root = EventSource("peer")
+        mid = EventSource("client", parent=root)
+        leaf = EventSource("invocation", parent=mid)
+        at_root = RecordingListener()
+        root.add_listener(at_root)
+        leaf.fire_client("request-sent")
+        assert at_root.kinds() == ["request-sent"]
+        assert at_root.events[0].source == "invocation"
+
+    def test_all_levels_notified_in_order(self):
+        order = []
+
+        class Tagger(PeerMessageListener):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def message_received(self, event):
+                order.append(self.tag)
+
+        root = EventSource("peer")
+        leaf = EventSource("leaf", parent=root)
+        leaf.add_listener(Tagger("leaf"))
+        root.add_listener(Tagger("root"))
+        leaf.fire_server("x")
+        assert order == ["leaf", "root"]
+
+    def test_remove_listener(self):
+        source = EventSource("x")
+        listener = RecordingListener()
+        source.add_listener(listener)
+        source.remove_listener(listener)
+        source.fire_publish("published")
+        assert listener.events == []
+
+    def test_runtime_reparenting(self):
+        # "individual nodes in the tree can be replaced at runtime"
+        old_root = EventSource("old")
+        new_root = EventSource("new")
+        leaf = EventSource("leaf", parent=old_root)
+        recorder = RecordingListener()
+        new_root.add_listener(recorder)
+        leaf.parent = new_root
+        leaf.fire_discovery("query-issued")
+        assert recorder.kinds() == ["query-issued"]
+
+    def test_event_families(self):
+        source = EventSource("s")
+        listener = RecordingListener()
+        source.add_listener(listener)
+        source.fire_discovery("a")
+        source.fire_publish("b")
+        source.fire_client("c")
+        source.fire_server("d")
+        source.fire_deployment("e")
+        types = [type(e) for e in listener.events]
+        assert types == [
+            DiscoveryMessageEvent,
+            PublishMessageEvent,
+            ClientMessageEvent,
+            ServerMessageEvent,
+            DeploymentMessageEvent,
+        ]
+
+
+class TestPeerMessageListener:
+    def test_dispatch_to_family_methods(self):
+        calls = []
+
+        class Mine(PeerMessageListener):
+            def on_discovery_message(self, event):
+                calls.append(("discovery", event.kind))
+
+            def on_server_message(self, event):
+                calls.append(("server", event.kind))
+
+        listener = Mine()
+        listener.message_received(DiscoveryMessageEvent("found", 0.0, "loc"))
+        listener.message_received(ServerMessageEvent("req", 0.0, "srv"))
+        listener.message_received(ClientMessageEvent("sent", 0.0, "cli"))  # no override
+        assert calls == [("discovery", "found"), ("server", "req")]
+
+    def test_detail_payload(self):
+        event = ClientMessageEvent("request-sent", 1.5, "invocation", {"op": "echo"})
+        assert event.detail["op"] == "echo"
+        assert event.time == 1.5
+
+    def test_recording_listener_filters(self):
+        listener = RecordingListener()
+        listener.message_received(ClientMessageEvent("a", 0.0, "x"))
+        listener.message_received(ClientMessageEvent("b", 0.0, "x"))
+        listener.message_received(ClientMessageEvent("a", 0.0, "x"))
+        assert len(listener.of_kind("a")) == 2

@@ -1,0 +1,94 @@
+"""Tests for one-way (notification-style) invocations."""
+
+import pytest
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding
+from repro.core.events import RecordingListener
+from repro.p2ps import PeerGroup
+from repro.simnet import FixedLatency, Network
+
+
+class EventSink:
+    def __init__(self):
+        self.notifications = []
+
+    def notify(self, message: str) -> int:
+        self.notifications.append(message)
+        return len(self.notifications)
+
+
+@pytest.fixture
+def world(net=None):
+    network = Network(latency=FixedLatency(0.002))
+    group = PeerGroup("g")
+    sink = EventSink()
+    provider = WSPeer(network.add_node("sink"), P2psBinding(group), name="sink")
+    provider.deploy(sink, name="Sink")
+    provider.publish("Sink")
+    network.run()
+    consumer = WSPeer(network.add_node("src"), P2psBinding(group), name="src")
+    handle = consumer.locate_one("Sink")
+    return network, provider, consumer, handle, sink
+
+
+class TestOnewayP2ps:
+    def test_notification_delivered(self, world):
+        net, provider, consumer, handle, sink = world
+        consumer.client.invocation.invoke_oneway(handle, "notify", message="fire")
+        net.run()
+        assert sink.notifications == ["fire"]
+
+    def test_no_reply_pipe_created(self, world):
+        net, provider, consumer, handle, sink = world
+        ports_before = set(consumer.node.ports)
+        consumer.client.invocation.invoke_oneway(handle, "notify", message="x")
+        assert set(consumer.node.ports) == ports_before  # nothing opened
+
+    def test_no_response_frames_flow_back(self, world):
+        net, provider, consumer, handle, sink = world
+        consumer.client.invocation.invoke_oneway(handle, "notify", message="x")
+        net.run()
+        sent_by_provider = net.sent.get("sink")
+        consumer.client.invocation.invoke_oneway(handle, "notify", message="y")
+        net.run()
+        # the provider sent nothing new: no reply leg exists
+        assert net.sent.get("sink") == sent_by_provider
+
+    def test_oneway_event_fired(self, world):
+        net, provider, consumer, handle, sink = world
+        listener = RecordingListener()
+        consumer.add_listener(listener)
+        consumer.client.invocation.invoke_oneway(handle, "notify", message="x")
+        assert listener.of_kind("oneway-sent")
+
+    def test_many_notifications_in_flight(self, world):
+        net, provider, consumer, handle, sink = world
+        for i in range(10):
+            consumer.client.invocation.invoke_oneway(handle, "notify", message=str(i))
+        net.run()
+        assert sink.notifications == [str(i) for i in range(10)]
+
+    def test_unknown_operation_raises_locally(self, world):
+        net, provider, consumer, handle, sink = world
+        from repro.core import InvocationError
+
+        with pytest.raises(InvocationError):
+            consumer.client.invocation.invoke_oneway(handle, "nonexistent", message="x")
+
+
+class TestOnewayHttpFallback:
+    def test_http_oneway_discards_response(self):
+        from repro.core.binding import StandardBinding
+        from repro.uddi import UddiRegistryNode
+
+        net = Network(latency=FixedLatency(0.002))
+        registry = UddiRegistryNode(net.add_node("registry"))
+        sink = EventSink()
+        provider = WSPeer(net.add_node("prov"), StandardBinding(registry.endpoint))
+        provider.deploy(sink, name="Sink")
+        consumer = WSPeer(net.add_node("cons"), StandardBinding(registry.endpoint))
+        handle = provider.local_handle("Sink")
+        consumer.client.invocation.invoke_oneway(handle, "notify", message="over-http")
+        net.run()
+        assert sink.notifications == ["over-http"]

@@ -1,0 +1,197 @@
+"""Integration tests for the P2PS binding — Figs. 4, 5 and 6.
+
+deploy(pipes) → publish(advert) → locate(query) → invoke(pipes with
+WS-Addressing ReplyTo).
+"""
+
+import pytest
+
+from repro.core import P2PSServiceQuery, WSPeer
+from repro.core.binding import P2psBinding
+from repro.p2ps import PeerGroup
+from repro.p2ps.group import link_rendezvous
+from repro.soap import SoapFault
+from tests.core.conftest import Broken, Counter, Echo
+
+
+def published_echo(p2ps_pair, net):
+    provider, consumer, listener = p2ps_pair
+    provider.deploy(Echo(), name="Echo")
+    provider.publish("Echo")
+    net.run()
+    return provider, consumer, listener
+
+
+class TestFig4Processes:
+    def test_full_cycle(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        assert handle.source == "p2ps"
+        assert consumer.invoke(handle, "echo", message="hi") == "hi"
+
+    def test_deploy_opens_pipe_per_operation(self, p2ps_pair, net):
+        provider, _, listener = p2ps_pair
+        provider.deploy(Echo(), name="Echo")
+        advert = provider.server.deployer.advert_for("Echo")
+        names = sorted(p.name for p in advert.pipes)
+        assert names == ["definition", "echo", "shout"]
+        event = listener.of_kind("pipes-opened")[0]
+        assert event.detail["pipes"] == 3
+
+    def test_wsdl_retrieved_through_definition_pipe(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        assert handle.operation_names() == ["echo", "shout"]
+        # the transport constant marks these as pipe bindings
+        from repro.wsdl import SOAP_P2PS_TRANSPORT
+
+        binding = next(iter(handle.wsdl.bindings.values()))
+        assert binding.transport == SOAP_P2PS_TRANSPORT
+
+    def test_handle_has_p2ps_endpoints(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        assert all(e.address.startswith("p2ps://") for e in handle.endpoints)
+        pipe_names = {e.property_text("PipeName") for e in handle.endpoints}
+        assert pipe_names == {"echo", "shout"}
+
+    def test_attribute_based_locate(self, net):
+        group = PeerGroup("attrs")
+        gold = WSPeer(net.add_node("gold"), P2psBinding(group), name="gold")
+        bronze = WSPeer(net.add_node("bronze"), P2psBinding(group), name="bronze")
+        seeker = WSPeer(net.add_node("seek"), P2psBinding(group), name="seek")
+        for peer, tier in ((gold, "gold"), (bronze, "bronze")):
+            peer.deploy(Echo(), name="Echo")
+            advert = peer.server.deployer.advert_for("Echo")
+            advert.attributes["tier"] = tier
+            peer.publish("Echo")
+        net.run()
+        handles = seeker.locate(P2PSServiceQuery("%", attributes={"tier": "gold"}))
+        assert len(handles) == 1
+        assert handles[0].attributes["tier"] == "gold"
+
+    def test_stateful_invocation(self, net):
+        group = PeerGroup("g")
+        provider = WSPeer(net.add_node("sp"), P2psBinding(group), name="sp")
+        consumer = WSPeer(net.add_node("sc"), P2psBinding(group), name="sc")
+        provider.deploy(Counter(), name="Counter")
+        provider.publish("Counter")
+        net.run()
+        handle = consumer.locate_one("Counter")
+        assert consumer.invoke(handle, "increment", by=2) == 2
+        assert consumer.invoke(handle, "increment", by=3) == 5
+
+    def test_fault_over_pipes(self, net):
+        group = PeerGroup("g")
+        provider = WSPeer(net.add_node("fp"), P2psBinding(group), name="fp")
+        consumer = WSPeer(net.add_node("fc"), P2psBinding(group), name="fc")
+        provider.deploy(Broken(), name="Broken")
+        provider.publish("Broken")
+        net.run()
+        handle = consumer.locate_one("Broken")
+        with pytest.raises(SoapFault, match="deliberate failure"):
+            consumer.invoke(handle, "boom")
+
+    def test_stub_over_pipes(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        stub = consumer.create_stub(consumer.locate_one("Echo"))
+        assert stub.shout(message="soft") == "SOFT"
+
+
+class TestFig5Fig6MessageFlow:
+    def test_reply_pipe_created_and_closed(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        consumer_node = consumer.node
+        before = set(consumer_node.ports)
+        consumer.invoke(handle, "echo", message="x")
+        after = set(consumer_node.ports)
+        assert before == after  # ephemeral reply pipe cleaned up
+
+    def test_request_carries_wsa_headers(self, p2ps_pair, net):
+        provider, consumer, listener = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        seen = {}
+
+        def interceptor(service, request):
+            from repro.wsa import MessageAddressingProperties
+
+            seen["maps"] = MessageAddressingProperties.extract_from(request)
+            return None
+
+        provider.set_interceptor(interceptor)
+        consumer.invoke(handle, "echo", message="x")
+        maps = seen["maps"]
+        assert maps.to.startswith("p2ps://")
+        assert maps.action.endswith("#echo")  # pipe-name fragment
+        assert maps.reply_to is not None
+        assert maps.reply_to.property_text("PipeId")
+        assert maps.message_id
+
+    def test_response_relates_to_request(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        # intercept the raw reply at the consumer by invoking async and
+        # inspecting the envelope via a custom reply listener is internal;
+        # instead verify via a second invocation that correlation ids are
+        # unique per call
+        ids = set()
+
+        def capture(service, request):
+            from repro.wsa import MessageAddressingProperties
+
+            ids.add(MessageAddressingProperties.extract_from(request).message_id)
+            return None
+
+        provider.set_interceptor(capture)
+        consumer.invoke(handle, "echo", message="a")
+        consumer.invoke(handle, "echo", message="b")
+        assert len(ids) == 2
+
+    def test_async_invocation_over_pipes(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        results = []
+        consumer.invoke_async(
+            handle, "shout", {"message": "quiet"},
+            lambda result, error: results.append((result, error)),
+        )
+        assert results == []
+        net.run()
+        assert results == [("QUIET", None)]
+
+    def test_provider_death_times_out(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        provider.node.go_down()
+        from repro.core import InvocationError
+
+        with pytest.raises(InvocationError):
+            consumer.invoke(handle, "echo", {"message": "x"}, timeout=2.0)
+
+    def test_timeout_cleans_reply_pipe(self, p2ps_pair, net):
+        provider, consumer, _ = published_echo(p2ps_pair, net)
+        handle = consumer.locate_one("Echo")
+        provider.node.go_down()
+        from repro.core import InvocationError
+
+        before = set(consumer.node.ports)
+        with pytest.raises(InvocationError):
+            consumer.invoke(handle, "echo", {"message": "x"}, timeout=1.0)
+        net.run()
+        assert set(consumer.node.ports) == before
+
+
+class TestRendezvousTopology:
+    def test_locate_across_groups(self, net):
+        group_a, group_b = PeerGroup("A"), PeerGroup("B")
+        rdv_a = WSPeer(net.add_node("ra"), P2psBinding(group_a, rendezvous=True), name="ra")
+        rdv_b = WSPeer(net.add_node("rb"), P2psBinding(group_b, rendezvous=True), name="rb")
+        provider = WSPeer(net.add_node("pv"), P2psBinding(group_b), name="pv")
+        consumer = WSPeer(net.add_node("cn"), P2psBinding(group_a), name="cn")
+        link_rendezvous(rdv_a.peer, rdv_b.peer)
+        provider.deploy(Echo(), name="FarEcho")
+        provider.publish("FarEcho")
+        net.run()
+        handle = consumer.locate_one("FarEcho", timeout=10.0)
+        assert consumer.invoke(handle, "echo", message="across") == "across"

@@ -1,0 +1,71 @@
+"""Tests for the PipeAdvertisement ⇄ EndpointReference mapping (§IV-B)."""
+
+import pytest
+
+from repro.core.p2psmap import action_for_pipe, epr_from_pipe, pipe_from_epr
+from repro.p2ps import PipeAdvertisement
+from repro.wsa import EndpointReference, WsaError
+
+
+def service_pipe():
+    return PipeAdvertisement("pipe-000123", "echoString", "peer-x-0001", "input", "Echo")
+
+
+def bare_pipe():
+    return PipeAdvertisement("pipe-000456", "reply-1", "peer-y-0002", "input", "")
+
+
+class TestEprFromPipe:
+    def test_address_rule(self):
+        # rule 1: Address = peer id + service advert name, as a URI
+        epr = epr_from_pipe(service_pipe())
+        assert epr.address == "p2ps://peer-x-0001/Echo"
+
+    def test_bare_pipe_address_is_peer_only(self):
+        # "If there is no service associated with the pipe ... the
+        #  Address field is just the scheme and the host component"
+        epr = epr_from_pipe(bare_pipe())
+        assert epr.address == "p2ps://peer-y-0002"
+
+    def test_reference_properties_rule(self):
+        # rule 2: the EPR carries the other advert fields as RefProps
+        epr = epr_from_pipe(service_pipe())
+        assert epr.property_text("PipeId") == "pipe-000123"
+        assert epr.property_text("PipeName") == "echoString"
+        assert epr.property_text("PipeType") == "input"
+
+
+class TestPipeFromEpr:
+    def test_roundtrip(self):
+        original = service_pipe()
+        assert pipe_from_epr(epr_from_pipe(original)) == original
+
+    def test_bare_roundtrip(self):
+        original = bare_pipe()
+        assert pipe_from_epr(epr_from_pipe(original)) == original
+
+    def test_roundtrip_through_wire(self):
+        from repro.xmlkit import parse, serialize
+
+        epr = epr_from_pipe(service_pipe())
+        reparsed = EndpointReference.from_element(parse(serialize(epr.to_element())))
+        assert pipe_from_epr(reparsed) == service_pipe()
+
+    def test_missing_pipe_id_rejected(self):
+        epr = EndpointReference("p2ps://peer-z/Svc")
+        with pytest.raises(WsaError):
+            pipe_from_epr(epr)
+
+    def test_non_p2ps_address_rejected(self):
+        epr = EndpointReference("http://host/svc")
+        with pytest.raises(WsaError):
+            pipe_from_epr(epr)
+
+
+class TestAction:
+    def test_action_appends_pipe_name_fragment(self):
+        # rule 3: Action = Address + fragment that represents the pipe name
+        assert action_for_pipe(service_pipe()) == "p2ps://peer-x-0001/Echo#echoString"
+
+    def test_action_for_bare_pipe(self):
+        assert action_for_pipe(bare_pipe()) == "p2ps://peer-y-0002#reply-1"

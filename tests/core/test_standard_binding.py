@@ -1,0 +1,211 @@
+"""Integration tests for the standard (HTTP/UDDI) binding — Fig. 3.
+
+deploy → launch server → publish(UDDI) → locate(UDDI) → invoke(HTTP).
+"""
+
+import pytest
+
+from repro.core import DiscoveryError, UDDIServiceQuery
+from repro.core.errors import DeploymentError
+from repro.soap import SoapFault
+from tests.core.conftest import Broken, Counter, Echo
+
+
+class TestFig3Processes:
+    def test_full_cycle(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        handle = consumer.locate_one("Echo")
+        assert handle.source == "uddi"
+        assert consumer.invoke(handle, "echo", message="hi") == "hi"
+
+    def test_http_server_launched_on_deploy_only(self, standard_pair, net):
+        # §IV-A: "the HTTP server is only launched once the application
+        # has deployed a service"
+        provider, _, listener = standard_pair
+        deployer = provider.server.deployer
+        assert not deployer.server.started
+        provider.deploy(Echo(), name="Echo")
+        assert deployer.server.started
+        assert listener.of_kind("http-server-launched")
+
+    def test_wsdl_served_next_to_endpoint(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        handle = consumer.locate_one("Echo")
+        ops = handle.operation_names()
+        assert ops == ["echo", "shout"]
+        assert handle.wsdl.target_namespace == "urn:wspeer:Echo"
+
+    def test_locate_unpublished_raises(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")  # deployed but never published
+        with pytest.raises(DiscoveryError):
+            consumer.locate_one("Echo")
+
+    def test_category_query(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        cat = {"tModelKey": "uuid:domain", "keyName": "domain", "keyValue": "math"}
+        provider.deploy(Counter(), name="Calc")
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Calc", categories=[cat])
+        provider.publish("Echo")
+        handles = consumer.locate(UDDIServiceQuery("%", categories=[cat]))
+        assert [h.name for h in handles] == ["Calc"]
+
+    def test_wildcard_locate(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="EchoOne")
+        provider.deploy(Counter(), name="EchoTwo")
+        provider.publish("EchoOne")
+        provider.publish("EchoTwo")
+        handles = consumer.locate("Echo%")
+        assert sorted(h.name for h in handles) == ["EchoOne", "EchoTwo"]
+
+    def test_invoke_stateful(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Counter(), name="Counter")
+        provider.publish("Counter")
+        handle = consumer.locate_one("Counter")
+        assert consumer.invoke(handle, "increment", by=4) == 4
+        assert consumer.invoke(handle, "increment", by=4) == 8
+
+    def test_remote_fault_raises_locally(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Broken(), name="Broken")
+        provider.publish("Broken")
+        handle = consumer.locate_one("Broken")
+        with pytest.raises(SoapFault, match="deliberate failure"):
+            consumer.invoke(handle, "boom")
+
+    def test_stub_invocation(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        stub = consumer.create_stub(consumer.locate_one("Echo"))
+        assert stub.shout(message="hi") == "HI"
+
+    def test_undeploy_closes_endpoint(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        handle = consumer.locate_one("Echo")
+        provider.undeploy("Echo")
+        from repro.core import InvocationError
+        from repro.transport import TransportError
+
+        with pytest.raises((TransportError, InvocationError, SoapFault)):
+            consumer.invoke(handle, "echo", {"message": "x"}, timeout=1.0)
+
+    def test_local_handle_invocable_by_others(self, standard_pair, net):
+        # a peer can hand its own handle out without UDDI
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        handle = provider.local_handle("Echo")
+        assert consumer.invoke(handle, "echo", message="direct") == "direct"
+
+    def test_async_invocation_event_driven(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        results = []
+        handle = provider.local_handle("Echo")
+        consumer.invoke_async(
+            handle, "echo", {"message": "later"},
+            lambda result, error: results.append((result, error)),
+        )
+        assert results == []  # asynchronous: nothing yet
+        net.run()
+        assert results == [("later", None)]
+
+    def test_dead_provider_times_out(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        handle = provider.local_handle("Echo")
+        net.get_node("prov").go_down()
+        from repro.transport import TransportTimeoutError
+
+        with pytest.raises(TransportTimeoutError):
+            consumer.invoke(handle, "echo", {"message": "x"}, timeout=1.0)
+
+
+class TestEventsOnTree:
+    def test_provider_sees_deploy_publish_server_events(self, standard_pair, net):
+        provider, consumer, listener = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        handle = consumer.locate_one("Echo")
+        consumer.invoke(handle, "echo", message="x")
+        kinds = listener.kinds()
+        assert "deployed" in kinds
+        assert "endpoint-opened" in kinds
+        assert "published" in kinds
+        assert "request-received" in kinds
+        assert "response-sent" in kinds
+
+    def test_consumer_sees_discovery_and_client_events(self, net, registry_node):
+        from repro.core import WSPeer
+        from repro.core.binding import StandardBinding
+        from repro.core.events import RecordingListener
+
+        listener = RecordingListener()
+        provider = WSPeer(net.add_node("p2"), StandardBinding(registry_node.endpoint))
+        consumer = WSPeer(
+            net.add_node("c2"), StandardBinding(registry_node.endpoint), listener=listener
+        )
+        provider.deploy(Echo(), name="Echo")
+        provider.publish("Echo")
+        handle = consumer.locate_one("Echo")
+        consumer.invoke(handle, "echo", message="x")
+        kinds = listener.kinds()
+        assert "query-issued" in kinds
+        assert "service-found" in kinds
+        assert "request-sent" in kinds
+        assert "response-received" in kinds
+
+    def test_interceptor_through_facade(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="Echo")
+        handle = provider.local_handle("Echo")
+
+        from repro.soap.rpc import build_rpc_request
+
+        canned = build_rpc_request("urn:wspeer:Echo", "echoResponse", {"return": "MINE"})
+        provider.set_interceptor(lambda service, request: canned)
+        assert consumer.invoke(handle, "echo", message="x") == "MINE"
+        provider.set_interceptor(None)
+        assert consumer.invoke(handle, "echo", message="x") == "x"
+
+
+class TestDynamicDeployment:
+    def test_deploy_at_runtime_after_traffic(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        provider.deploy(Echo(), name="First")
+        provider.publish("First")
+        consumer.invoke(consumer.locate_one("First"), "echo", message="x")
+        # now, mid-run, deploy another service
+        provider.deploy(Counter(), name="Second")
+        provider.publish("Second")
+        handle = consumer.locate_one("Second")
+        assert consumer.invoke(handle, "increment", by=1) == 1
+
+    def test_deployed_services_listing(self, standard_pair, net):
+        provider, _, _ = standard_pair
+        provider.deploy(Echo(), name="A")
+        provider.deploy(Counter(), name="B")
+        assert provider.deployed_services == ["A", "B"]
+
+    def test_undeploy_unknown(self, standard_pair, net):
+        provider, _, _ = standard_pair
+        from repro.core import WsPeerError
+
+        with pytest.raises(WsPeerError):
+            provider.undeploy("Ghost")
+
+    def test_publish_requires_deploy(self, standard_pair, net):
+        provider, _, _ = standard_pair
+        from repro.core import WsPeerError
+
+        with pytest.raises(WsPeerError):
+            provider.publish("Ghost")

@@ -1,0 +1,101 @@
+"""End-to-end: dataclass-typed services across the wire with schemas."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import WSPeer
+from repro.core.binding import P2psBinding, StandardBinding
+from repro.p2ps import PeerGroup
+from repro.simnet import FixedLatency, Network
+from repro.soap import StructRegistry
+from repro.uddi import UddiRegistryNode
+
+
+@dataclass
+class Order:
+    item: str
+    quantity: int
+
+
+@dataclass
+class Receipt:
+    order: Order
+    total: float
+
+
+class ShopService:
+    PRICE = 2.5
+
+    def checkout(self, order: Order) -> Receipt:
+        return Receipt(order, self.PRICE * order.quantity)
+
+
+def make_registry():
+    reg = StructRegistry()
+    reg.register(Order)
+    reg.register(Receipt)
+    return reg
+
+
+class TestTypedStandardBinding:
+    @pytest.fixture
+    def world(self):
+        net = Network(latency=FixedLatency(0.002))
+        uddi = UddiRegistryNode(net.add_node("registry"))
+        provider = WSPeer(net.add_node("prov"), StandardBinding(uddi.endpoint))
+        consumer = WSPeer(net.add_node("cons"), StandardBinding(uddi.endpoint))
+        provider.deploy(ShopService(), name="Shop", registry=make_registry())
+        provider.publish("Shop")
+        consumer.client.invocation.registry = make_registry()
+        return net, provider, consumer
+
+    def test_dataclass_round_trip_over_http(self, world):
+        net, provider, consumer = world
+        handle = consumer.locate_one("Shop")
+        receipt = consumer.invoke(handle, "checkout", order=Order("widget", 4))
+        assert isinstance(receipt, Receipt)
+        assert receipt.total == 10.0
+        assert receipt.order == Order("widget", 4)
+
+    def test_wsdl_carries_struct_schema(self, world):
+        net, provider, consumer = world
+        handle = consumer.locate_one("Shop")
+        assert set(handle.wsdl.schema_types) == {"Order", "Receipt"}
+        assert dict(handle.wsdl.schema_types["Order"])["quantity"] == "xsd:int"
+
+    def test_stub_with_typed_args(self, world):
+        net, provider, consumer = world
+        stub = consumer.create_stub(consumer.locate_one("Shop"))
+        receipt = stub.checkout(Order("gadget", 2))
+        assert receipt.total == 5.0
+
+
+class TestTypedP2psBinding:
+    def test_dataclass_round_trip_over_pipes(self):
+        net = Network(latency=FixedLatency(0.002))
+        group = PeerGroup("g")
+        provider = WSPeer(net.add_node("pp"), P2psBinding(group), name="pp")
+        consumer = WSPeer(net.add_node("pc"), P2psBinding(group), name="pc")
+        provider.deploy(ShopService(), name="Shop", registry=make_registry())
+        provider.publish("Shop")
+        net.run()
+        consumer.client.invocation.registry = make_registry()
+        handle = consumer.locate_one("Shop")
+        receipt = consumer.invoke(handle, "checkout", order=Order("pipe-thing", 3))
+        assert receipt == Receipt(Order("pipe-thing", 3), 7.5)
+
+    def test_unregistered_consumer_gets_clear_error(self):
+        net = Network(latency=FixedLatency(0.002))
+        group = PeerGroup("g")
+        provider = WSPeer(net.add_node("pp2"), P2psBinding(group), name="pp2")
+        consumer = WSPeer(net.add_node("pc2"), P2psBinding(group), name="pc2")
+        provider.deploy(ShopService(), name="Shop", registry=make_registry())
+        provider.publish("Shop")
+        net.run()
+        handle = consumer.locate_one("Shop")
+        # consumer never registered the dataclasses: encoding must refuse
+        from repro.soap import EncodingError
+
+        with pytest.raises(EncodingError):
+            consumer.invoke(handle, "checkout", order=Order("x", 1))

@@ -1,0 +1,71 @@
+"""Smoke tests: every shipped example must run cleanly end-to-end."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    output = run_example(name)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_expected_example_set_present():
+    assert {
+        "quickstart.py",
+        "p2p_discovery.py",
+        "triana_workflow.py",
+        "cactus_streaming.py",
+        "catnets_market.py",
+        "semantic_discovery.py",
+        "wire_inspection.py",
+    } <= set(EXAMPLES)
+
+
+class TestExampleOutputs:
+    def test_quickstart_shows_invocation_and_events(self):
+        output = run_example("quickstart.py")
+        assert "Hello, world!" in output
+        assert "MessageEvent" in output
+
+    def test_p2p_discovery_invokes_across_groups(self):
+        output = run_example("p2p_discovery.py")
+        assert "rendered:nebula@640px" in output
+        assert "async completed" in output
+
+    def test_workflow_reports(self):
+        output = run_example("triana_workflow.py")
+        assert "signal report" in output
+        assert "wave 2: mean, peak" in output
+
+    def test_cactus_streams(self):
+        output = run_example("cactus_streaming.py")
+        assert "streamed 24 snapshots" in output
+
+    def test_market_clears(self):
+        output = run_example("catnets_market.py")
+        assert "purchases" in output
+
+    def test_semantic_ranks(self):
+        output = run_example("semantic_discovery.py")
+        assert "EXACT" in output and "PLUGIN" in output
+
+    def test_wiretap_shows_soap(self):
+        output = run_example("wire_inspection.py")
+        assert "SOAP ask" in output
+        assert "wsa:ReplyTo" in output

@@ -1,0 +1,135 @@
+"""Property-based tests over protocol wire formats and the kernel."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2ps.advertisements import (
+    PeerAdvertisement,
+    PipeAdvertisement,
+    ServiceAdvertisement,
+    parse_advertisement,
+)
+from repro.simnet import Kernel
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.wsa.p2psuri import P2psAddress, make_p2ps_uri, parse_p2ps_uri
+
+_names = st.text(alphabet=string.ascii_letters + string.digits + "-_.", min_size=1, max_size=16)
+_safe_body = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs", "Cc", "Cn")),
+    max_size=200,
+)
+_header_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " -_;=/.,+", max_size=30
+)
+
+
+class TestKernelProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=30))
+    def test_events_always_fire_in_time_order(self, delays):
+        kernel = Kernel()
+        fired = []
+        for i, delay in enumerate(delays):
+            kernel.schedule(delay, lambda i=i, d=delay: fired.append(d))
+        kernel.run_until_idle()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20),
+        st.floats(min_value=0, max_value=100),
+    )
+    def test_run_until_never_fires_past_boundary(self, delays, until):
+        kernel = Kernel()
+        fired = []
+        for delay in delays:
+            kernel.schedule(delay, lambda d=delay: fired.append(d))
+        kernel.run(until=until)
+        assert all(d <= until for d in fired)
+        assert sorted(fired) == sorted(d for d in delays if d <= until)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=20))
+    def test_clock_is_monotonic(self, delays):
+        kernel = Kernel()
+        times = []
+        for delay in delays:
+            kernel.schedule(delay, lambda: times.append(kernel.now))
+        kernel.run_until_idle()
+        assert times == sorted(times)
+
+
+class TestHttpWireProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(_names, _safe_body, st.dictionaries(
+        st.sampled_from(["X-A", "X-B", "SOAPAction", "Content-Type"]),
+        _header_values, max_size=3,
+    ))
+    def test_request_roundtrip(self, path, body, headers):
+        request = HttpRequest("POST", "/" + path, body, headers)
+        back = HttpRequest.from_wire(request.to_wire())
+        assert back.path == "/" + path
+        assert back.body == body
+        for key, value in headers.items():
+            assert back.headers[key] == value.strip()
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(100, 599), _safe_body)
+    def test_response_roundtrip(self, status, body):
+        back = HttpResponse.from_wire(HttpResponse(status, body).to_wire())
+        assert back.status == status
+        assert back.body == body
+
+    @settings(max_examples=80, deadline=None)
+    @given(_safe_body)
+    def test_content_length_always_consistent(self, body):
+        wire = HttpResponse(200, body).to_wire()
+        back = HttpResponse.from_wire(wire)  # would raise on mismatch
+        assert back.body == body
+
+
+class TestP2psUriProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(_names, st.one_of(st.just(""), _names), st.one_of(st.just(""), _names))
+    def test_build_parse_roundtrip(self, peer, service, pipe):
+        text = make_p2ps_uri(peer, service, pipe)
+        assert parse_p2ps_uri(text) == P2psAddress(peer, service, pipe)
+
+    @settings(max_examples=80, deadline=None)
+    @given(_names, _names)
+    def test_service_uri_never_has_fragment(self, peer, pipe):
+        addr = P2psAddress(peer, "", pipe)
+        assert "#" not in addr.service_uri()
+
+
+class TestAdvertProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(_names, _names, _names, st.booleans())
+    def test_peer_advert_roundtrip(self, peer_id, node_id, name, rdv):
+        advert = PeerAdvertisement(peer_id, node_id, name, rdv)
+        assert parse_advertisement(advert.to_wire()) == advert
+
+    @settings(max_examples=100, deadline=None)
+    @given(_names, _names, _names, st.sampled_from(["input", "output"]), st.one_of(st.just(""), _names))
+    def test_pipe_advert_roundtrip(self, pipe_id, name, peer_id, pipe_type, service):
+        advert = PipeAdvertisement(pipe_id, name, peer_id, pipe_type, service)
+        assert parse_advertisement(advert.to_wire()) == advert
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        _names,
+        _names,
+        st.lists(st.tuples(_names, _names), max_size=3),
+        st.dictionaries(_names, _header_values.filter(lambda s: s == s.strip()), max_size=3),
+    )
+    def test_service_advert_roundtrip(self, name, peer_id, pipe_specs, attributes):
+        pipes = [
+            PipeAdvertisement(f"pipe-{i}", pname, peer_id, "input", name)
+            for i, (pname, _) in enumerate(pipe_specs)
+        ]
+        advert = ServiceAdvertisement(name, peer_id, pipes, attributes=attributes)
+        back = parse_advertisement(advert.to_wire())
+        assert back == advert

@@ -1,0 +1,178 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simnet import Kernel, SimTimeoutError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Kernel().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        k = Kernel()
+        fired = []
+        k.schedule(2.0, fired.append, "b")
+        k.schedule(1.0, fired.append, "a")
+        k.schedule(3.0, fired.append, "c")
+        k.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        k = Kernel()
+        fired = []
+        for name in "abcde":
+            k.schedule(1.0, fired.append, name)
+        k.run_until_idle()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        k = Kernel()
+        seen = []
+        k.schedule(5.0, lambda: seen.append(k.now))
+        k.run_until_idle()
+        assert seen == [5.0]
+        assert k.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        k = Kernel()
+        k.schedule(1.0, lambda: None)
+        k.run_until_idle()
+        k.schedule_at(5.0, lambda: None)
+        k.run_until_idle()
+        assert k.now == 5.0
+
+    def test_schedule_at_past_rejected(self):
+        k = Kernel()
+        k.schedule(2.0, lambda: None)
+        k.run_until_idle()
+        with pytest.raises(ValueError):
+            k.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        k = Kernel()
+        fired = []
+
+        def outer():
+            fired.append(("outer", k.now))
+            k.schedule(1.0, lambda: fired.append(("inner", k.now)))
+
+        k.schedule(1.0, outer)
+        k.run_until_idle()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_call_soon_runs_at_current_time(self):
+        k = Kernel()
+        fired = []
+        k.schedule(1.0, lambda: k.call_soon(lambda: fired.append(k.now)))
+        k.run_until_idle()
+        assert fired == [1.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        k = Kernel()
+        fired = []
+        ev = k.schedule(1.0, fired.append, "x")
+        ev.cancel()
+        k.run_until_idle()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        k = Kernel()
+        ev = k.schedule(1.0, lambda: None)
+        k.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert k.pending == 1
+
+
+class TestRun:
+    def test_run_until_stops_at_boundary(self):
+        k = Kernel()
+        fired = []
+        k.schedule(1.0, fired.append, 1)
+        k.schedule(5.0, fired.append, 5)
+        n = k.run(until=2.0)
+        assert n == 1
+        assert fired == [1]
+        assert k.now == 2.0
+        k.run_until_idle()
+        assert fired == [1, 5]
+
+    def test_run_until_exact_boundary_inclusive(self):
+        k = Kernel()
+        fired = []
+        k.schedule(2.0, fired.append, "x")
+        k.run(until=2.0)
+        assert fired == ["x"]
+
+    def test_max_events_guard(self):
+        k = Kernel()
+
+        def loop():
+            k.schedule(0.1, loop)
+
+        k.schedule(0.1, loop)
+        fired = k.run(max_events=50)
+        assert fired == 50
+
+    def test_events_fired_counter(self):
+        k = Kernel()
+        for _ in range(7):
+            k.schedule(1.0, lambda: None)
+        k.run_until_idle()
+        assert k.events_fired == 7
+
+
+class TestPumpUntil:
+    def test_pump_until_predicate(self):
+        k = Kernel()
+        box = []
+        k.schedule(3.0, box.append, "done")
+        t = k.pump_until(lambda: bool(box))
+        assert t == 3.0
+
+    def test_pump_until_already_true_fires_nothing(self):
+        k = Kernel()
+        k.schedule(1.0, lambda: None)
+        k.pump_until(lambda: True)
+        assert k.events_fired == 0
+
+    def test_pump_until_timeout(self):
+        k = Kernel()
+        k.schedule(10.0, lambda: None)
+        with pytest.raises(SimTimeoutError):
+            k.pump_until(lambda: False, timeout=5.0)
+        assert k.now == 5.0
+
+    def test_pump_until_queue_drained(self):
+        k = Kernel()
+        k.schedule(1.0, lambda: None)
+        with pytest.raises(SimTimeoutError):
+            k.pump_until(lambda: False)
+
+    def test_pump_leaves_later_events_queued(self):
+        k = Kernel()
+        box = []
+        k.schedule(1.0, box.append, "first")
+        k.schedule(9.0, box.append, "later")
+        k.pump_until(lambda: bool(box))
+        assert box == ["first"]
+        assert k.pending == 1
+
+
+class TestAdvance:
+    def test_advance_moves_clock(self):
+        k = Kernel()
+        k.advance(4.0)
+        assert k.now == 4.0
+
+    def test_advance_past_pending_rejected(self):
+        k = Kernel()
+        k.schedule(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            k.advance(2.0)

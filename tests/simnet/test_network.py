@@ -1,0 +1,157 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.simnet import (
+    FixedLatency,
+    Frame,
+    Network,
+    NetworkError,
+    NodeDownError,
+    TraceLog,
+)
+
+
+def make_net(**kwargs):
+    net = Network(latency=FixedLatency(0.01), trace=TraceLog(enabled=True), **kwargs)
+    a = net.add_node("a")
+    b = net.add_node("b")
+    return net, a, b
+
+
+class TestNodes:
+    def test_duplicate_node_rejected(self):
+        net, *_ = make_net()
+        with pytest.raises(NetworkError):
+            net.add_node("a")
+
+    def test_get_unknown_node(self):
+        net, *_ = make_net()
+        with pytest.raises(NetworkError):
+            net.get_node("zz")
+
+    def test_port_lifecycle(self):
+        net, a, _ = make_net()
+        a.open_port("p", lambda f: None)
+        assert a.has_port("p")
+        with pytest.raises(NetworkError):
+            a.open_port("p", lambda f: None)
+        a.close_port("p")
+        assert not a.has_port("p")
+
+    def test_ports_listing(self):
+        _, a, _ = make_net()
+        a.open_port("z", lambda f: None)
+        a.open_port("a", lambda f: None)
+        assert a.ports == ["a", "z"]
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        net, a, b = make_net()
+        got = []
+        b.open_port("in", got.append)
+        a.send("b", "in", "hello")
+        net.run()
+        assert len(got) == 1
+        assert got[0].payload == "hello"
+        assert got[0].src == "a"
+
+    def test_latency_applied(self):
+        net, a, b = make_net()
+        times = []
+        b.open_port("in", lambda f: times.append(net.now))
+        a.send("b", "in", "x")
+        net.run()
+        assert times == [pytest.approx(0.01)]
+
+    def test_loopback_delivery(self):
+        net, a, _ = make_net()
+        got = []
+        a.open_port("self", got.append)
+        a.send("a", "self", "me")
+        net.run()
+        assert len(got) == 1
+        assert net.now < 0.001  # loopback is near-instant
+
+    def test_no_handler_is_traced_not_fatal(self):
+        net, a, b = make_net()
+        a.send("b", "nowhere", "x")
+        net.run()
+        assert net.trace.count("no-handler") == 1
+
+    def test_unknown_destination_unroutable(self):
+        net, a, _ = make_net()
+        a.send("ghost", "in", "x")
+        net.run()
+        assert net.trace.count("unroutable") == 1
+
+    def test_send_from_down_node_raises(self):
+        net, a, _ = make_net()
+        a.go_down()
+        with pytest.raises(NodeDownError):
+            a.send("b", "in", "x")
+
+    def test_frame_to_down_node_lost(self):
+        net, a, b = make_net()
+        got = []
+        b.open_port("in", got.append)
+        a.send("b", "in", "x")
+        b.go_down()
+        net.run()
+        assert got == []
+        assert net.trace.count("lost") == 1
+
+    def test_node_recovers(self):
+        net, a, b = make_net()
+        got = []
+        b.open_port("in", got.append)
+        b.go_down()
+        b.go_up()
+        a.send("b", "in", "x")
+        net.run()
+        assert len(got) == 1
+
+    def test_stats_count_handled_frames(self):
+        net, a, b = make_net()
+        b.open_port("in", lambda f: None)
+        for _ in range(3):
+            a.send("b", "in", "x")
+        net.run()
+        assert net.stats.get("b") == 3
+        assert net.sent.get("a") == 3
+
+    def test_frame_size(self):
+        f = Frame("a", "b", "p", "12345")
+        assert f.size == 5
+
+    def test_meta_passed_through(self):
+        net, a, b = make_net()
+        got = []
+        b.open_port("in", got.append)
+        a.send("b", "in", "x", kind="test")
+        net.run()
+        assert got[0].meta == {"kind": "test"}
+
+
+class TestDeliveryHooks:
+    def test_hook_can_drop(self):
+        net, a, b = make_net()
+        got = []
+        b.open_port("in", got.append)
+        net.add_delivery_hook(lambda f: False)
+        a.send("b", "in", "x")
+        net.run()
+        assert got == []
+        assert net.trace.count("dropped") == 1
+
+    def test_hook_removal(self):
+        net, a, b = make_net()
+        got = []
+        b.open_port("in", got.append)
+        hook = lambda f: False  # noqa: E731
+        net.add_delivery_hook(hook)
+        net.remove_delivery_hook(hook)
+        a.send("b", "in", "x")
+        net.run()
+        assert len(got) == 1

@@ -1,0 +1,74 @@
+"""Tests for the per-node serial processing queue (server saturation)."""
+
+import pytest
+
+from repro.simnet import FixedLatency, Network, TraceLog
+
+
+def build(service_time=0.01):
+    net = Network(latency=FixedLatency(0.001), trace=TraceLog(enabled=True))
+    server = net.add_node("server")
+    server.service_time = service_time
+    client = net.add_node("client")
+    handled_at = []
+    server.open_port("in", lambda frame: handled_at.append(net.now))
+    return net, server, client, handled_at
+
+
+class TestServiceTime:
+    def test_zero_service_time_is_immediate(self):
+        net, server, client, handled_at = build(service_time=0.0)
+        client.send("server", "in", "a")
+        client.send("server", "in", "b")
+        net.run()
+        assert handled_at == [pytest.approx(0.001)] * 2
+
+    def test_single_frame_costs_one_service_time(self):
+        net, server, client, handled_at = build()
+        client.send("server", "in", "a")
+        net.run()
+        assert handled_at == [pytest.approx(0.011)]  # 1ms wire + 10ms service
+
+    def test_concurrent_frames_serialise(self):
+        net, server, client, handled_at = build()
+        for _ in range(3):
+            client.send("server", "in", "x")
+        net.run()
+        assert handled_at == [
+            pytest.approx(0.011),
+            pytest.approx(0.021),
+            pytest.approx(0.031),
+        ]
+
+    def test_queue_delay_recorded(self):
+        net, server, client, handled_at = build()
+        for _ in range(5):
+            client.send("server", "in", "x")
+        net.run()
+        # the 5th frame waited 4 service times
+        assert server.max_queue_delay == pytest.approx(0.04)
+        assert net.trace.count("queued") == 4
+
+    def test_idle_gap_resets_queue(self):
+        net, server, client, handled_at = build()
+        client.send("server", "in", "a")
+        net.run()
+        client.send("server", "in", "b")
+        net.run()
+        # both processed exactly one service time after arrival
+        assert handled_at[1] - handled_at[0] > 0.009
+
+    def test_node_down_drops_queued_work(self):
+        net, server, client, handled_at = build()
+        client.send("server", "in", "a")
+        net.kernel.schedule(0.005, server.go_down)  # dies mid-processing
+        net.run()
+        assert handled_at == []
+
+    def test_stats_count_processed_not_arrived(self):
+        net, server, client, handled_at = build()
+        client.send("server", "in", "a")
+        net.kernel.run(until=0.002)  # arrived, not yet processed
+        assert net.stats.get("server") == 0
+        net.run()
+        assert net.stats.get("server") == 1

@@ -1,0 +1,76 @@
+"""Tests for trace/metric helpers."""
+
+import pytest
+
+from repro.simnet import Counter, TraceLog
+from repro.simnet.trace import summarize
+
+
+class TestTraceLog:
+    def test_emit_and_query(self):
+        log = TraceLog()
+        log.emit(1.0, "sent", src="a")
+        log.emit(2.0, "sent", src="b")
+        log.emit(3.0, "lost")
+        assert log.count("sent") == 2
+        assert [r.detail["src"] for r in log.of_kind("sent")] == ["a", "b"]
+        assert len(log) == 3
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.emit(1.0, "sent")
+        assert len(log) == 0
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit(1.0, "x")
+        log.clear()
+        assert len(log) == 0
+
+
+class TestCounter:
+    def test_incr_get_total(self):
+        counter = Counter()
+        counter.incr("a")
+        counter.incr("a", by=2)
+        counter.incr("b")
+        assert counter.get("a") == 3
+        assert counter.get("missing") == 0
+        assert counter.total() == 4
+
+    def test_top(self):
+        counter = Counter()
+        for key, n in (("x", 5), ("y", 2), ("z", 9)):
+            counter.incr(key, by=n)
+        assert counter.top(2) == [("z", 9), ("x", 5)]
+
+    def test_max_and_clear(self):
+        counter = Counter()
+        assert counter.max() == 0
+        counter.incr("a", by=7)
+        assert counter.max() == 7
+        counter.clear()
+        assert counter.total() == 0
+
+    def test_as_dict_is_copy(self):
+        counter = Counter()
+        counter.incr("a")
+        d = counter.as_dict()
+        d["a"] = 99
+        assert counter.get("a") == 1
+
+
+class TestSummarize:
+    def test_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["n"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+
+    def test_p95(self):
+        stats = summarize(range(100))
+        assert stats["p95"] == pytest.approx(94.05)
+
+    def test_empty_returns_none(self):
+        assert summarize([]) is None

@@ -1,0 +1,235 @@
+"""Tests for the typed encoding layer."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.soap import EncodingError, StructRegistry, decode_value, encode_value
+from repro.soap.encoding import python_type_to_xsd
+from repro.xmlkit import parse, serialize
+
+
+def roundtrip(value, registry=None):
+    elem = encode_value("v", value, registry)
+    # push through real text to catch serialisation-dependent bugs
+    reparsed = parse(serialize(elem))
+    return decode_value(reparsed, registry)
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+@dataclass
+class Segment:
+    start: Point
+    end: Point
+    label: str
+
+
+class TestPrimitives:
+    def test_str(self):
+        assert roundtrip("hello") == "hello"
+
+    def test_str_with_markup_chars(self):
+        assert roundtrip("<a>&</a>") == "<a>&</a>"
+
+    def test_empty_str(self):
+        assert roundtrip("") == ""
+
+    def test_int(self):
+        assert roundtrip(42) == 42
+
+    def test_negative_int(self):
+        assert roundtrip(-7) == -7
+
+    def test_float(self):
+        assert roundtrip(3.25) == 3.25
+
+    def test_float_precision(self):
+        assert roundtrip(0.1) == 0.1
+
+    def test_bool_true(self):
+        assert roundtrip(True) is True
+
+    def test_bool_false(self):
+        assert roundtrip(False) is False
+
+    def test_bool_not_confused_with_int(self):
+        elem = encode_value("v", True)
+        assert "boolean" in elem.get("{http://www.w3.org/2001/XMLSchema-instance}type")
+
+    def test_none(self):
+        assert roundtrip(None) is None
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\x01\xffbinary") == b"\x00\x01\xffbinary"
+
+    def test_empty_bytes(self):
+        assert roundtrip(b"") == b""
+
+
+class TestComposites:
+    def test_list_of_ints(self):
+        assert roundtrip([1, 2, 3]) == [1, 2, 3]
+
+    def test_empty_list(self):
+        assert roundtrip([]) == []
+
+    def test_tuple_decodes_as_list(self):
+        assert roundtrip((1, "a")) == [1, "a"]
+
+    def test_nested_lists(self):
+        assert roundtrip([[1, 2], [3]]) == [[1, 2], [3]]
+
+    def test_dict(self):
+        assert roundtrip({"a": 1, "b": "two"}) == {"a": 1, "b": "two"}
+
+    def test_nested_dict(self):
+        value = {"outer": {"inner": [1, None, "x"]}}
+        assert roundtrip(value) == value
+
+    def test_dict_with_non_str_key_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_value("v", {1: "x"})
+
+    def test_heterogeneous_list(self):
+        assert roundtrip([1, "a", None, True, 2.5]) == [1, "a", None, True, 2.5]
+
+
+class TestStructs:
+    def test_registered_dataclass_roundtrip(self):
+        reg = StructRegistry()
+        reg.register(Point)
+        p = roundtrip(Point(1, 2), reg)
+        assert isinstance(p, Point)
+        assert p == Point(1, 2)
+
+    def test_nested_dataclasses(self):
+        reg = StructRegistry()
+        reg.register(Point)
+        reg.register(Segment)
+        seg = Segment(Point(0, 0), Point(3, 4), "hyp")
+        assert roundtrip(seg, reg) == seg
+
+    def test_unregistered_dataclass_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_value("v", Point(1, 2))
+
+    def test_register_non_dataclass_rejected(self):
+        with pytest.raises(EncodingError):
+            StructRegistry().register(int)
+
+    def test_register_as_decorator(self):
+        reg = StructRegistry()
+
+        @reg.register
+        @dataclass
+        class Local:
+            v: int
+
+        assert reg.name_of(Local) == "Local"
+        assert reg.type_of("Local") is Local
+
+    def test_custom_name(self):
+        reg = StructRegistry()
+        reg.register(Point, name="Point2D")
+        elem = encode_value("v", Point(1, 2), reg)
+        out = serialize(elem)
+        assert "Point2D" in out
+
+    def test_names_listing(self):
+        reg = StructRegistry()
+        reg.register(Point)
+        reg.register(Segment)
+        assert reg.names == ["Point", "Segment"]
+
+    def test_missing_field_in_wire_rejected(self):
+        reg = StructRegistry()
+        reg.register(Point)
+        elem = encode_value("v", Point(1, 2), reg)
+        elem.remove(elem.children[0])
+        with pytest.raises(EncodingError):
+            decode_value(elem, reg)
+
+
+class TestDecodingEdgeCases:
+    def test_unknown_type_rejected(self):
+        elem = encode_value("v", 1)
+        from repro.soap.encoding import XSI_TYPE
+
+        elem.set(XSI_TYPE, "xsd:hyperreal")
+        with pytest.raises(EncodingError):
+            decode_value(elem)
+
+    def test_bad_int_literal(self):
+        elem = encode_value("v", 1)
+        elem.text = "NaN"
+        with pytest.raises(EncodingError):
+            decode_value(elem)
+
+    def test_bad_bool_literal(self):
+        elem = encode_value("v", True)
+        elem.text = "maybe"
+        with pytest.raises(EncodingError):
+            decode_value(elem)
+
+    def test_bad_base64(self):
+        elem = encode_value("v", b"x")
+        elem.text = "!!!not-base64!!!"
+        with pytest.raises(EncodingError):
+            decode_value(elem)
+
+    def test_untyped_text_decodes_as_string(self):
+        elem = parse("<v>plain</v>")
+        assert decode_value(elem) == "plain"
+
+    def test_untyped_items_decode_as_list(self):
+        elem = parse("<v><item>1</item><item>2</item></v>")
+        assert decode_value(elem) == ["1", "2"]
+
+    def test_untyped_children_decode_as_dict(self):
+        elem = parse("<v><a>1</a><b>2</b></v>")
+        assert decode_value(elem) == {"a": "1", "b": "2"}
+
+    def test_foreign_prefix_falls_back_to_local(self):
+        # liberal acceptance: xsi:type with an undeclared prefix still
+        # decodes by local name
+        elem = parse(
+            '<v xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xsi:type="foreign:int">5</v>'
+        )
+        assert decode_value(elem) == 5
+
+    def test_long_and_short_decode_as_int(self):
+        elem = parse(
+            '<v xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xmlns:xsd="http://www.w3.org/2001/XMLSchema" xsi:type="xsd:long">9</v>'
+        )
+        assert decode_value(elem) == 9
+
+
+class TestTypeMapping:
+    def test_primitives(self):
+        assert python_type_to_xsd(int) == "xsd:int"
+        assert python_type_to_xsd(str) == "xsd:string"
+        assert python_type_to_xsd(float) == "xsd:double"
+        assert python_type_to_xsd(bool) == "xsd:boolean"
+        assert python_type_to_xsd(bytes) == "xsd:base64Binary"
+
+    def test_containers(self):
+        assert python_type_to_xsd(list) == "soapenc:Array"
+        assert python_type_to_xsd(dict) == "soapenc:Struct"
+        assert python_type_to_xsd(list[int]) == "soapenc:Array"
+
+    def test_dataclass(self):
+        assert python_type_to_xsd(Point) == "tns:Point"
+
+    def test_unknown_is_anytype(self):
+        class Weird:
+            pass
+
+        assert python_type_to_xsd(Weird) == "xsd:anyType"
+        assert python_type_to_xsd(None) == "xsd:anyType"

@@ -1,0 +1,143 @@
+"""Tests for the utility handler kit, including in-pipeline use."""
+
+import pytest
+
+from repro.soap import FaultCode, HandlerChain, MessageContext, SoapEnvelope, SoapFault
+from repro.soap.extra_handlers import (
+    AllowListHandler,
+    HeaderInjectionHandler,
+    LoggingHandler,
+    TimingHandler,
+)
+from repro.soap.handlers import Direction
+from repro.soap.rpc import build_rpc_request
+from repro.xmlkit import Element, QName
+
+NS = "urn:handler-test"
+
+
+def run_exchange(chain, operation="op", service_response=None):
+    request = build_rpc_request(NS, operation, {"x": 1})
+    context = MessageContext(request, "Svc", operation)
+    response = service_response or SoapEnvelope(
+        body_content=Element(QName(NS, f"{operation}Response", "tns"))
+    )
+    return chain.run(context, lambda ctx: response), context
+
+
+class TestLoggingHandler:
+    def test_records_both_directions(self):
+        log = LoggingHandler()
+        run_exchange(HandlerChain([log]))
+        assert [r[0] for r in log.records] == ["request", "response"]
+        assert all(r[1] == "Svc" for r in log.records)
+
+    def test_wire_capture_optional(self):
+        log = LoggingHandler(capture_wire=True)
+        run_exchange(HandlerChain([log]))
+        assert "<soapenv:Envelope" in log.records[0][3]
+        log2 = LoggingHandler(capture_wire=False)
+        run_exchange(HandlerChain([log2]))
+        assert log2.records[0][3] == ""
+
+    def test_clear(self):
+        log = LoggingHandler()
+        run_exchange(HandlerChain([log]))
+        log.clear()
+        assert log.records == []
+
+
+class TestTimingHandler:
+    def test_measures_exchange(self):
+        clock = {"t": 0.0}
+
+        def service(ctx):
+            clock["t"] += 0.25  # the service "takes" 250ms
+            return SoapEnvelope(body_content=Element(QName(NS, "r", "tns")))
+
+        timing = TimingHandler(lambda: clock["t"])
+        chain = HandlerChain([timing])
+        chain.run(MessageContext(build_rpc_request(NS, "op", {})), service)
+        assert timing.count == 1
+        assert timing.mean == pytest.approx(0.25)
+
+    def test_faulted_exchange_still_measured(self):
+        clock = {"t": 0.0}
+
+        def failing(ctx):
+            clock["t"] += 0.5
+            raise SoapFault(FaultCode.SERVER, "x")
+
+        timing = TimingHandler(lambda: clock["t"])
+        chain = HandlerChain([timing])
+        chain.run(MessageContext(build_rpc_request(NS, "op", {})), failing)
+        assert timing.count == 1
+        assert timing.samples[0] == pytest.approx(0.5)
+
+    def test_empty_stats(self):
+        timing = TimingHandler(lambda: 0.0)
+        assert timing.mean == 0.0 and timing.count == 0
+
+
+class TestHeaderInjection:
+    def test_injects_on_response(self):
+        block = Element(QName("urn:trace", "TraceId", "t"), text="abc-123")
+        chain = HandlerChain([HeaderInjectionHandler(block)])
+        response, _ = run_exchange(chain)
+        assert response.find_header("TraceId").text == "abc-123"
+
+    def test_injects_on_request_direction(self):
+        block = Element(QName("urn:trace", "Tenant", "t"), text="acme")
+        handler = HeaderInjectionHandler(block, Direction.REQUEST)
+        chain = HandlerChain([handler])
+        _, context = run_exchange(chain)
+        assert context.request.find_header("Tenant").text == "acme"
+
+    def test_block_copied_per_message(self):
+        block = Element(QName("urn:trace", "TraceId", "t"), text="x")
+        chain = HandlerChain([HeaderInjectionHandler(block)])
+        r1, _ = run_exchange(chain)
+        r2, _ = run_exchange(chain)
+        r1.find_header("TraceId").text = "mutated"
+        assert r2.find_header("TraceId").text == "x"
+
+
+class TestAllowList:
+    def test_allowed_operation_passes(self):
+        chain = HandlerChain([AllowListHandler({"op"})])
+        response, _ = run_exchange(chain, operation="op")
+        assert not response.is_fault
+
+    def test_disallowed_operation_faults(self):
+        handler = AllowListHandler({"other"})
+        chain = HandlerChain([handler])
+        response, _ = run_exchange(chain, operation="op")
+        assert response.is_fault
+        assert response.fault().code is FaultCode.CLIENT
+        assert handler.refused == 1
+
+
+class TestInLivePipeline:
+    def test_handlers_on_deployed_service(self):
+        """Wire the kit into a real WSPeer-hosted service."""
+        from repro.core import WSPeer
+        from repro.core.binding import StandardBinding
+        from repro.simnet import FixedLatency, Network
+        from repro.uddi import UddiRegistryNode
+        from tests.core.conftest import Echo
+
+        net = Network(latency=FixedLatency(0.002))
+        registry = UddiRegistryNode(net.add_node("registry"))
+        provider = WSPeer(net.add_node("prov"), StandardBinding(registry.endpoint))
+        consumer = WSPeer(net.add_node("cons"), StandardBinding(registry.endpoint))
+        deployed = provider.deploy(Echo(), name="Echo")
+        log = LoggingHandler()
+        gate = AllowListHandler({"echo"})
+        deployed.chain.append(log)
+        deployed.chain.append(gate)
+        handle = provider.local_handle("Echo")
+        assert consumer.invoke(handle, "echo", message="ok") == "ok"
+        with pytest.raises(SoapFault):
+            consumer.invoke(handle, "shout", message="blocked")
+        assert gate.refused == 1
+        assert len(log.records) >= 2

@@ -1,0 +1,129 @@
+"""Tests for stub generation (dynamic and source-codegen paths)."""
+
+import pytest
+
+from repro.soap import DynamicStubBuilder, SourceCodegenStubBuilder
+from repro.soap.stubs import OperationSpec, StubSpec
+
+SPEC = StubSpec(
+    "Echo",
+    (
+        OperationSpec("echo", ("message",), doc="Echo a string."),
+        OperationSpec("add", ("a", "b")),
+        OperationSpec("ping", ()),
+    ),
+)
+
+
+def recording_invoke(calls):
+    def invoke(op, args):
+        calls.append((op, args))
+        return f"result-of-{op}"
+
+    return invoke
+
+
+@pytest.mark.parametrize("builder_cls", [DynamicStubBuilder, SourceCodegenStubBuilder])
+class TestBothBuilders:
+    def test_methods_exist(self, builder_cls):
+        stub = builder_cls().build(SPEC, lambda op, args: None)
+        assert callable(stub.echo)
+        assert callable(stub.add)
+        assert callable(stub.ping)
+
+    def test_positional_args_forwarded(self, builder_cls):
+        calls = []
+        stub = builder_cls().build(SPEC, recording_invoke(calls))
+        result = stub.add(1, 2)
+        assert calls == [("add", {"a": 1, "b": 2})]
+        assert result == "result-of-add"
+
+    def test_no_arg_operation(self, builder_cls):
+        calls = []
+        stub = builder_cls().build(SPEC, recording_invoke(calls))
+        stub.ping()
+        assert calls == [("ping", {})]
+
+    def test_class_name(self, builder_cls):
+        cls = builder_cls().build_class(SPEC)
+        assert cls.__name__ == "EchoStub"
+
+    def test_instances_independent(self, builder_cls):
+        cls = builder_cls().build_class(SPEC)
+        calls_a, calls_b = [], []
+        a = cls(recording_invoke(calls_a))
+        b = cls(recording_invoke(calls_b))
+        a.ping()
+        assert calls_a and not calls_b
+
+
+class TestDynamicSpecifics:
+    def test_keyword_args(self):
+        calls = []
+        stub = DynamicStubBuilder().build(SPEC, recording_invoke(calls))
+        stub.add(b=2, a=1)
+        assert calls == [("add", {"a": 1, "b": 2})]
+
+    def test_mixed_args(self):
+        calls = []
+        stub = DynamicStubBuilder().build(SPEC, recording_invoke(calls))
+        stub.add(1, b=9)
+        assert calls == [("add", {"a": 1, "b": 9})]
+
+    def test_too_many_positional(self):
+        stub = DynamicStubBuilder().build(SPEC, lambda op, a: None)
+        with pytest.raises(TypeError):
+            stub.add(1, 2, 3)
+
+    def test_unexpected_keyword(self):
+        stub = DynamicStubBuilder().build(SPEC, lambda op, a: None)
+        with pytest.raises(TypeError):
+            stub.add(1, c=3)
+
+    def test_duplicate_argument(self):
+        stub = DynamicStubBuilder().build(SPEC, lambda op, a: None)
+        with pytest.raises(TypeError):
+            stub.add(1, a=1)
+
+    def test_docstrings_attached(self):
+        cls = DynamicStubBuilder().build_class(SPEC)
+        assert cls.echo.__doc__ == "Echo a string."
+
+
+class TestValidation:
+    def test_bad_operation_name(self):
+        spec = StubSpec("S", (OperationSpec("not a name", ()),))
+        with pytest.raises(ValueError):
+            DynamicStubBuilder().build_class(spec)
+
+    def test_keyword_operation_name(self):
+        spec = StubSpec("S", (OperationSpec("class", ()),))
+        with pytest.raises(ValueError):
+            DynamicStubBuilder().build_class(spec)
+
+    def test_duplicate_operation(self):
+        spec = StubSpec("S", (OperationSpec("x", ()), OperationSpec("x", ())))
+        with pytest.raises(ValueError):
+            DynamicStubBuilder().build_class(spec)
+
+    def test_bad_parameter_name(self):
+        spec = StubSpec("S", (OperationSpec("x", ("1bad",)),))
+        with pytest.raises(ValueError):
+            SourceCodegenStubBuilder().build_class(spec)
+
+    def test_codegen_injection_blocked(self):
+        # validation must stop a hostile name from reaching exec()
+        spec = StubSpec("S", (OperationSpec("x(): pass\nimport os  #", ()),))
+        with pytest.raises(ValueError):
+            SourceCodegenStubBuilder().build_class(spec)
+
+
+class TestCodegenSource:
+    def test_rendered_source_compiles(self):
+        source = SourceCodegenStubBuilder().render_source(SPEC)
+        compile(source, "<test>", "exec")
+
+    def test_source_contains_operations(self):
+        source = SourceCodegenStubBuilder().render_source(SPEC)
+        assert "def echo(self, message):" in source
+        assert "def add(self, a, b):" in source

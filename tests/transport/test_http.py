@@ -1,0 +1,285 @@
+"""Tests for the HTTP message model, server, client and transport."""
+
+import pytest
+
+from repro.simnet import FixedLatency, Network, TraceLog
+from repro.transport import (
+    HttpClient,
+    HttpRequest,
+    HttpResponse,
+    HttpServer,
+    HttpTransport,
+    TransportError,
+    TransportTimeoutError,
+    Uri,
+)
+from repro.transport.base import TransportRegistry
+from repro.transport.datagram import DatagramTransport
+
+
+@pytest.fixture
+def net():
+    network = Network(latency=FixedLatency(0.005), trace=TraceLog(enabled=True))
+    network.add_node("client")
+    network.add_node("server")
+    return network
+
+
+class TestMessageModel:
+    def test_request_wire_roundtrip(self):
+        req = HttpRequest("POST", "/svc", "hello", {"X-A": "1"})
+        back = HttpRequest.from_wire(req.to_wire())
+        assert back.method == "POST"
+        assert back.path == "/svc"
+        assert back.body == "hello"
+        assert back.headers["X-A"] == "1"
+        assert back.headers["Content-Length"] == "5"
+
+    def test_response_wire_roundtrip(self):
+        resp = HttpResponse(200, "<ok/>", {"Content-Type": "text/xml"})
+        back = HttpResponse.from_wire(resp.to_wire())
+        assert back.status == 200
+        assert back.reason == "OK"
+        assert back.body == "<ok/>"
+        assert back.ok
+
+    def test_path_normalised(self):
+        assert HttpRequest("GET", "svc").path == "/svc"
+
+    def test_method_uppercased(self):
+        assert HttpRequest("post", "/x").method == "POST"
+
+    def test_content_length_mismatch_rejected(self):
+        wire = "POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"
+        with pytest.raises(TransportError):
+            HttpRequest.from_wire(wire)
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(TransportError):
+            HttpRequest.from_wire("POST /x HTTP/1.1\r\nNoBody: true")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(TransportError):
+            HttpRequest.from_wire("GARBAGE\r\n\r\n")
+
+    def test_malformed_status_line(self):
+        with pytest.raises(TransportError):
+            HttpResponse.from_wire("HTTP/1.1 xx Bad\r\n\r\n")
+
+    def test_unknown_status_reason(self):
+        assert HttpResponse(299).reason == "Unknown"
+
+    def test_not_ok_statuses(self):
+        assert not HttpResponse(404).ok
+        assert not HttpResponse(500).ok
+
+    def test_body_with_crlf_survives(self):
+        body = "line1\r\n\r\nline2"
+        back = HttpResponse.from_wire(HttpResponse(200, body).to_wire())
+        assert back.body == body
+
+
+class TestServerClient:
+    def make_server(self, net, handler=None):
+        server = HttpServer(net.get_node("server"), 80)
+        server.add_route(
+            "/echo", handler or (lambda req: HttpResponse(200, req.body.upper()))
+        )
+        server.start()
+        return server
+
+    def test_sync_round_trip(self, net):
+        self.make_server(net)
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("POST", "/echo", "hi"))
+        assert resp.status == 200
+        assert resp.body == "HI"
+        # two hops of 5 ms
+        assert net.now == pytest.approx(0.01)
+
+    def test_404_for_unknown_path(self, net):
+        self.make_server(net)
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("POST", "/nope", ""))
+        assert resp.status == 404
+
+    def test_handler_exception_becomes_500(self, net):
+        def boom(req):
+            raise RuntimeError("kaboom")
+
+        self.make_server(net, boom)
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("POST", "/echo", ""))
+        assert resp.status == 500
+        assert "kaboom" in resp.body
+
+    def test_root_lists_routes(self, net):
+        server = self.make_server(net)
+        server.add_route("/other", lambda r: HttpResponse(200))
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("GET", "/"))
+        assert "/echo" in resp.body and "/other" in resp.body
+
+    def test_interceptor_takes_precedence(self, net):
+        server = self.make_server(net)
+        server.interceptor = lambda req: HttpResponse(200, "intercepted")
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("POST", "/echo", "hi"))
+        assert resp.body == "intercepted"
+
+    def test_interceptor_can_decline(self, net):
+        server = self.make_server(net)
+        server.interceptor = lambda req: None
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("POST", "/echo", "hi"))
+        assert resp.body == "HI"
+
+    def test_timeout_when_server_down(self, net):
+        self.make_server(net)
+        net.get_node("server").go_down()
+        client = HttpClient(net.get_node("client"), default_timeout=1.0)
+        with pytest.raises(TransportTimeoutError):
+            client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        assert net.now == pytest.approx(1.0)
+
+    def test_async_request(self, net):
+        self.make_server(net)
+        client = HttpClient(net.get_node("client"))
+        seen = []
+        client.request_async(
+            "server", 80, HttpRequest("POST", "/echo", "abc"),
+            lambda resp, err: seen.append((resp, err)),
+        )
+        assert seen == []  # nothing until the network runs
+        net.run()
+        assert len(seen) == 1
+        assert seen[0][0].body == "ABC"
+        assert seen[0][1] is None
+
+    def test_ephemeral_port_closed_after_reply(self, net):
+        self.make_server(net)
+        client_node = net.get_node("client")
+        client = HttpClient(client_node)
+        client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        assert all(not p.startswith("http-conn") for p in client_node.ports)
+
+    def test_server_stop(self, net):
+        server = self.make_server(net)
+        server.stop()
+        client = HttpClient(net.get_node("client"), default_timeout=0.5)
+        with pytest.raises(TransportTimeoutError):
+            client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+
+    def test_requests_served_counter(self, net):
+        server = self.make_server(net)
+        client = HttpClient(net.get_node("client"))
+        for _ in range(3):
+            client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        assert server.requests_served == 3
+
+
+class TestHttpTransport:
+    def test_spi_round_trip(self, net):
+        server_side = HttpTransport(net.get_node("server"))
+        server_side.listen(
+            Uri.parse("http://server/svc"),
+            lambda body, headers: (body[::-1], {}),
+        )
+        client_side = HttpTransport(net.get_node("client"))
+        seen = []
+        client_side.send(
+            Uri.parse("http://server/svc"), "abcdef",
+            on_response=lambda body, err: seen.append((body, err)),
+        )
+        net.run()
+        assert seen == [("fedcba", None)]
+
+    def test_error_status_surfaces_as_error(self, net):
+        client_side = HttpTransport(net.get_node("client"))
+        server_side = HttpTransport(net.get_node("server"))
+        server_side.listen(
+            Uri.parse("http://server/svc"),
+            lambda body, headers: ("denied", {"X-Status": "404"}),
+        )
+        seen = []
+        client_side.send(
+            Uri.parse("http://server/svc"), "x",
+            on_response=lambda body, err: seen.append((body, err)),
+        )
+        net.run()
+        assert seen[0][0] is None
+        assert isinstance(seen[0][1], TransportError)
+
+    def test_status_500_passes_body_for_fault_decoding(self, net):
+        client_side = HttpTransport(net.get_node("client"))
+        server_side = HttpTransport(net.get_node("server"))
+        server_side.listen(
+            Uri.parse("http://server/svc"),
+            lambda body, headers: ("<fault/>", {"X-Status": "500"}),
+        )
+        seen = []
+        client_side.send(
+            Uri.parse("http://server/svc"), "x",
+            on_response=lambda body, err: seen.append((body, err)),
+        )
+        net.run()
+        assert seen == [("<fault/>", None)]
+
+    def test_stop_listening_removes_route_and_server(self, net):
+        server_side = HttpTransport(net.get_node("server"))
+        addr = Uri.parse("http://server/svc")
+        server_side.listen(addr, lambda b, h: (b, {}))
+        server_side.stop_listening(addr)
+        assert not server_side.server_for(80).started
+
+
+class TestRegistry:
+    def test_lookup_by_scheme_and_uri(self, net):
+        reg = TransportRegistry()
+        http = HttpTransport(net.get_node("client"))
+        reg.register(http)
+        assert reg.lookup("http") is http
+        assert reg.for_uri(Uri.parse("http://server/x")) is http
+
+    def test_unknown_scheme(self):
+        with pytest.raises(TransportError):
+            TransportRegistry().lookup("gopher")
+
+    def test_schemes_listing(self, net):
+        reg = TransportRegistry()
+        reg.register(HttpTransport(net.get_node("client")))
+        reg.register(DatagramTransport(net.get_node("client")))
+        assert reg.schemes == ["dgram", "http"]
+
+
+class TestDatagram:
+    def test_one_way_delivery(self, net):
+        recv = DatagramTransport(net.get_node("server"))
+        got = []
+        recv.listen(
+            Uri.parse("dgram://server/inbox"),
+            lambda body, headers: got.append(body) or ("", {}),
+        )
+        send = DatagramTransport(net.get_node("client"))
+        completions = []
+        send.send(
+            Uri.parse("dgram://server/inbox"), "ping",
+            on_response=lambda body, err: completions.append((body, err)),
+        )
+        # completion is immediate (one-way), delivery is async
+        assert completions == [(None, None)]
+        net.run()
+        assert got == ["ping"]
+
+    def test_listen_requires_path(self, net):
+        with pytest.raises(TransportError):
+            DatagramTransport(net.get_node("server")).listen(
+                Uri.parse("dgram://server"), lambda b, h: (b, {})
+            )
+
+    def test_stop_listening(self, net):
+        t = DatagramTransport(net.get_node("server"))
+        addr = Uri.parse("dgram://server/inbox")
+        t.listen(addr, lambda b, h: (b, {}))
+        t.stop_listening(addr)
+        assert not net.get_node("server").has_port("dgram:inbox")

@@ -1,0 +1,152 @@
+"""Tests for the HTTPG authenticated transport and the CA."""
+
+import pytest
+
+from repro.simnet import FixedLatency, Network
+from repro.transport import CertificateAuthority, Credential, HttpgTransport, Uri
+from repro.transport.httpg import AuthenticationError
+
+
+@pytest.fixture
+def world():
+    net = Network(latency=FixedLatency(0.005))
+    net.add_node("client")
+    net.add_node("server")
+    ca = CertificateAuthority()
+    return net, ca
+
+
+def wire_pair(net, ca, client_cred=None, server_cred=None, mutual=True):
+    client_cred = client_cred or ca.issue("client-user")
+    server_cred = server_cred or ca.issue("server-host")
+    client = HttpgTransport(net.get_node("client"), ca, client_cred, mutual=mutual)
+    server = HttpgTransport(net.get_node("server"), ca, server_cred, mutual=mutual)
+    server.listen(Uri.parse("httpg://server/svc"), lambda body, h: (body.upper(), {}))
+    return client, server
+
+
+def send_and_run(net, client, body="hi"):
+    seen = []
+    client.send(
+        Uri.parse("httpg://server/svc"), body,
+        on_response=lambda b, e: seen.append((b, e)),
+    )
+    net.run()
+    assert len(seen) == 1
+    return seen[0]
+
+
+class TestCertificateAuthority:
+    def test_issue_and_verify(self):
+        ca = CertificateAuthority()
+        cred = ca.issue("alice")
+        ca.verify(cred, now=0.0)  # must not raise
+
+    def test_forged_token_rejected(self):
+        ca = CertificateAuthority()
+        cred = ca.issue("alice")
+        forged = Credential(cred.subject, cred.serial, cred.expires_at, "0" * 32)
+        with pytest.raises(AuthenticationError):
+            ca.verify(forged, now=0.0)
+
+    def test_tampered_subject_rejected(self):
+        ca = CertificateAuthority()
+        cred = ca.issue("alice")
+        mallory = Credential("mallory", cred.serial, cred.expires_at, cred.token)
+        with pytest.raises(AuthenticationError):
+            ca.verify(mallory, now=0.0)
+
+    def test_expired_rejected(self):
+        ca = CertificateAuthority()
+        cred = ca.issue("alice", expires_at=10.0)
+        ca.verify(cred, now=5.0)
+        with pytest.raises(AuthenticationError):
+            ca.verify(cred, now=11.0)
+
+    def test_revoked_rejected(self):
+        ca = CertificateAuthority()
+        cred = ca.issue("alice")
+        ca.revoke(cred)
+        with pytest.raises(AuthenticationError):
+            ca.verify(cred, now=0.0)
+
+    def test_foreign_ca_rejected(self):
+        ca1 = CertificateAuthority(secret="s1")
+        ca2 = CertificateAuthority(secret="s2")
+        cred = ca2.issue("alice")
+        with pytest.raises(AuthenticationError):
+            ca1.verify(cred, now=0.0)
+
+    def test_header_roundtrip(self):
+        ca = CertificateAuthority()
+        cred = ca.issue("alice", expires_at=99.0)
+        back = Credential.from_header_value(cred.header_value())
+        assert back == cred
+
+    def test_malformed_header(self):
+        with pytest.raises(AuthenticationError):
+            Credential.from_header_value("too;few")
+
+
+class TestHttpgTransport:
+    def test_authenticated_round_trip(self, world):
+        net, ca = world
+        client, _ = wire_pair(net, ca)
+        body, err = send_and_run(net, client)
+        assert err is None
+        assert body == "HI"
+
+    def test_expired_client_refused(self, world):
+        net, ca = world
+        expired = ca.issue("client-user", expires_at=-1.0)
+        client, server = wire_pair(net, ca, client_cred=expired)
+        body, err = send_and_run(net, client)
+        assert body is None
+        assert isinstance(err, AuthenticationError)
+        assert server.auth_failures == 1
+
+    def test_foreign_ca_client_refused(self, world):
+        net, ca = world
+        other_ca = CertificateAuthority(secret="other")
+        client, _ = wire_pair(net, ca, client_cred=other_ca.issue("client-user"))
+        body, err = send_and_run(net, client)
+        assert isinstance(err, AuthenticationError)
+
+    def test_mutual_auth_checks_server(self, world):
+        net, ca = world
+        other_ca = CertificateAuthority(secret="other")
+        client, _ = wire_pair(net, ca, server_cred=other_ca.issue("server-host"))
+        body, err = send_and_run(net, client)
+        assert isinstance(err, AuthenticationError)
+
+    def test_non_mutual_skips_server_check(self, world):
+        net, ca = world
+        other_ca = CertificateAuthority(secret="other")
+        client, _ = wire_pair(
+            net, ca, server_cred=other_ca.issue("server-host"), mutual=False
+        )
+        body, err = send_and_run(net, client)
+        assert err is None
+        assert body == "HI"
+
+    def test_revoked_mid_session(self, world):
+        net, ca = world
+        cred = ca.issue("client-user")
+        client, _ = wire_pair(net, ca, client_cred=cred)
+        body, err = send_and_run(net, client)
+        assert err is None
+        ca.revoke(cred)
+        body, err = send_and_run(net, client)
+        assert isinstance(err, AuthenticationError)
+
+    def test_stop_listening(self, world):
+        net, ca = world
+        client, server = wire_pair(net, ca)
+        server.stop_listening(Uri.parse("httpg://server/svc"))
+        seen = []
+        client.client.default_timeout = 0.5
+        client.send(Uri.parse("httpg://server/svc"), "x",
+                    on_response=lambda b, e: seen.append((b, e)))
+        net.run()
+        assert seen[0][0] is None
+        assert seen[0][1] is not None

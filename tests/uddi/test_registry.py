@@ -1,0 +1,181 @@
+"""Tests for the UDDI registry core and name matching."""
+
+import pytest
+
+from repro.uddi import UddiError, UddiRegistry
+from repro.uddi.model import match_name
+
+
+class TestMatchName:
+    def test_exact_case_insensitive(self):
+        assert match_name("Echo", "echo")
+        assert not match_name("Echo", "EchoService")
+
+    def test_trailing_wildcard_prefix(self):
+        assert match_name("Echo%", "EchoService")
+        assert match_name("%", "anything")
+        assert not match_name("Echo%", "TheEcho")
+
+    def test_leading_wildcard_suffix(self):
+        assert match_name("%Service", "EchoService")
+        assert not match_name("%Service", "ServiceEcho")
+
+    def test_interior_wildcard(self):
+        assert match_name("E%o", "Echo")
+        assert not match_name("E%x", "Echo")
+
+    def test_double_wildcard_contains(self):
+        assert match_name("%cho%", "EchoService")
+
+    def test_empty_pattern(self):
+        assert match_name("", "")
+        assert not match_name("", "x")
+
+
+@pytest.fixture
+def registry():
+    return UddiRegistry()
+
+
+def publish_echo(registry, name="EchoService", categories=None):
+    business = registry.save_business("Cardiff")
+    service = registry.save_service(
+        business["businessKey"], name, category_bag=categories or []
+    )
+    registry.save_binding(service["serviceKey"], f"http://host/{name}")
+    return business, service
+
+
+class TestPublish:
+    def test_save_business(self, registry):
+        business = registry.save_business("Cardiff", "uni")
+        assert business["businessKey"].startswith("uuid:biz-")
+        assert registry.business_count == 1
+
+    def test_save_service_links_business(self, registry):
+        business, service = publish_echo(registry)
+        detail = registry.get_business_detail(business["businessKey"])
+        assert service["serviceKey"] in detail["serviceKeys"]
+
+    def test_save_service_unknown_business(self, registry):
+        with pytest.raises(UddiError):
+            registry.save_service("uuid:biz-999999", "X")
+
+    def test_save_binding_attaches(self, registry):
+        _, service = publish_echo(registry)
+        detail = registry.get_service_detail(service["serviceKey"])
+        assert detail["bindingTemplates"][0]["accessPoint"] == "http://host/EchoService"
+
+    def test_save_binding_unknown_service(self, registry):
+        with pytest.raises(UddiError):
+            registry.save_binding("uuid:svc-999999", "http://x/y")
+
+    def test_save_tmodel(self, registry):
+        tm = registry.save_tmodel("Echo-wsdlSpec", "http://host/Echo.wsdl")
+        detail = registry.get_tmodel_detail(tm["tModelKey"])
+        assert detail["overviewURL"] == "http://host/Echo.wsdl"
+
+    def test_keys_unique(self, registry):
+        keys = {registry.save_business(f"b{i}")["businessKey"] for i in range(20)}
+        assert len(keys) == 20
+
+    def test_delete_service(self, registry):
+        business, service = publish_echo(registry)
+        assert registry.delete_service(service["serviceKey"])
+        assert registry.find_service("EchoService") == []
+        detail = registry.get_business_detail(business["businessKey"])
+        assert detail["serviceKeys"] == []
+
+    def test_delete_missing_service(self, registry):
+        assert not registry.delete_service("uuid:svc-000000")
+
+    def test_delete_business_cascades(self, registry):
+        business, service = publish_echo(registry)
+        registry.delete_business(business["businessKey"])
+        with pytest.raises(UddiError):
+            registry.get_service_detail(service["serviceKey"])
+
+
+class TestInquiry:
+    def test_find_by_exact_name(self, registry):
+        publish_echo(registry)
+        assert len(registry.find_service("EchoService")) == 1
+
+    def test_find_by_pattern(self, registry):
+        publish_echo(registry, "EchoService")
+        publish_echo(registry, "EchoV2")
+        publish_echo(registry, "Calc")
+        assert len(registry.find_service("Echo%")) == 2
+
+    def test_find_all(self, registry):
+        publish_echo(registry, "A")
+        publish_echo(registry, "B")
+        assert len(registry.find_service("%")) == 2
+
+    def test_find_by_category(self, registry):
+        cat = {"tModelKey": "uuid:cat", "keyName": "domain", "keyValue": "math"}
+        publish_echo(registry, "Calc", categories=[cat])
+        publish_echo(registry, "Echo")
+        results = registry.find_service("%", category_bag=[cat])
+        assert [s["name"] for s in results] == ["Calc"]
+
+    def test_category_all_must_match(self, registry):
+        cat1 = {"tModelKey": "uuid:c1", "keyName": "", "keyValue": "a"}
+        cat2 = {"tModelKey": "uuid:c2", "keyName": "", "keyValue": "b"}
+        publish_echo(registry, "S1", categories=[cat1])
+        results = registry.find_service("%", category_bag=[cat1, cat2])
+        assert results == []
+
+    def test_find_scoped_to_business(self, registry):
+        business, _ = publish_echo(registry, "Echo")
+        other = registry.save_business("Other")
+        registry.save_service(other["businessKey"], "Echo")
+        scoped = registry.find_service("Echo", business_key=business["businessKey"])
+        assert len(scoped) == 1
+
+    def test_find_business(self, registry):
+        registry.save_business("Cardiff")
+        registry.save_business("Cambridge")
+        assert len(registry.find_business("Ca%")) == 2
+        assert len(registry.find_business("Cardiff")) == 1
+
+    def test_find_tmodel(self, registry):
+        registry.save_tmodel("Echo-wsdlSpec")
+        assert len(registry.find_tmodel("%wsdlSpec")) == 1
+
+    def test_unknown_keys_raise(self, registry):
+        with pytest.raises(UddiError):
+            registry.get_service_detail("uuid:nope")
+        with pytest.raises(UddiError):
+            registry.get_business_detail("uuid:nope")
+        with pytest.raises(UddiError):
+            registry.get_tmodel_detail("uuid:nope")
+
+    def test_counters(self, registry):
+        publish_echo(registry)
+        registry.find_service("%")
+        assert registry.publishes == 3  # business + service + binding
+        assert registry.inquiries == 1
+
+
+class TestMaxRows:
+    def test_find_service_truncates(self, registry):
+        for i in range(6):
+            publish_echo(registry, f"Svc{i}")
+        assert len(registry.find_service("%", max_rows=3)) == 3
+        assert len(registry.find_service("%")) == 6
+
+    def test_find_business_truncates(self, registry):
+        for i in range(4):
+            registry.save_business(f"B{i}")
+        assert len(registry.find_business("%", max_rows=2)) == 2
+
+    def test_find_tmodel_truncates(self, registry):
+        for i in range(4):
+            registry.save_tmodel(f"T{i}")
+        assert len(registry.find_tmodel("%", max_rows=1)) == 1
+
+    def test_zero_means_unlimited(self, registry):
+        for i in range(3):
+            publish_echo(registry, f"Svc{i}")
+        assert len(registry.find_service("%", max_rows=0)) == 3

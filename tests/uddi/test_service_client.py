@@ -1,0 +1,92 @@
+"""Integration tests: UDDI registry over SOAP/HTTP on the simnet."""
+
+import pytest
+
+from repro.simnet import FixedLatency, Network
+from repro.soap import SoapFault
+from repro.uddi import UddiClient, UddiRegistryNode
+
+
+@pytest.fixture
+def world():
+    net = Network(latency=FixedLatency(0.002))
+    registry_node = UddiRegistryNode(net.add_node("registry"))
+    client_node = net.add_node("client")
+    client = UddiClient(client_node, registry_node.endpoint)
+    return net, registry_node, client
+
+
+class TestRemoteRegistry:
+    def test_publish_and_find(self, world):
+        net, registry_node, client = world
+        client.publish_service(
+            "Cardiff", "EchoService", "http://provider:80/services/Echo",
+            wsdl_url="http://provider:80/services/Echo.wsdl",
+        )
+        services = client.find_services("Echo%")
+        assert len(services) == 1
+        assert services[0].name == "EchoService"
+
+    def test_access_points(self, world):
+        net, _, client = world
+        client.publish_service("Biz", "Svc", "http://p:80/services/Svc")
+        service = client.find_services("Svc")[0]
+        points = client.access_points(service)
+        assert points[0].access_point == "http://p:80/services/Svc"
+
+    def test_wsdl_url_retrieval(self, world):
+        net, _, client = world
+        client.publish_service(
+            "Biz", "Svc", "http://p:80/services/Svc",
+            wsdl_url="http://p:80/services/Svc.wsdl",
+        )
+        service = client.find_services("Svc")[0]
+        assert client.wsdl_url_for(service) == "http://p:80/services/Svc.wsdl"
+
+    def test_wsdl_url_missing(self, world):
+        net, _, client = world
+        client.publish_service("Biz", "Svc", "http://p:80/services/Svc")
+        service = client.find_services("Svc")[0]
+        assert client.wsdl_url_for(service) == ""
+
+    def test_business_reused_across_publishes(self, world):
+        net, registry_node, client = world
+        client.publish_service("Cardiff", "S1", "http://p/1")
+        client.publish_service("Cardiff", "S2", "http://p/2")
+        assert registry_node.registry.business_count == 1
+        assert registry_node.registry.service_count == 2
+
+    def test_category_search_remote(self, world):
+        net, _, client = world
+        cat = {"tModelKey": "uuid:cat", "keyName": "domain", "keyValue": "math"}
+        client.publish_service("B", "Calc", "http://p/c", categories=[cat])
+        client.publish_service("B", "Echo", "http://p/e")
+        found = client.find_services("%", categories=[cat])
+        assert [s.name for s in found] == ["Calc"]
+
+    def test_fault_propagates_to_client(self, world):
+        net, _, client = world
+        with pytest.raises(SoapFault):
+            client.call("get_service_detail", service_key="uuid:nope")
+
+    def test_registry_counts_remote_traffic(self, world):
+        net, registry_node, client = world
+        client.publish_service("B", "S", "http://p/s")
+        client.find_services("%")
+        assert registry_node.registry.inquiries >= 2  # find_business + find_service
+        assert net.stats.get("registry") > 0
+
+    def test_multiple_clients_share_registry(self, world):
+        net, registry_node, client = world
+        other = UddiClient(net.add_node("client2"), registry_node.endpoint)
+        client.publish_service("B", "S", "http://p/s")
+        assert len(other.find_services("S")) == 1
+
+    def test_registry_stop_breaks_inquiry(self, world):
+        net, registry_node, client = world
+        registry_node.stop()
+        client.http.default_timeout = 0.5
+        from repro.transport import TransportTimeoutError
+
+        with pytest.raises(TransportTimeoutError):
+            client.find_services("%")

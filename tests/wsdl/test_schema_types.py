@@ -1,0 +1,96 @@
+"""Tests for the <wsdl:types> schema section (registered struct types)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.soap import ServiceObject, StructRegistry
+from repro.wsdl import WsdlDefinition, WsdlError, generate_wsdl, parse_wsdl
+
+NS = "urn:typed-svc"
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+@dataclass
+class Route:
+    name: str
+    waypoints: list
+    start: Point
+
+
+class Mapper:
+    def plan(self, start: Point, end: Point) -> Route:
+        return Route("plan", [start, end], start)
+
+
+@pytest.fixture
+def registry():
+    reg = StructRegistry()
+    reg.register(Point)
+    reg.register(Route)
+    return reg
+
+
+def generated(registry):
+    service = ServiceObject.from_instance("Mapper", Mapper(), NS)
+    return generate_wsdl(service, registry=registry)
+
+
+class TestSchemaGeneration:
+    def test_complex_types_emitted(self, registry):
+        definition = generated(registry)
+        assert set(definition.schema_types) == {"Point", "Route"}
+
+    def test_field_types_mapped(self, registry):
+        definition = generated(registry)
+        assert definition.schema_types["Point"] == [
+            ("x", "xsd:int"), ("y", "xsd:int"),
+        ]
+        route = dict(definition.schema_types["Route"])
+        assert route["name"] == "xsd:string"
+        assert route["waypoints"] == "soapenc:Array"
+        assert route["start"] == "tns:Point"
+
+    def test_message_parts_reference_types(self, registry):
+        definition = generated(registry)
+        parts = {p.name: p.type_text for p in definition.messages["planRequest"].parts}
+        assert parts == {"start": "tns:Point", "end": "tns:Point"}
+        assert definition.messages["planResponse"].parts[0].type_text == "tns:Route"
+
+    def test_no_registry_no_types(self):
+        service = ServiceObject.from_instance("Mapper", Mapper(), NS)
+        assert generate_wsdl(service).schema_types == {}
+
+    def test_duplicate_schema_type_rejected(self):
+        definition = WsdlDefinition("X", "urn:x")
+        definition.add_schema_type("T", [("a", "xsd:int")])
+        with pytest.raises(WsdlError):
+            definition.add_schema_type("T", [])
+
+
+class TestSchemaRoundTrip:
+    def test_wire_roundtrip(self, registry):
+        definition = generated(registry)
+        back = parse_wsdl(definition.to_wire())
+        assert back.schema_types == definition.schema_types
+
+    def test_wire_contains_schema_elements(self, registry):
+        wire = generated(registry).to_wire()
+        assert "complexType" in wire
+        assert 'name="Point"' in wire
+
+    def test_client_learns_field_layout_from_description(self, registry):
+        # the point of the exercise: a consumer that only has the WSDL
+        # text knows the struct shape
+        back = parse_wsdl(generated(registry).to_wire())
+        fields = [name for name, _ in back.schema_types["Route"]]
+        assert fields == ["name", "waypoints", "start"]
+
+    def test_pretty_form_parses(self, registry):
+        back = parse_wsdl(generated(registry).to_wire(pretty=True))
+        assert "Point" in back.schema_types

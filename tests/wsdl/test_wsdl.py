@@ -1,0 +1,273 @@
+"""Tests for the WSDL model, generator, parser and validation."""
+
+import pytest
+
+from repro.soap import ServiceObject
+from repro.wsdl import (
+    Binding,
+    Message,
+    Operation,
+    Part,
+    Port,
+    PortType,
+    Service,
+    SOAP_HTTP_TRANSPORT,
+    SOAP_P2PS_TRANSPORT,
+    WsdlDefinition,
+    WsdlError,
+    generate_wsdl,
+    parse_wsdl,
+    to_stub_spec,
+    validate_wsdl,
+)
+
+NS = "urn:calc"
+
+
+class TypedCalc:
+    """A service with annotated methods."""
+
+    def add(self, a: int, b: int) -> int:
+        """Add two integers."""
+        return a + b
+
+    def mean(self, values: list) -> float:
+        return sum(values) / len(values)
+
+    def label(self, text: str) -> str:
+        return f"[{text}]"
+
+
+class Untyped:
+    def anything(self, x, y):
+        return x
+
+
+def build_definition():
+    service = ServiceObject.from_instance("Calc", TypedCalc(), NS)
+    return generate_wsdl(service, locations={"CalcPort": "http://hostA/services/Calc"})
+
+
+class TestGenerator:
+    def test_messages_per_operation(self):
+        d = build_definition()
+        assert "addRequest" in d.messages
+        assert "addResponse" in d.messages
+        assert len(d.messages) == 6  # 3 ops x 2
+
+    def test_typed_parts(self):
+        d = build_definition()
+        parts = {p.name: p.type_text for p in d.messages["addRequest"].parts}
+        assert parts == {"a": "xsd:int", "b": "xsd:int"}
+        assert d.messages["addResponse"].parts[0].type_text == "xsd:int"
+
+    def test_list_and_float_types(self):
+        d = build_definition()
+        assert d.messages["meanRequest"].parts[0].type_text == "soapenc:Array"
+        assert d.messages["meanResponse"].parts[0].type_text == "xsd:double"
+
+    def test_untyped_parameters_are_anytype(self):
+        service = ServiceObject.from_instance("U", Untyped(), NS)
+        d = generate_wsdl(service)
+        assert all(p.type_text == "xsd:anyType" for p in d.messages["anythingRequest"].parts)
+
+    def test_port_type_operations(self):
+        d = build_definition()
+        pt = d.port_types["CalcPortType"]
+        assert sorted(op.name for op in pt.operations) == ["add", "label", "mean"]
+
+    def test_operation_documentation_from_docstring(self):
+        d = build_definition()
+        assert d.port_types["CalcPortType"].operation("add").documentation == "Add two integers."
+
+    def test_binding_defaults_to_http(self):
+        d = build_definition()
+        assert d.bindings["CalcSoapBinding"].transport == SOAP_HTTP_TRANSPORT
+
+    def test_p2ps_transport_binding(self):
+        service = ServiceObject.from_instance("Calc", TypedCalc(), NS)
+        d = generate_wsdl(service, transport=SOAP_P2PS_TRANSPORT)
+        assert d.bindings["CalcSoapBinding"].transport == SOAP_P2PS_TRANSPORT
+
+    def test_port_locations(self):
+        d = build_definition()
+        port = d.services["Calc"].ports[0]
+        assert port.location == "http://hostA/services/Calc"
+
+    def test_abstract_wsdl_has_no_ports(self):
+        service = ServiceObject.from_instance("Calc", TypedCalc(), NS)
+        d = generate_wsdl(service)
+        assert d.services["Calc"].ports == []
+
+    def test_generated_is_valid(self):
+        assert validate_wsdl(build_definition()) == []
+
+
+class TestWireRoundTrip:
+    def test_roundtrip_preserves_structure(self):
+        d = build_definition()
+        text = d.to_wire()
+        back = parse_wsdl(text)
+        assert back.name == d.name
+        assert back.target_namespace == d.target_namespace
+        assert set(back.messages) == set(d.messages)
+        assert set(back.port_types) == set(d.port_types)
+        assert set(back.bindings) == set(d.bindings)
+        assert set(back.services) == set(d.services)
+
+    def test_roundtrip_preserves_parts(self):
+        back = parse_wsdl(build_definition().to_wire())
+        parts = {p.name: p.type_text for p in back.messages["addRequest"].parts}
+        assert parts == {"a": "xsd:int", "b": "xsd:int"}
+
+    def test_roundtrip_preserves_operations(self):
+        back = parse_wsdl(build_definition().to_wire())
+        op = back.port_types["CalcPortType"].operation("add")
+        assert op.input == "addRequest"
+        assert op.output == "addResponse"
+        assert op.documentation == "Add two integers."
+
+    def test_roundtrip_preserves_port(self):
+        back = parse_wsdl(build_definition().to_wire())
+        port = back.services["Calc"].ports[0]
+        assert port.name == "CalcPort"
+        assert port.binding == "CalcSoapBinding"
+        assert port.location == "http://hostA/services/Calc"
+
+    def test_roundtrip_valid(self):
+        assert validate_wsdl(parse_wsdl(build_definition().to_wire())) == []
+
+    def test_pretty_output_also_parses(self):
+        back = parse_wsdl(build_definition().to_wire(pretty=True))
+        assert "addRequest" in back.messages
+
+
+class TestParserErrors:
+    def test_not_xml(self):
+        with pytest.raises(WsdlError):
+            parse_wsdl("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(WsdlError):
+            parse_wsdl("<notwsdl/>")
+
+    def test_missing_target_namespace(self):
+        with pytest.raises(WsdlError):
+            parse_wsdl(
+                '<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"/>'
+            )
+
+    def test_operation_without_input(self):
+        text = (
+            '<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"'
+            ' targetNamespace="urn:x">'
+            '<wsdl:portType name="P"><wsdl:operation name="op"/></wsdl:portType>'
+            "</wsdl:definitions>"
+        )
+        with pytest.raises(WsdlError):
+            parse_wsdl(text)
+
+
+class TestModel:
+    def test_duplicate_message_rejected(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_message(Message("m"))
+        with pytest.raises(WsdlError):
+            d.add_message(Message("m"))
+
+    def test_duplicate_port_type_rejected(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_port_type(PortType("p"))
+        with pytest.raises(WsdlError):
+            d.add_port_type(PortType("p"))
+
+    def test_first_service_empty_rejected(self):
+        with pytest.raises(WsdlError):
+            WsdlDefinition("X", "urn:x").first_service()
+
+    def test_port_type_for_port(self):
+        d = build_definition()
+        port = d.services["Calc"].ports[0]
+        assert d.port_type_for_port(port).name == "CalcPortType"
+
+    def test_port_type_for_port_dangling_binding(self):
+        d = build_definition()
+        with pytest.raises(WsdlError):
+            d.port_type_for_port(Port("X", "NoSuchBinding", "http://x/y"))
+
+    def test_one_way_operation(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_message(Message("inOnly", [Part("v", "xsd:string")]))
+        d.add_port_type(PortType("P", [Operation("notify", input="inOnly")]))
+        back = parse_wsdl(d.to_wire())
+        assert back.port_types["P"].operation("notify").output is None
+
+
+class TestValidation:
+    def test_dangling_input_message(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_port_type(PortType("P", [Operation("op", input="ghost")]))
+        problems = validate_wsdl(d)
+        assert any("ghost" in p for p in problems)
+
+    def test_dangling_binding_port_type(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_binding(Binding("B", "ghostPT"))
+        assert any("ghostPT" in p for p in validate_wsdl(d))
+
+    def test_dangling_port_binding(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_service(Service("S", [Port("p", "ghostB", "http://x/y")]))
+        assert any("ghostB" in p for p in validate_wsdl(d))
+
+    def test_missing_address(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_binding(Binding("B", "PT"))
+        d.add_port_type(PortType("PT"))
+        d.add_service(Service("S", [Port("p", "B", "")]))
+        assert any("missing address" in p for p in validate_wsdl(d))
+
+    def test_duplicate_operation_names(self):
+        d = WsdlDefinition("X", "urn:x")
+        d.add_message(Message("m"))
+        d.add_port_type(
+            PortType("P", [Operation("op", input="m"), Operation("op", input="m")])
+        )
+        assert any("duplicate operation" in p for p in validate_wsdl(d))
+
+
+class TestStubSpec:
+    def test_spec_from_definition(self):
+        spec = to_stub_spec(build_definition())
+        assert spec.service_name == "Calc"
+        ops = {op.name: op.parameters for op in spec.operations}
+        assert ops["add"] == ("a", "b")
+        assert ops["mean"] == ("values",)
+
+    def test_spec_doc_carried(self):
+        spec = to_stub_spec(build_definition())
+        add = next(op for op in spec.operations if op.name == "add")
+        assert add.doc == "Add two integers."
+
+    def test_spec_for_abstract_wsdl(self):
+        service = ServiceObject.from_instance("Calc", TypedCalc(), NS)
+        d = generate_wsdl(service)  # no ports
+        spec = to_stub_spec(d)
+        assert {op.name for op in spec.operations} == {"add", "mean", "label"}
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(WsdlError):
+            to_stub_spec(build_definition(), service_name="Nope")
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(WsdlError):
+            to_stub_spec(build_definition(), port_name="Nope")
+
+    def test_spec_feeds_stub_builder(self):
+        from repro.soap import DynamicStubBuilder
+
+        spec = to_stub_spec(build_definition())
+        calls = []
+        stub = DynamicStubBuilder().build(spec, lambda op, args: calls.append((op, args)))
+        stub.add(1, 2)
+        assert calls == [("add", {"a": 1, "b": 2})]

@@ -1,0 +1,75 @@
+"""Property-based tests: serialize∘parse round-trips on random trees."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit import Element, QName, parse, serialize
+
+_local_names = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8).map(
+    lambda s: "n" + s
+)
+_uris = st.sampled_from(["", "urn:a", "urn:b", "http://x.test/ns"])
+_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'\n",
+    min_size=0,
+    max_size=40,
+)
+_attr_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " <&\"'\t\n",
+    max_size=30,
+)
+
+
+@st.composite
+def elements(draw, depth: int = 3) -> Element:
+    name = QName(draw(_uris), draw(_local_names))
+    elem = Element(name)
+    for _ in range(draw(st.integers(0, 3))):
+        key = QName(draw(st.sampled_from(["", "urn:attr"])), draw(_local_names))
+        elem.attributes.setdefault(key, draw(_attr_values))
+    txt = draw(_text)
+    if txt:
+        elem.append_text(txt)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            elem.append(draw(elements(depth=depth - 1)))
+    return elem
+
+
+@settings(max_examples=150, deadline=None)
+@given(elements())
+def test_roundtrip_structural_equality(tree: Element):
+    reparsed = parse(serialize(tree))
+    assert reparsed == tree
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_serialized_form_is_fixpoint(tree: Element):
+    once = serialize(parse(serialize(tree)))
+    twice = serialize(parse(once))
+    assert once == twice
+
+
+@settings(max_examples=60, deadline=None)
+@given(elements())
+def test_pretty_output_parses_to_same_element_names(tree: Element):
+    pretty = parse(serialize(tree, pretty=True))
+    assert [e.name for e in pretty.iter()] == [e.name for e in tree.iter()]
+
+
+@settings(max_examples=100, deadline=None)
+@given(_text)
+def test_text_content_roundtrips_exactly(txt: str):
+    elem = Element("a")
+    elem.append_text(txt)
+    assert parse(serialize(elem)).text == txt
+
+
+@settings(max_examples=100, deadline=None)
+@given(_attr_values)
+def test_attr_values_roundtrip_exactly(value: str):
+    elem = Element("a", attributes={"k": value})
+    assert parse(serialize(elem)).get("k") == value
