@@ -7,8 +7,10 @@ leading underscore keeps pytest from collecting this as a test module.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Any, Optional
 
 from repro.core import WSPeer
 from repro.core.binding import P2psBinding, StandardBinding
@@ -136,3 +138,22 @@ def print_table(title: str, headers: list[str], rows: list[list], note: str = ""
 
 def fmt_ms(seconds: float) -> str:
     return f"{seconds * 1000:.1f}ms"
+
+
+def emit_json(filename: str, payload: dict[str, Any]) -> Path:
+    """Write an experiment's machine-readable results next to the bench.
+
+    Every experiment table printed for EXPERIMENTS.md should also land
+    on disk as JSON (e.g. ``BENCH_E7.json``) so downstream tooling can
+    diff runs without scraping tables.
+    """
+    path = Path(__file__).parent / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+    return path
+
+
+def advance(net: Network, dt: float) -> None:
+    """Let *dt* of virtual time pass (client pacing between requests)."""
+    net.kernel.schedule(dt, lambda: None)
+    net.run()

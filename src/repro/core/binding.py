@@ -24,6 +24,7 @@ from repro.core.publisher import (
 )
 from repro.p2ps.group import PeerGroup
 from repro.p2ps.peer import Peer
+from repro.reliability import ReliabilityPolicy
 from repro.transport.httpg import CertificateAuthority, Credential, HttpgTransport
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -60,12 +61,20 @@ class StandardBinding(Binding):
         business_name: str = "WSPeer",
         ca: Optional[CertificateAuthority] = None,
         credential: Optional[Credential] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
     ):
         self.registry_uri = registry_uri
         self.http_port = http_port
         self.business_name = business_name
         self.ca = ca
         self.credential = credential
+        #: binding-wide reliability default: HTTP retries connection-level
+        #: errors only (a timed-out exchange may have executed server-side).
+        #: Pass ``ReliabilityPolicy.naive()`` to disable retries entirely.
+        self.reliability = (
+            reliability if reliability is not None
+            else ReliabilityPolicy.standard_default()
+        )
 
     def make_deployer(self, wspeer: "WSPeer") -> ServiceDeployer:
         return HttpServiceDeployer(
@@ -84,7 +93,10 @@ class StandardBinding(Binding):
         extra = []
         if self.ca is not None and self.credential is not None:
             extra.append(HttpgTransport(wspeer.node, self.ca, self.credential))
-        return HttpInvocation(wspeer.node, parent=wspeer.client, extra_transports=extra)
+        return HttpInvocation(
+            wspeer.node, parent=wspeer.client, extra_transports=extra,
+            default_policy=self.reliability,
+        )
 
 
 class P2psBinding(Binding):
@@ -102,11 +114,20 @@ class P2psBinding(Binding):
         rendezvous: bool = False,
         peer_name: str = "",
         default_ttl: int = 4,
+        reliability: Optional[ReliabilityPolicy] = None,
     ):
         self.group = group
         self.rendezvous = rendezvous
         self.peer_name = peer_name
         self.default_ttl = default_ttl
+        #: binding-wide reliability default: pipes are fire-and-forget, so
+        #: lapsed attempt timers retransmit the same MessageID (provider
+        #: dedup makes that safe).  Acks stay opt-in — use
+        #: ``ReliabilityPolicy.assured()`` for the full WS-RM-lite bundle.
+        self.reliability = (
+            reliability if reliability is not None
+            else ReliabilityPolicy.p2ps_default()
+        )
 
     def ensure_peer(self, wspeer: "WSPeer") -> Peer:
         if wspeer.peer is None:
@@ -136,4 +157,7 @@ class P2psBinding(Binding):
         return P2psServiceLocator(self.ensure_peer(wspeer), parent=wspeer.client)
 
     def make_invocation(self, wspeer: "WSPeer") -> Invocation:
-        return P2psInvocation(self.ensure_peer(wspeer), parent=wspeer.client)
+        return P2psInvocation(
+            self.ensure_peer(wspeer), parent=wspeer.client,
+            default_policy=self.reliability,
+        )

@@ -28,6 +28,7 @@ from repro.core.p2psmap import epr_from_pipe, pipe_from_epr
 from repro.p2ps.advertisements import ServiceAdvertisement
 from repro.p2ps.peer import Peer
 from repro.p2ps.pipes import PipeError, ResolutionError
+from repro.reliability import DedupWindow, ack_requested, build_ack
 from repro.simnet.network import Node
 from repro.soap.envelope import SoapEnvelope
 from repro.transport.http import DEFAULT_HTTP_PORT, HttpRequest, HttpResponse, HttpServer
@@ -132,7 +133,10 @@ class P2psServiceDeployer(ServiceDeployer):
         self._pipe_ids: dict[str, list[str]] = {}
         # message-id -> response wire text: retransmitted requests are
         # answered from here instead of re-executing the operation
-        self._response_cache: dict[str, str] = {}
+        self._response_cache = DedupWindow(
+            max_entries=self.RESPONSE_CACHE_LIMIT,
+            clock=lambda: peer.network.kernel.now,
+        )
         self.duplicates_suppressed = 0
 
     def deploy(self, deployed: DeployedService) -> None:
@@ -189,6 +193,30 @@ class P2psServiceDeployer(ServiceDeployer):
     # ------------------------------------------------------------------
     # provider-side flows (Fig. 6)
     # ------------------------------------------------------------------
+    def _remember(self, message_id: str, wire: Optional[str]) -> None:
+        """Retain *wire* for duplicate suppression, honouring the
+        (test-adjustable) ``RESPONSE_CACHE_LIMIT``."""
+        self._response_cache.max_entries = self.RESPONSE_CACHE_LIMIT
+        self._response_cache.remember(message_id, wire)
+
+    def _send_ack(
+        self, deployed: DeployedService, maps: MessageAddressingProperties
+    ) -> None:
+        """Answer receipt of *maps.message_id* down the sender's ack pipe."""
+        ack = build_ack(maps.message_id, maps.reply_to.address)
+        try:
+            reply_advert = pipe_from_epr(maps.reply_to)
+            out_pipe = self.peer.open_output_pipe(reply_advert)
+            self.peer.send_down_pipe(out_pipe, ack.to_wire())
+        except Exception as exc:  # noqa: BLE001 - ack delivery best-effort
+            self.fire_server(
+                "ack-undeliverable", service=deployed.name, reason=str(exc)
+            )
+            return
+        self.fire_server(
+            "ack-sent", service=deployed.name, message_id=maps.message_id
+        )
+
     def _make_invoke_listener(self, deployed: DeployedService):
         def on_request(payload: str, meta: dict) -> None:
             # 1. Retrieve SOAP request from pipe.  Garbage from hostile
@@ -205,20 +233,37 @@ class P2psServiceDeployer(ServiceDeployer):
                 maps = MessageAddressingProperties.extract_from(request)
             except Exception:
                 maps = None
+            wants_ack = (
+                maps is not None
+                and maps.message_id is not None
+                and maps.reply_to is not None
+                and ack_requested(request)
+            )
             # retransmission handling: a MessageID seen before is not
-            # re-executed; the retained response is re-sent instead
-            # (at-most-once execution under client retries)
+            # re-executed; the retained response (or, for ack-requested
+            # one-ways, a fresh ack) is re-sent instead — at-most-once
+            # execution under client retries
             if maps is not None and maps.message_id in self._response_cache:
                 self.duplicates_suppressed += 1
-                if maps.reply_to is not None:
-                    try:
-                        reply_advert = pipe_from_epr(maps.reply_to)
-                        out_pipe = self.peer.open_output_pipe(reply_advert)
-                        self.peer.send_down_pipe(
-                            out_pipe, self._response_cache[maps.message_id]
-                        )
-                    except Exception:  # noqa: BLE001
-                        pass
+                if wants_ack:
+                    self._send_ack(deployed, maps)
+                elif maps.reply_to is not None:
+                    retained = self._response_cache.get(maps.message_id)
+                    if retained is not None:
+                        try:
+                            reply_advert = pipe_from_epr(maps.reply_to)
+                            out_pipe = self.peer.open_output_pipe(reply_advert)
+                            self.peer.send_down_pipe(out_pipe, retained)
+                        except Exception:  # noqa: BLE001
+                            pass
+                return
+            # WS-RM-lite: acknowledge *receipt* before execution, then
+            # treat the request as one-way (the ack is the only return
+            # traffic; results are not streamed back)
+            if wants_ack:
+                self._send_ack(deployed, maps)
+                self._remember(maps.message_id, None)
+                self.container.process_request(deployed.name, request)
                 return
             # 3. Process request
             response = self.container.process_request(deployed.name, request)
@@ -243,9 +288,7 @@ class P2psServiceDeployer(ServiceDeployer):
             reply_maps.apply_to(response)
             wire = response.to_wire()
             if maps.message_id:
-                if len(self._response_cache) >= self.RESPONSE_CACHE_LIMIT:
-                    self._response_cache.pop(next(iter(self._response_cache)))
-                self._response_cache[maps.message_id] = wire
+                self._remember(maps.message_id, wire)
             try:
                 self.peer.send_down_pipe(out_pipe, wire)
             except PipeError as exc:

@@ -21,6 +21,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.errors import DeploymentError
 from repro.core.events import EventSource
+from repro.reliability import DedupWindow
 from repro.soap.encoding import StructRegistry
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.handlers import HandlerChain, MessageContext, MustUnderstandHandler
@@ -51,6 +52,12 @@ class DeployedService:
         self.endpoints: list[EndpointReference] = []
         self.transport = transport
         self.requests_processed = 0
+        #: at-most-once execution: retransmitted requests (same
+        #: ``wsa:MessageID``) replay the retained response instead of
+        #: re-running the operation — essential for non-idempotent
+        #: stateful services under client-side retry policies.
+        self.dedup = DedupWindow(max_entries=256)
+        self.duplicates_suppressed = 0
         self._wsdl_locations: dict[str, str] = {}
 
     @property
@@ -152,6 +159,12 @@ class LightweightContainer(EventSource):
         return sorted(self._services)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _request_message_id(request: SoapEnvelope) -> Optional[str]:
+        from repro.wsa.headers import message_id_of
+
+        return message_id_of(request)
+
     def process_request(self, service_name: str, request: SoapEnvelope) -> SoapEnvelope:
         """The server-side message path shared by every transport.
 
@@ -189,11 +202,24 @@ class LightweightContainer(EventSource):
                     )
                 )
             else:
-                deployed.requests_processed += 1
-                context = MessageContext(request, service_name, operation)
-                response = deployed.chain.run(
-                    context, lambda ctx: deployed.dispatcher.dispatch(ctx.request)
-                )
+                message_id = self._request_message_id(request)
+                if message_id is not None and deployed.dedup.seen(message_id):
+                    deployed.duplicates_suppressed += 1
+                    response = SoapEnvelope.from_wire(deployed.dedup.get(message_id))
+                    self.fire_server(
+                        "duplicate-suppressed",
+                        service=service_name,
+                        operation=operation,
+                        message_id=message_id,
+                    )
+                else:
+                    deployed.requests_processed += 1
+                    context = MessageContext(request, service_name, operation)
+                    response = deployed.chain.run(
+                        context, lambda ctx: deployed.dispatcher.dispatch(ctx.request)
+                    )
+                    if message_id is not None:
+                        deployed.dedup.remember(message_id, response.to_wire())
         self.fire_server(
             "response-sent",
             service=service_name,

@@ -16,6 +16,14 @@ how HTTP's held-open connection behaves.
     advert into a WS-Addressing ``ReplyTo``, listen, send the request
     down the provider's operation pipe, and complete when the response
     frame lands on the reply pipe.
+
+Both consult the :mod:`repro.reliability` subsystem: every entry point
+accepts a :class:`~repro.reliability.ReliabilityPolicy` (or inherits
+the node's ``default_policy``, installed by the binding) that turns one
+attempt into a retry schedule with deadline budgets, feeds per-endpoint
+circuit breakers, and — for one-way pipe sends — requests explicit
+acknowledgement frames.  Retries reuse the original ``wsa:MessageID``
+so provider-side dedup windows keep execution at-most-once.
 """
 
 from __future__ import annotations
@@ -27,14 +35,25 @@ from repro.core.events import EventSource
 from repro.core.handle import ServiceHandle
 from repro.core.p2psmap import action_for_pipe, epr_from_pipe, pipe_from_epr
 from repro.p2ps.peer import Peer
-from repro.p2ps.pipes import PipeError, ResolutionError
+from repro.p2ps.pipes import PipeError
+from repro.reliability import (
+    CircuitBreakerRegistry,
+    CircuitOpenError,
+    DeadlineExceededError,
+    OnewayStatus,
+    ReliabilityPolicy,
+    ReliableCall,
+    ack_relates_to,
+    is_ack,
+    mark_ack_requested,
+)
 from repro.simnet.kernel import SimTimeoutError
 from repro.simnet.network import Node
 from repro.soap.encoding import StructRegistry
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.rpc import build_rpc_request, extract_rpc_result
 from repro.soap.stubs import DynamicStubBuilder
-from repro.transport.base import Transport, TransportError
+from repro.transport.base import Transport
 from repro.transport.http import HttpTransport
 from repro.transport.uri import Uri
 from repro.wsa.epr import EndpointReference
@@ -49,13 +68,45 @@ InvokeCallback = Callable[[Any, Optional[Exception]], None]
 class Invocation(EventSource):
     """Base invocation node of the interface tree."""
 
-    def __init__(self, clock, parent: Optional[EventSource] = None):
+    def __init__(
+        self,
+        clock,
+        parent: Optional[EventSource] = None,
+        default_policy: Optional[ReliabilityPolicy] = None,
+    ):
         super().__init__("invocation", parent)
         self._clock = clock
         self.registry = StructRegistry()
+        #: binding-supplied reliability defaults; an explicit ``policy=``
+        #: argument on any call overrides this.
+        self.default_policy = default_policy
+        self._breakers: Optional[CircuitBreakerRegistry] = None
 
     def _now(self) -> float:
         return self._clock()
+
+    # -- reliability -------------------------------------------------------
+    @property
+    def breakers(self) -> CircuitBreakerRegistry:
+        """Per-endpoint circuit breakers shared by this node's calls."""
+        if self._breakers is None:
+            self._breakers = CircuitBreakerRegistry(
+                clock=self._clock, on_transition=self._on_breaker_transition
+            )
+        return self._breakers
+
+    def _on_breaker_transition(self, endpoint: str, old: str, new: str) -> None:
+        self.fire_client(f"circuit-{new}", endpoint=endpoint, previous=old)
+
+    def _effective_policy(
+        self, policy: Optional[ReliabilityPolicy]
+    ) -> Optional[ReliabilityPolicy]:
+        return policy if policy is not None else self.default_policy
+
+    def _breaker_for(self, policy: Optional[ReliabilityPolicy], endpoint: str):
+        if policy is None or policy.breaker is None:
+            return None
+        return self.breakers.for_endpoint(endpoint, policy.breaker)
 
     # -- abstract -------------------------------------------------------------
     def invoke_async(
@@ -65,6 +116,7 @@ class Invocation(EventSource):
         args: dict[str, Any],
         callback: InvokeCallback,
         timeout: Optional[float] = None,
+        policy: Optional[ReliabilityPolicy] = None,
     ) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -78,6 +130,7 @@ class Invocation(EventSource):
         operation: str,
         args: Optional[dict[str, Any]] = None,
         timeout: Optional[float] = 30.0,
+        policy: Optional[ReliabilityPolicy] = None,
         **kwargs: Any,
     ) -> Any:
         """Synchronous invocation: pump virtual time until completion."""
@@ -89,7 +142,7 @@ class Invocation(EventSource):
             box["result"] = result
             box["error"] = error
 
-        self.invoke_async(handle, operation, all_args, callback, timeout)
+        self.invoke_async(handle, operation, all_args, callback, timeout, policy=policy)
         try:
             self._kernel().pump_until(lambda: "result" in box or "error" in box)
         except SimTimeoutError as exc:
@@ -103,19 +156,33 @@ class Invocation(EventSource):
         handle: ServiceHandle,
         operation: str,
         args: Optional[dict[str, Any]] = None,
+        policy: Optional[ReliabilityPolicy] = None,
+        timeout: Optional[float] = None,
         **kwargs: Any,
-    ) -> None:
+    ) -> Optional[OnewayStatus]:
         """Notification-style invocation: send and do not wait.
 
         Default implementation dispatches asynchronously and discards
         the completion; transports with genuinely one-way wires (P2PS
-        pipes) override this to skip creating a reply channel at all.
+        pipes) override this to skip creating a reply channel at all —
+        unless the reliability policy requests acknowledgements, in
+        which case an ack pipe is opened and an :class:`OnewayStatus`
+        is returned for callers who care whether delivery happened.
         """
         all_args = dict(args or {})
         all_args.update(kwargs)
-        self.invoke_async(handle, operation, all_args, lambda result, error: None)
+        self.invoke_async(
+            handle, operation, all_args, lambda result, error: None,
+            timeout, policy=policy,
+        )
+        return None
 
-    def create_stub(self, handle: ServiceHandle, timeout: Optional[float] = 30.0) -> Any:
+    def create_stub(
+        self,
+        handle: ServiceHandle,
+        timeout: Optional[float] = 30.0,
+        policy: Optional[ReliabilityPolicy] = None,
+    ) -> Any:
         """Build a dynamic proxy whose methods invoke through this node.
 
         The WSPeer way: "generating stubs directly to bytes, bypassing
@@ -124,7 +191,7 @@ class Invocation(EventSource):
         spec = to_stub_spec(handle.wsdl)
 
         def invoke_fn(op: str, args: dict[str, Any]) -> Any:
-            return self.invoke(handle, op, args, timeout=timeout)
+            return self.invoke(handle, op, args, timeout=timeout, policy=policy)
 
         return DynamicStubBuilder().build(spec, invoke_fn)
 
@@ -137,8 +204,11 @@ class HttpInvocation(Invocation):
         node: Node,
         parent: Optional[EventSource] = None,
         extra_transports: Optional[list[Transport]] = None,
+        default_policy: Optional[ReliabilityPolicy] = None,
     ):
-        super().__init__(lambda: node.network.kernel.now, parent)
+        super().__init__(
+            lambda: node.network.kernel.now, parent, default_policy=default_policy
+        )
         self.node = node
         self._transports: dict[str, Transport] = {"http": HttpTransport(node)}
         for transport in extra_transports or []:
@@ -157,7 +227,9 @@ class HttpInvocation(Invocation):
         args: dict[str, Any],
         callback: InvokeCallback,
         timeout: Optional[float] = None,
+        policy: Optional[ReliabilityPolicy] = None,
     ) -> None:
+        policy = self._effective_policy(policy)
         endpoint = self._pick_endpoint(handle)
         if endpoint is None:
             callback(
@@ -171,9 +243,13 @@ class HttpInvocation(Invocation):
         uri = Uri.parse(endpoint.address)
         transport = self._transports[uri.scheme]
 
+        # One envelope for every attempt: retries reuse the MessageID so
+        # the provider's dedup window suppresses duplicate execution.
         envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
         maps = MessageAddressingProperties.for_request(endpoint, operation)
         maps.apply_to(envelope, target=endpoint)
+        wire = envelope.to_wire()
+        headers = {"SOAPAction": maps.action}
         self.fire_client(
             "request-sent",
             service=handle.name,
@@ -182,7 +258,7 @@ class HttpInvocation(Invocation):
             message_id=maps.message_id,
         )
 
-        def on_response(body: Optional[str], error: Optional[Exception]) -> None:
+        def finish(result: Any, error: Optional[Exception]) -> None:
             if error is not None:
                 self.fire_client(
                     "invoke-failed", service=handle.name, operation=operation,
@@ -190,26 +266,65 @@ class HttpInvocation(Invocation):
                 )
                 callback(None, error)
                 return
-            try:
-                response = SoapEnvelope.from_wire(body or "")
-                result = extract_rpc_result(response, self.registry)
-            except Exception as exc:  # includes SoapFault
-                self.fire_client(
-                    "invoke-failed", service=handle.name, operation=operation,
-                    reason=str(exc),
-                )
-                callback(None, exc)
-                return
             self.fire_client(
                 "response-received", service=handle.name, operation=operation,
                 message_id=maps.message_id,
             )
             callback(result, None)
 
-        headers = {"SOAPAction": maps.action}
-        if timeout is not None and hasattr(transport, "client"):
-            transport.client.default_timeout = timeout  # type: ignore[attr-defined]
-        transport.send(uri, envelope.to_wire(), headers, on_response)
+        def decode(body: Optional[str]) -> Any:
+            response = SoapEnvelope.from_wire(body or "")
+            return extract_rpc_result(response, self.registry)
+
+        if policy is None:
+            def on_response(body: Optional[str], error: Optional[Exception]) -> None:
+                if error is not None:
+                    finish(None, error)
+                    return
+                try:
+                    result = decode(body)
+                except Exception as exc:  # includes SoapFault
+                    finish(None, exc)
+                    return
+                finish(result, None)
+
+            transport.send(uri, wire, headers, on_response, timeout=timeout)
+            return
+
+        breaker = self._breaker_for(policy, endpoint.address)
+
+        def attempt(on_done, attempt_no: int, budget: Optional[float]) -> None:
+            attempt_timeout = timeout
+            if budget is not None:
+                attempt_timeout = (
+                    budget if attempt_timeout is None else min(attempt_timeout, budget)
+                )
+
+            def on_response(body: Optional[str], error: Optional[Exception]) -> None:
+                if error is not None:
+                    on_done(None, error)
+                    return
+                try:
+                    result = decode(body)
+                except Exception as exc:  # includes SoapFault
+                    on_done(None, exc)
+                    return
+                on_done(result, None)
+
+            transport.send(uri, wire, headers, on_response, timeout=attempt_timeout)
+
+        def on_retry(next_attempt: int, delay: float, error: Exception) -> None:
+            self.fire_client(
+                "retransmit", service=handle.name, operation=operation,
+                attempt=next_attempt, message_id=maps.message_id,
+                delay=delay, reason=str(error),
+            )
+
+        ReliableCall(
+            self._kernel(), policy, attempt, finish,
+            breaker=breaker, on_retry=on_retry,
+            describe=f"{endpoint.address}#{operation}",
+        ).start()
 
     def _pick_endpoint(self, handle: ServiceHandle) -> Optional[EndpointReference]:
         for scheme in self._transports:
@@ -222,11 +337,14 @@ class HttpInvocation(Invocation):
 class P2psInvocation(Invocation):
     """SOAP over P2PS pipes — the consumer flow of Fig. 5.
 
-    ``default_retries`` adds retransmission over the lossy one-way
-    pipes: when an attempt's timeout lapses the same request (same
-    MessageID) is re-sent; the provider suppresses duplicate execution
-    and replays its retained response, so retries are safe even for
-    non-idempotent operations.
+    Pipes are one-way and give no delivery signal, so reliability here
+    is retransmission: when an attempt's timeout lapses the same
+    request (same MessageID) is re-sent after the policy's backoff; the
+    provider suppresses duplicate execution and replays its retained
+    response, so retries are safe even for non-idempotent operations.
+    ``default_retries`` is the legacy knob for the same machinery
+    (*n* extra attempts, no backoff) and wins over the binding default
+    when set.
     """
 
     def __init__(
@@ -234,13 +352,31 @@ class P2psInvocation(Invocation):
         peer: Peer,
         parent: Optional[EventSource] = None,
         default_retries: int = 0,
+        default_policy: Optional[ReliabilityPolicy] = None,
     ):
-        super().__init__(lambda: peer.network.kernel.now, parent)
+        super().__init__(
+            lambda: peer.network.kernel.now, parent, default_policy=default_policy
+        )
         self.peer = peer
         self.default_retries = default_retries
 
     def _kernel(self):
         return self.peer.network.kernel
+
+    def _effective_policy(
+        self, policy: Optional[ReliabilityPolicy]
+    ) -> Optional[ReliabilityPolicy]:
+        if policy is not None:
+            return policy
+        if self.default_retries:
+            from repro.reliability import RetryPolicy
+
+            return ReliabilityPolicy(
+                retry=RetryPolicy(
+                    max_attempts=1 + self.default_retries, base_delay=0.0, jitter=0.0
+                )
+            )
+        return self.default_policy
 
     def invoke_async(
         self,
@@ -249,7 +385,9 @@ class P2psInvocation(Invocation):
         args: dict[str, Any],
         callback: InvokeCallback,
         timeout: Optional[float] = None,
+        policy: Optional[ReliabilityPolicy] = None,
     ) -> None:
+        policy = self._effective_policy(policy)
         endpoint = self._endpoint_for_operation(handle, operation)
         if endpoint is None:
             callback(
@@ -259,15 +397,27 @@ class P2psInvocation(Invocation):
                 ),
             )
             return
+        breaker = self._breaker_for(policy, endpoint.address)
+        if breaker is not None and not breaker.allow():
+            callback(
+                None,
+                CircuitOpenError(
+                    f"circuit open for {endpoint.address}: shedding call "
+                    f"(recent failure rate {breaker.failure_rate:.0%})"
+                ),
+            )
+            return
         try:
             target_advert = pipe_from_epr(endpoint)
             out_pipe = self.peer.open_output_pipe(target_advert)
         except Exception as exc:  # noqa: BLE001 - resolution/mapping boundary
+            if breaker is not None:
+                breaker.record_failure()
             callback(None, InvocationError(f"cannot reach provider: {exc}"))
             return
 
         # Fig. 5 step 1: request input pipe + advertisement from P2PS
-        done: dict[str, Any] = {"fired": False, "timeout_event": None}
+        done: dict[str, Any] = {"fired": False, "timeout_event": None, "resend_event": None}
         reply_pipe, reply_advert = self.peer.create_input_pipe(
             f"reply-{operation}"
         )
@@ -282,14 +432,26 @@ class P2psInvocation(Invocation):
             message_id=new_message_id(),
         )
         maps.apply_to(envelope, target=endpoint)
+        wire = envelope.to_wire()
+
+        max_attempts = policy.retry.max_attempts if policy is not None else 1
+        deadline = policy.new_deadline() if policy is not None else None
+        if deadline is not None:
+            deadline.start(self._now())
 
         def finish(result: Any, error: Optional[Exception]) -> None:
             if done["fired"]:
                 return
             done["fired"] = True
-            if done["timeout_event"] is not None:
-                done["timeout_event"].cancel()
+            for key in ("timeout_event", "resend_event"):
+                if done[key] is not None:
+                    done[key].cancel()
             self.peer.close_input_pipe(reply_advert.pipe_id)
+            if breaker is not None:
+                if error is None:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
             if error is not None:
                 self.fire_client(
                     "invoke-failed", service=handle.name, operation=operation,
@@ -315,25 +477,51 @@ class P2psInvocation(Invocation):
         reply_pipe.add_listener(on_reply)
 
         attempts = {"sent": 1}
-        max_attempts = 1 + self.default_retries
+
+        def send_attempt() -> None:
+            if done["fired"]:
+                return
+            try:
+                self.peer.send_down_pipe(out_pipe, wire)
+            except PipeError as exc:
+                finish(None, InvocationError(str(exc)))
+                return
+            if timeout is not None:
+                done["timeout_event"] = self.peer.network.kernel.schedule(
+                    timeout, on_attempt_timeout
+                )
 
         def on_attempt_timeout() -> None:
             if done["fired"]:
                 return
-            if attempts["sent"] < max_attempts:
+            exhausted = attempts["sent"] >= max_attempts
+            if not exhausted and deadline is not None and deadline.expired(self._now()):
+                finish(
+                    None,
+                    DeadlineExceededError(
+                        f"deadline of {deadline.budget}s exhausted for "
+                        f"{operation!r} after {attempts['sent']} attempt(s)"
+                    ),
+                )
+                return
+            if not exhausted:
+                backoff = (
+                    policy.retry.delay(attempts["sent"] - 1)
+                    if policy is not None
+                    else 0.0
+                )
                 attempts["sent"] += 1
                 self.fire_client(
                     "retransmit", service=handle.name, operation=operation,
                     attempt=attempts["sent"], message_id=maps.message_id,
+                    delay=backoff,
                 )
-                try:
-                    self.peer.send_down_pipe(out_pipe, envelope.to_wire())
-                except PipeError as exc:
-                    finish(None, InvocationError(str(exc)))
-                    return
-                done["timeout_event"] = self.peer.network.kernel.schedule(
-                    timeout, on_attempt_timeout
-                )
+                if backoff > 0:
+                    done["resend_event"] = self.peer.network.kernel.schedule(
+                        backoff, send_attempt
+                    )
+                else:
+                    send_attempt()
             else:
                 finish(
                     None,
@@ -343,11 +531,6 @@ class P2psInvocation(Invocation):
                     ),
                 )
 
-        if timeout is not None:
-            done["timeout_event"] = self.peer.network.kernel.schedule(
-                timeout, on_attempt_timeout
-            )
-
         self.fire_client(
             "request-sent",
             service=handle.name,
@@ -356,23 +539,36 @@ class P2psInvocation(Invocation):
             message_id=maps.message_id,
         )
         # step 5: send SOAP down the remote pipe
-        try:
-            self.peer.send_down_pipe(out_pipe, envelope.to_wire())
-        except PipeError as exc:
-            finish(None, InvocationError(str(exc)))
+        send_attempt()
 
     def invoke_oneway(
         self,
         handle: ServiceHandle,
         operation: str,
         args: Optional[dict[str, Any]] = None,
+        policy: Optional[ReliabilityPolicy] = None,
+        timeout: Optional[float] = None,
         **kwargs: Any,
-    ) -> None:
+    ) -> Optional[OnewayStatus]:
         """True one-way: no reply pipe is created and no ReplyTo header
         is sent, so the provider does not answer (Fig. 6 short-circuits
-        after step 3)."""
+        after step 3).
+
+        With an acknowledgement-requesting policy (``policy.ack``), the
+        WS-RM-lite handshake runs instead: an ack pipe is opened, the
+        request carries ``rm:AckRequested`` and is retransmitted (same
+        MessageID) until the provider's ack frame arrives or attempts
+        run out; the returned :class:`OnewayStatus` tracks the outcome.
+        Acks are opt-in per call or per policy — a bare oneway stays a
+        single fire-and-forget frame.
+        """
         all_args = dict(args or {})
         all_args.update(kwargs)
+        policy = policy if policy is not None else self.default_policy
+        if policy is not None and policy.ack:
+            return self._invoke_oneway_acked(
+                handle, operation, all_args, policy, timeout
+            )
         endpoint = self._endpoint_for_operation(handle, operation)
         if endpoint is None:
             raise InvocationError(
@@ -392,6 +588,141 @@ class P2psInvocation(Invocation):
             endpoint=endpoint.address, message_id=maps.message_id,
         )
         self.peer.send_down_pipe(out_pipe, envelope.to_wire())
+        return None
+
+    def _invoke_oneway_acked(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: dict[str, Any],
+        policy: ReliabilityPolicy,
+        timeout: Optional[float],
+    ) -> OnewayStatus:
+        """The reliable one-way flow: AckRequested + retransmit-until-acked."""
+        endpoint = self._endpoint_for_operation(handle, operation)
+        if endpoint is None:
+            raise InvocationError(
+                f"service {handle.name!r} has no p2ps pipe for operation {operation!r}"
+            )
+        message_id = new_message_id()
+        status = OnewayStatus(message_id=message_id)
+        breaker = self._breaker_for(policy, endpoint.address)
+        if breaker is not None and not breaker.allow():
+            status.error = CircuitOpenError(
+                f"circuit open for {endpoint.address}: shedding oneway send"
+            )
+            status._conclude()
+            self.fire_client(
+                "oneway-failed", service=handle.name, operation=operation,
+                message_id=message_id, reason=str(status.error),
+            )
+            return status
+        target_advert = pipe_from_epr(endpoint)
+        out_pipe = self.peer.open_output_pipe(target_advert)
+        ack_pipe, ack_advert = self.peer.create_input_pipe(f"ack-{operation}")
+        envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
+        maps = MessageAddressingProperties(
+            to=endpoint.address,
+            action=action_for_pipe(target_advert),
+            reply_to=epr_from_pipe(ack_advert),
+            message_id=message_id,
+        )
+        maps.apply_to(envelope, target=endpoint)
+        mark_ack_requested(envelope)
+        wire = envelope.to_wire()
+
+        attempt_timeout = timeout if timeout is not None else 1.0
+        deadline = policy.new_deadline()
+        if deadline is not None:
+            deadline.start(self._now())
+        done: dict[str, Any] = {"timer": None, "resend": None}
+
+        def conclude(error: Optional[Exception]) -> None:
+            if status.done:
+                return
+            for key in ("timer", "resend"):
+                if done[key] is not None:
+                    done[key].cancel()
+            self.peer.close_input_pipe(ack_advert.pipe_id)
+            if error is None:
+                status.acked = True
+                status.acked_at = self._now()
+                if breaker is not None:
+                    breaker.record_success()
+                self.fire_client(
+                    "oneway-acked", service=handle.name, operation=operation,
+                    message_id=message_id, attempts=status.attempts,
+                )
+            else:
+                status.error = error
+                if breaker is not None:
+                    breaker.record_failure()
+                self.fire_client(
+                    "oneway-failed", service=handle.name, operation=operation,
+                    message_id=message_id, reason=str(error),
+                )
+            status._conclude()
+
+        def on_ack(payload: str, meta: dict) -> None:
+            try:
+                frame = SoapEnvelope.from_wire(payload)
+            except Exception:  # noqa: BLE001 - wire boundary
+                return
+            if is_ack(frame) and ack_relates_to(frame) == message_id:
+                conclude(None)
+
+        ack_pipe.add_listener(on_ack)
+
+        def send_attempt() -> None:
+            if status.done:
+                return
+            status.attempts += 1
+            try:
+                self.peer.send_down_pipe(out_pipe, wire)
+            except PipeError as exc:
+                conclude(InvocationError(str(exc)))
+                return
+            done["timer"] = self.peer.network.kernel.schedule(
+                attempt_timeout, on_timeout
+            )
+
+        def on_timeout() -> None:
+            if status.done:
+                return
+            if status.attempts >= policy.retry.max_attempts:
+                conclude(
+                    InvocationError(
+                        f"no ack from {endpoint.address} for {operation!r} "
+                        f"after {status.attempts} attempt(s) of {attempt_timeout}s"
+                    )
+                )
+                return
+            if deadline is not None and deadline.expired(self._now()):
+                conclude(
+                    DeadlineExceededError(
+                        f"deadline of {deadline.budget}s exhausted for oneway "
+                        f"{operation!r} after {status.attempts} attempt(s)"
+                    )
+                )
+                return
+            backoff = policy.retry.delay(status.attempts - 1)
+            self.fire_client(
+                "retransmit", service=handle.name, operation=operation,
+                attempt=status.attempts + 1, message_id=message_id, delay=backoff,
+            )
+            if backoff > 0:
+                done["resend"] = self.peer.network.kernel.schedule(
+                    backoff, send_attempt
+                )
+            else:
+                send_attempt()
+
+        self.fire_client(
+            "oneway-sent", service=handle.name, operation=operation,
+            endpoint=endpoint.address, message_id=message_id, ack_requested=True,
+        )
+        send_attempt()
+        return status
 
     def _endpoint_for_operation(
         self, handle: ServiceHandle, operation: str

@@ -25,6 +25,7 @@ from repro.core.hosting import DeployedService, Interceptor, LightweightContaine
 from repro.core.invocation import Invocation, InvokeCallback
 from repro.core.locator import ServiceLocator
 from repro.core.query import ServiceQuery
+from repro.reliability import ReliabilityPolicy
 from repro.simnet.network import Node
 from repro.soap.encoding import StructRegistry
 
@@ -202,10 +203,11 @@ class WSPeer(EventSource):
         operation: str,
         args: Optional[dict[str, Any]] = None,
         timeout: Optional[float] = 30.0,
+        policy: Optional["ReliabilityPolicy"] = None,
         **kwargs: Any,
     ) -> Any:
         return self.client.invocation.invoke(
-            handle, operation, args, timeout=timeout, **kwargs
+            handle, operation, args, timeout=timeout, policy=policy, **kwargs
         )
 
     def invoke_async(
@@ -215,11 +217,37 @@ class WSPeer(EventSource):
         args: dict[str, Any],
         callback: InvokeCallback,
         timeout: Optional[float] = None,
+        policy: Optional["ReliabilityPolicy"] = None,
     ) -> None:
-        self.client.invocation.invoke_async(handle, operation, args, callback, timeout)
+        self.client.invocation.invoke_async(
+            handle, operation, args, callback, timeout, policy=policy
+        )
 
-    def create_stub(self, handle: ServiceHandle, timeout: Optional[float] = 30.0) -> Any:
-        return self.client.invocation.create_stub(handle, timeout=timeout)
+    def invoke_oneway(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: Optional[dict[str, Any]] = None,
+        policy: Optional["ReliabilityPolicy"] = None,
+        timeout: Optional[float] = None,
+        **kwargs: Any,
+    ):
+        """Notification-style send through the active invocation node.
+
+        Returns ``None``, or an :class:`~repro.reliability.OnewayStatus`
+        when the effective policy requests acknowledgements.
+        """
+        return self.client.invocation.invoke_oneway(
+            handle, operation, args, policy=policy, timeout=timeout, **kwargs
+        )
+
+    def create_stub(
+        self,
+        handle: ServiceHandle,
+        timeout: Optional[float] = 30.0,
+        policy: Optional["ReliabilityPolicy"] = None,
+    ) -> Any:
+        return self.client.invocation.create_stub(handle, timeout=timeout, policy=policy)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

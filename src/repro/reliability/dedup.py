@@ -1,0 +1,103 @@
+"""Duplicate suppression keyed on ``wsa:MessageID``.
+
+Client retries deliberately reuse the MessageID of the original send,
+so a provider that remembers recently-answered ids can guarantee
+at-most-once *execution* under at-least-once *delivery* — the property
+that makes retransmission safe for non-idempotent stateful services
+(the paper's hosted "code sources" hold state, §III).
+
+The window is bounded two ways: ``max_entries`` (FIFO eviction, a ring
+over insertion order) and an optional ``ttl`` in virtual seconds.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterator, Optional
+
+
+class DedupWindow:
+    """Recently-seen MessageIDs with their retained responses."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock or (lambda: 0.0)
+        #: message id -> (retained value, stored-at time)
+        self._entries: "OrderedDict[str, tuple[Any, float]]" = OrderedDict()
+        self.duplicates = 0  #: hits observed via __contains__/get
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock()
+
+    def _expire(self) -> None:
+        if self.ttl is None:
+            return
+        horizon = self._now() - self.ttl
+        while self._entries:
+            key, (_, stored_at) = next(iter(self._entries.items()))
+            if stored_at >= horizon:
+                break
+            self._entries.popitem(last=False)
+            self.evicted += 1
+
+    # ------------------------------------------------------------------
+    def remember(self, message_id: str, value: Any = None) -> None:
+        """Record *message_id* (optionally with a retained response)."""
+        self._expire()
+        if message_id in self._entries:
+            self._entries[message_id] = (value, self._now())
+            self._entries.move_to_end(message_id)
+            return
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evicted += 1
+        self._entries[message_id] = (value, self._now())
+
+    def seen(self, message_id: Optional[str]) -> bool:
+        """Is *message_id* a live (non-expired) duplicate?  Counts hits."""
+        if message_id is None:
+            return False
+        self._expire()
+        hit = message_id in self._entries
+        if hit:
+            self.duplicates += 1
+        return hit
+
+    def get(self, message_id: str) -> Any:
+        """The retained value for *message_id* (None when absent)."""
+        self._expire()
+        entry = self._entries.get(message_id)
+        return entry[0] if entry is not None else None
+
+    def __contains__(self, message_id: object) -> bool:
+        self._expire()
+        return message_id in self._entries
+
+    def __len__(self) -> int:
+        self._expire()
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        self._expire()
+        return iter(list(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<DedupWindow {len(self._entries)}/{self.max_entries} "
+            f"ttl={self.ttl} dups={self.duplicates}>"
+        )

@@ -1,0 +1,169 @@
+"""The attempt driver: one logical call over many physical attempts.
+
+:class:`ReliableCall` owns the control flow the policies describe —
+consult the endpoint's breaker, run an attempt, classify the failure,
+wait out the backoff on the simulation kernel, try again, and give up
+when attempts or the deadline budget run out.  It is transport-neutral:
+the caller supplies an ``attempt`` callable that performs one physical
+try and reports back through a completion callback, which is exactly
+the shape of both ``Transport.send`` and a pipe send-plus-timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.reliability.breaker import CircuitBreaker, CircuitOpenError
+from repro.reliability.policy import (
+    Deadline,
+    DeadlineExceededError,
+    ReliabilityPolicy,
+)
+
+#: attempt(on_done, attempt_no, remaining_budget): perform one physical
+#: try; call on_done(result, error) exactly once when it concludes.
+AttemptFn = Callable[[Callable[[Any, Optional[Exception]], None], int, Optional[float]], None]
+#: final completion callback: (result, error).
+DoneFn = Callable[[Any, Optional[Exception]], None]
+
+
+class ReliableCall:
+    """Drives one logical invocation to completion under a policy."""
+
+    def __init__(
+        self,
+        kernel,
+        policy: ReliabilityPolicy,
+        attempt: AttemptFn,
+        callback: DoneFn,
+        breaker: Optional[CircuitBreaker] = None,
+        on_retry: Optional[Callable[[int, float, Exception], None]] = None,
+        describe: str = "call",
+    ):
+        self._kernel = kernel
+        self.policy = policy
+        self._attempt = attempt
+        self._callback = callback
+        self._breaker = breaker
+        self._on_retry = on_retry
+        self._describe = describe
+        self._deadline: Optional[Deadline] = policy.new_deadline()
+        self.attempts_made = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ReliableCall":
+        if self._deadline is not None:
+            self._deadline.start(self._kernel.now)
+        self._run_attempt()
+        return self
+
+    def _finish(self, result: Any, error: Optional[Exception]) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._callback(result, error)
+
+    def _remaining_budget(self) -> Optional[float]:
+        if self._deadline is None:
+            return None
+        return self._deadline.remaining(self._kernel.now)
+
+    # ------------------------------------------------------------------
+    def _run_attempt(self) -> None:
+        if self._finished:
+            return
+        if self._breaker is not None and not self._breaker.allow():
+            self._finish(
+                None,
+                CircuitOpenError(
+                    f"circuit open for {self._describe}: shedding call "
+                    f"(recent failure rate "
+                    f"{self._breaker.failure_rate:.0%})"
+                ),
+            )
+            return
+        budget = self._remaining_budget()
+        if budget is not None and budget <= 0:
+            self._finish(
+                None,
+                DeadlineExceededError(
+                    f"deadline of {self._deadline.budget}s exhausted before "
+                    f"attempt {self.attempts_made + 1} of {self._describe}"
+                ),
+            )
+            return
+        attempt_no = self.attempts_made
+        self.attempts_made += 1
+        concluded = {"done": False}
+
+        def on_done(result: Any, error: Optional[Exception]) -> None:
+            if concluded["done"] or self._finished:
+                return
+            concluded["done"] = True
+            if error is None:
+                if self._breaker is not None:
+                    self._breaker.record_success()
+                self._finish(result, None)
+                return
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            self._maybe_retry(attempt_no, error)
+
+        try:
+            self._attempt(on_done, attempt_no, budget)
+        except Exception as exc:  # noqa: BLE001 - attempt boundary
+            on_done(None, exc)
+
+    def _maybe_retry(self, attempt_no: int, error: Exception) -> None:
+        retry = self.policy.retry
+        if self.attempts_made >= retry.max_attempts or not retry.retryable(error):
+            self._finish(None, error)
+            return
+        delay = retry.delay(attempt_no)
+        budget = self._remaining_budget()
+        if budget is not None and delay >= budget:
+            self._finish(
+                None,
+                DeadlineExceededError(
+                    f"deadline of {self._deadline.budget}s leaves no room to "
+                    f"retry {self._describe} after {self.attempts_made} "
+                    f"attempt(s): {error}"
+                ),
+            )
+            return
+        if self._on_retry is not None:
+            self._on_retry(self.attempts_made + 1, delay, error)
+        self._kernel.schedule(delay, self._run_attempt)
+
+
+@dataclass
+class OnewayStatus:
+    """Live status of one acknowledged one-way send.
+
+    Returned immediately by ``invoke_oneway`` when acks are requested;
+    fields fill in as the simulation advances.
+    """
+
+    message_id: str
+    acked: bool = False
+    attempts: int = 0
+    acked_at: Optional[float] = None
+    error: Optional[Exception] = None
+    _listeners: list = field(default_factory=list, repr=False)
+
+    @property
+    def done(self) -> bool:
+        return self.acked or self.error is not None
+
+    def on_done(self, fn: Callable[["OnewayStatus"], None]) -> None:
+        if self.done:
+            fn(self)
+        else:
+            self._listeners.append(fn)
+
+    def _conclude(self) -> None:
+        listeners, self._listeners = self._listeners, []
+        for fn in listeners:
+            fn(self)

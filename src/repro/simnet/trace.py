@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
@@ -17,15 +17,32 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only record of network/simulation events, with query helpers."""
+    """Record of network/simulation events, with query helpers.
 
-    def __init__(self, enabled: bool = True):
+    Unbounded by default; pass ``max_records`` to run it as a ring
+    buffer that keeps only the newest records — long reliability
+    benchmarks (retransmission storms emit a frame record per attempt)
+    would otherwise grow the log without bound.  ``dropped`` counts
+    records pushed out of the ring.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be >= 1")
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.records: "deque[TraceRecord]" = deque(maxlen=max_records)
+        self.emitted = 0  #: total emitted, including any since dropped
+
+    @property
+    def dropped(self) -> int:
+        """Records pushed out of the ring (0 when unbounded)."""
+        return self.emitted - len(self.records)
 
     def emit(self, time: float, kind: str, **detail: Any) -> None:
         if self.enabled:
             self.records.append(TraceRecord(time, kind, detail))
+            self.emitted += 1
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         return [r for r in self.records if r.kind == kind]
@@ -35,6 +52,7 @@ class TraceLog:
 
     def clear(self) -> None:
         self.records.clear()
+        self.emitted = 0
 
     def __len__(self) -> int:
         return len(self.records)

@@ -41,12 +41,14 @@ class Transport(abc.ABC):
         body: str,
         headers: Optional[dict[str, str]] = None,
         on_response: Optional[ResponseCallback] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         """Send *body* to *endpoint*.
 
         Asynchronous: *on_response* fires when the reply (or failure)
         arrives.  One-way transports invoke it immediately with
-        ``(None, None)`` after the frame leaves.
+        ``(None, None)`` after the frame leaves.  *timeout* bounds this
+        one exchange only — it must never mutate shared client state.
         """
 
     @abc.abstractmethod

@@ -30,6 +30,7 @@ class DatagramTransport(Transport):
         body: str,
         headers: Optional[dict[str, str]] = None,
         on_response: Optional[ResponseCallback] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         try:
             self.node.send(endpoint.host, f"dgram:{endpoint.path}", body, **(headers or {}))

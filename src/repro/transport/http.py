@@ -319,6 +319,7 @@ class HttpTransport(Transport):
         body: str,
         headers: Optional[dict[str, str]] = None,
         on_response: Optional[ResponseCallback] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         request = HttpRequest("POST", "/" + endpoint.path, body, headers)
         request.headers.setdefault("Content-Type", "text/xml; charset=utf-8")
@@ -337,7 +338,8 @@ class HttpTransport(Transport):
                 on_response(response.body if response else None, None)
 
         self.client.request_async(
-            endpoint.host, endpoint.port or DEFAULT_HTTP_PORT, request, callback
+            endpoint.host, endpoint.port or DEFAULT_HTTP_PORT, request, callback,
+            timeout=timeout,
         )
 
     def listen(self, address: Uri, handler: ServerHandler) -> None:

@@ -118,6 +118,7 @@ class HttpgTransport(Transport):
         body: str,
         headers: Optional[dict[str, str]] = None,
         on_response: Optional[ResponseCallback] = None,
+        timeout: Optional[float] = None,
     ) -> None:
         request = HttpRequest("POST", "/" + endpoint.path, body, headers)
         request.headers[self.CRED_HEADER] = self.credential.header_value()
@@ -151,7 +152,8 @@ class HttpgTransport(Transport):
             on_response(response.body, None)
 
         self.client.request_async(
-            endpoint.host, endpoint.port or DEFAULT_HTTPG_PORT, request, callback
+            endpoint.host, endpoint.port or DEFAULT_HTTPG_PORT, request, callback,
+            timeout=timeout,
         )
 
     def listen(self, address: Uri, handler: ServerHandler) -> None:

@@ -154,3 +154,21 @@ class MessageAddressingProperties:
 
     def __repr__(self) -> str:
         return f"<MAPs to={self.to} action={self.action}>"
+
+
+def message_id_of(envelope: SoapEnvelope) -> Optional[str]:
+    """The ``wsa:MessageID`` of *envelope*, or None.
+
+    Unlike :meth:`MessageAddressingProperties.extract_from`, this does
+    not demand a fully-addressed message — the reliability layer keys
+    duplicate suppression on the MessageID alone, and messages without
+    one simply bypass dedup.
+    """
+    block = envelope.find_header(_MESSAGE_ID)
+    return block.text if block is not None and block.text else None
+
+
+def relates_to_of(envelope: SoapEnvelope) -> Optional[str]:
+    """The ``wsa:RelatesTo`` of *envelope*, or None (ack correlation)."""
+    block = envelope.find_header(_RELATES_TO)
+    return block.text if block is not None and block.text else None

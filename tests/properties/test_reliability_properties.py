@@ -1,0 +1,125 @@
+"""Property-based tests for the reliability layer's wire-level claims:
+MessageID uniqueness, ack correlation through real XML round-trips, and
+backoff-schedule invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    RetryPolicy,
+    ack_relates_to,
+    ack_requested,
+    build_ack,
+    is_ack,
+    mark_ack_requested,
+)
+from repro.soap.envelope import SoapEnvelope
+from repro.soap.rpc import build_rpc_request
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import (
+    MessageAddressingProperties,
+    message_id_of,
+    new_message_id,
+    relates_to_of,
+)
+
+_ids = st.text(
+    alphabet=string.ascii_letters + string.digits + ":-._", min_size=1, max_size=40
+)
+_addresses = st.text(
+    alphabet=string.ascii_letters + string.digits + ":/-._", min_size=1, max_size=40
+)
+
+
+class TestMessageIdUniqueness:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=200))
+    def test_minted_ids_never_collide(self, n):
+        ids = [new_message_id() for _ in range(n)]
+        assert len(set(ids)) == n
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=10))
+    def test_uniqueness_holds_across_prefixes(self, prefix):
+        a = new_message_id(prefix=f"urn:{prefix}")
+        b = new_message_id(prefix=f"urn:{prefix}")
+        assert a != b
+        assert a.startswith(f"urn:{prefix}-")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_ids_survive_request_xml_round_trip(self, n):
+        seen = set()
+        target = EndpointReference("http://prov:80/services/Echo")
+        for _ in range(n):
+            envelope = build_rpc_request("urn:test", "echo", {"message": "x"})
+            maps = MessageAddressingProperties.for_request(target, "echo")
+            maps.apply_to(envelope, target=target)
+            revived = SoapEnvelope.from_wire(envelope.to_wire())
+            mid = message_id_of(revived)
+            assert mid == maps.message_id
+            assert mid not in seen
+            seen.add(mid)
+
+
+class TestAckRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(_ids, _addresses)
+    def test_relates_to_survives_serialization(self, message_id, to):
+        ack = build_ack(message_id, to)
+        revived = SoapEnvelope.from_wire(ack.to_wire())
+        assert is_ack(revived)
+        assert ack_relates_to(revived) == message_id
+        assert relates_to_of(revived) == message_id
+
+    @settings(max_examples=100, deadline=None)
+    @given(_ids, _addresses)
+    def test_ack_addressing_preserved(self, message_id, to):
+        revived = SoapEnvelope.from_wire(build_ack(message_id, to).to_wire())
+        maps = MessageAddressingProperties.extract_from(revived)
+        assert maps.to == to
+        assert maps.relates_to == message_id
+
+    @settings(max_examples=50, deadline=None)
+    @given(_ids)
+    def test_ack_requested_marker_survives_round_trip(self, message_id):
+        envelope = build_rpc_request("urn:test", "note", {"text": "x"})
+        maps = MessageAddressingProperties(
+            to="p2ps://prov/Notes", action="urn:test#note", message_id=message_id
+        )
+        maps.apply_to(envelope)
+        mark_ack_requested(envelope)
+        revived = SoapEnvelope.from_wire(envelope.to_wire())
+        assert ack_requested(revived)
+        assert message_id_of(revived) == message_id
+        # requests are not acks, and marking twice stays a single header
+        assert not is_ack(revived)
+        before = envelope.to_wire()
+        mark_ack_requested(envelope)
+        assert envelope.to_wire() == before
+
+
+class TestBackoffProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.001, max_value=1.0),
+        st.floats(min_value=1.0, max_value=4.0),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_delays_bounded_and_deterministic(
+        self, attempts, base, multiplier, jitter, seed
+    ):
+        policy = RetryPolicy(
+            max_attempts=attempts, base_delay=base, multiplier=multiplier,
+            max_delay=2.0, jitter=jitter, seed=seed,
+        )
+        schedule = policy.schedule()
+        assert len(schedule) == attempts - 1
+        for delay in schedule:
+            assert 0.0 <= delay <= 2.0 * (1.0 + jitter)
+        policy.reset()
+        assert policy.schedule() == schedule

@@ -1,0 +1,91 @@
+"""Unit tests for the provider-side duplicate-suppression window."""
+
+import pytest
+
+from repro.reliability import DedupWindow
+from repro.simnet import Kernel
+
+
+class TestRememberAndSeen:
+    def test_unseen_then_seen(self):
+        window = DedupWindow()
+        assert not window.seen("urn:uuid:1")
+        window.remember("urn:uuid:1", "<response/>")
+        assert window.seen("urn:uuid:1")
+        assert window.get("urn:uuid:1") == "<response/>"
+
+    def test_none_id_never_seen(self):
+        window = DedupWindow()
+        assert not window.seen(None)
+
+    def test_duplicate_hits_counted(self):
+        window = DedupWindow()
+        window.remember("a")
+        window.seen("a")
+        window.seen("a")
+        window.seen("b")  # miss: not counted
+        assert window.duplicates == 2
+
+    def test_contains_and_iter(self):
+        window = DedupWindow()
+        window.remember("a")
+        window.remember("b")
+        assert "a" in window and "c" not in window
+        assert list(window) == ["a", "b"]
+        window.clear()
+        assert len(window) == 0
+
+
+class TestEviction:
+    def test_fifo_eviction_at_capacity(self):
+        window = DedupWindow(max_entries=3)
+        for mid in ("a", "b", "c", "d"):
+            window.remember(mid)
+        assert len(window) == 3
+        assert "a" not in window  # oldest evicted first
+        assert list(window) == ["b", "c", "d"]
+        assert window.evicted == 1
+
+    def test_shrinking_max_entries_applies_on_next_remember(self):
+        window = DedupWindow(max_entries=8)
+        for i in range(8):
+            window.remember(f"m{i}")
+        window.max_entries = 3
+        window.remember("new")
+        assert len(window) <= 3
+        assert "new" in window
+
+    def test_re_remember_moves_to_back(self):
+        window = DedupWindow(max_entries=2)
+        window.remember("a")
+        window.remember("b")
+        window.remember("a", "updated")  # refresh, not insert
+        window.remember("c")  # evicts b, not a
+        assert "a" in window and "b" not in window
+        assert window.get("a") == "updated"
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DedupWindow(max_entries=0)
+        with pytest.raises(ValueError):
+            DedupWindow(ttl=0)
+
+
+class TestTtlExpiryUnderVirtualClock:
+    def test_entries_expire_after_ttl(self):
+        kernel = Kernel()
+        window = DedupWindow(ttl=5.0, clock=lambda: kernel.now)
+        window.remember("early")
+        kernel.schedule(6.0, lambda: None)
+        kernel.run_until_idle()  # now = 6.0 > ttl
+        assert not window.seen("early")
+        assert window.evicted == 1
+
+    def test_live_entries_survive(self):
+        kernel = Kernel()
+        window = DedupWindow(ttl=5.0, clock=lambda: kernel.now)
+        window.remember("early")
+        kernel.schedule(3.0, lambda: None)
+        kernel.run_until_idle()
+        window.remember("late")
+        assert window.seen("early") and window.seen("late")

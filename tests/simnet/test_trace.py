@@ -28,6 +28,43 @@ class TestTraceLog:
         assert len(log) == 0
 
 
+class TestRingBufferMode:
+    def test_unbounded_by_default(self):
+        log = TraceLog()
+        for i in range(1000):
+            log.emit(float(i), "sent")
+        assert len(log) == 1000
+        assert log.dropped == 0
+
+    def test_ring_keeps_newest_records(self):
+        log = TraceLog(max_records=3)
+        for i in range(7):
+            log.emit(float(i), "sent", seq=i)
+        assert len(log) == 3
+        assert [r.detail["seq"] for r in log.records] == [4, 5, 6]
+        assert log.emitted == 7
+        assert log.dropped == 4
+
+    def test_query_helpers_see_only_retained(self):
+        log = TraceLog(max_records=2)
+        log.emit(1.0, "lost")
+        log.emit(2.0, "sent")
+        log.emit(3.0, "sent")
+        assert log.count("lost") == 0  # pushed out of the ring
+        assert log.count("sent") == 2
+
+    def test_clear_resets_drop_accounting(self):
+        log = TraceLog(max_records=2)
+        for i in range(5):
+            log.emit(float(i), "x")
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(max_records=0)
+
+
 class TestCounter:
     def test_incr_get_total(self):
         counter = Counter()
