@@ -16,6 +16,7 @@ import timeit
 
 from _workloads import print_table
 
+from repro.caching import fastpath_disabled
 from repro.soap import DynamicStubBuilder, SourceCodegenStubBuilder
 from repro.soap.stubs import OperationSpec, StubSpec
 
@@ -33,8 +34,13 @@ def make_spec(m: int) -> StubSpec:
 
 
 def measure(builder, spec: StubSpec, repeats: int = 200) -> float:
-    """Mean seconds per build_class call."""
-    return timeit.timeit(lambda: builder.build_class(spec), number=repeats) / repeats
+    """Mean seconds per build_class call.
+
+    Runs with the stub-class cache bypassed: E5 measures *generation*
+    strategies, and a cache hit would measure a dict lookup instead.
+    """
+    with fastpath_disabled():
+        return timeit.timeit(lambda: builder.build_class(spec), number=repeats) / repeats
 
 
 def run_e5_experiment(op_counts=OP_COUNTS):

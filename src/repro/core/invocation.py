@@ -55,10 +55,14 @@ from repro.soap.rpc import build_rpc_request, extract_rpc_result
 from repro.soap.stubs import DynamicStubBuilder
 from repro.transport.base import Transport
 from repro.transport.http import HttpTransport
-from repro.transport.uri import Uri
+from repro.transport.uri import parse_uri_cached
 from repro.wsa.epr import EndpointReference
-from repro.wsa.headers import MessageAddressingProperties, new_message_id
-from repro.wsdl.stubspec import to_stub_spec
+from repro.wsa.headers import (
+    MessageAddressingProperties,
+    new_message_id,
+    request_templates,
+)
+from repro.wsdl.stubspec import stub_spec_cached
 
 #: Completion callback: (result, error) — exactly one is non-None,
 #: except for void results where both may be None.
@@ -188,7 +192,7 @@ class Invocation(EventSource):
         The WSPeer way: "generating stubs directly to bytes, bypassing
         source generation and compilation" (§IV-A).
         """
-        spec = to_stub_spec(handle.wsdl)
+        spec = stub_spec_cached(handle.wsdl)
 
         def invoke_fn(op: str, args: dict[str, Any]) -> Any:
             return self.invoke(handle, op, args, timeout=timeout, policy=policy)
@@ -240,15 +244,19 @@ class HttpInvocation(Invocation):
                 ),
             )
             return
-        uri = Uri.parse(endpoint.address)
+        uri = parse_uri_cached(endpoint.address)
         transport = self._transports[uri.scheme]
 
         # One envelope for every attempt: retries reuse the MessageID so
         # the provider's dedup window suppresses duplicate execution.
-        envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
         maps = MessageAddressingProperties.for_request(endpoint, operation)
-        maps.apply_to(envelope, target=endpoint)
-        wire = envelope.to_wire()
+        wire = request_templates.render(
+            maps, handle.namespace, operation, args, target=endpoint
+        )
+        if wire is None:
+            envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
+            maps.apply_to(envelope, target=endpoint)
+            wire = envelope.to_wire()
         headers = {"SOAPAction": maps.action}
         self.fire_client(
             "request-sent",
@@ -424,15 +432,19 @@ class P2psInvocation(Invocation):
         # step 2/3: serialise the pipe advert to WS-Addressing and add
         # to the SOAP request header
         reply_epr = epr_from_pipe(reply_advert)
-        envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
         maps = MessageAddressingProperties(
             to=endpoint.address,
             action=action_for_pipe(target_advert),
             reply_to=reply_epr,
             message_id=new_message_id(),
         )
-        maps.apply_to(envelope, target=endpoint)
-        wire = envelope.to_wire()
+        wire = request_templates.render(
+            maps, handle.namespace, operation, args, target=endpoint
+        )
+        if wire is None:
+            envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
+            maps.apply_to(envelope, target=endpoint)
+            wire = envelope.to_wire()
 
         max_attempts = policy.retry.max_attempts if policy is not None else 1
         deadline = policy.new_deadline() if policy is not None else None
@@ -576,18 +588,25 @@ class P2psInvocation(Invocation):
             )
         target_advert = pipe_from_epr(endpoint)
         out_pipe = self.peer.open_output_pipe(target_advert)
-        envelope = build_rpc_request(handle.namespace, operation, all_args, self.registry)
         maps = MessageAddressingProperties(
             to=endpoint.address,
             action=action_for_pipe(target_advert),
             message_id=new_message_id(),
         )
-        maps.apply_to(envelope, target=endpoint)
+        wire = request_templates.render(
+            maps, handle.namespace, operation, all_args, target=endpoint
+        )
+        if wire is None:
+            envelope = build_rpc_request(
+                handle.namespace, operation, all_args, self.registry
+            )
+            maps.apply_to(envelope, target=endpoint)
+            wire = envelope.to_wire()
         self.fire_client(
             "oneway-sent", service=handle.name, operation=operation,
             endpoint=endpoint.address, message_id=maps.message_id,
         )
-        self.peer.send_down_pipe(out_pipe, envelope.to_wire())
+        self.peer.send_down_pipe(out_pipe, wire)
         return None
 
     def _invoke_oneway_acked(

@@ -38,7 +38,7 @@ from repro.transport.uri import Uri
 from repro.uddi.client import UddiClient
 from repro.wsa.epr import EndpointReference
 from repro.wsa.headers import MessageAddressingProperties, new_message_id
-from repro.wsdl.parser import parse_wsdl
+from repro.wsdl.parser import parse_wsdl_cached
 
 
 class ServiceLocator(EventSource):
@@ -100,7 +100,7 @@ class UddiServiceLocator(ServiceLocator):
                                     reason=f"wsdl fetch failed: {exc}")
                 continue
             handle = ServiceHandle(
-                service.name, parse_wsdl(wsdl_text), endpoints, source="uddi"
+                service.name, parse_wsdl_cached(wsdl_text), endpoints, source="uddi"
             )
             handles.append(handle)
             self.fire_discovery(
@@ -209,7 +209,7 @@ class UddiServiceLocator(ServiceLocator):
                         finish_one()
                         return
                     handle = ServiceHandle(
-                        full.name, parse_wsdl(response.body), endpoints, source="uddi"
+                        full.name, parse_wsdl_cached(response.body), endpoints, source="uddi"
                     )
                     state["found"] += 1
                     self.fire_discovery(
@@ -302,7 +302,7 @@ class P2psServiceLocator(ServiceLocator):
             return None
         return ServiceHandle(
             advert.name,
-            parse_wsdl(wsdl_text),
+            parse_wsdl_cached(wsdl_text),
             endpoints,
             source="p2ps",
             attributes=dict(advert.attributes),

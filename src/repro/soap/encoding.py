@@ -226,6 +226,41 @@ def _decode_untyped(elem: Element, registry: StructRegistry) -> Any:
     return elem.text
 
 
+def primitive_xsi_type(value: Any) -> Optional[str]:
+    """The ``xsi:type`` text :func:`encode_value` writes for *value*.
+
+    Returns None for anything that is not a template-safe primitive
+    (the envelope-template fast path only pre-serialises shapes whose
+    wire bytes are a pure function of the value's type and text).
+    """
+    if isinstance(value, bool):  # must test before int
+        return _xsd("boolean")
+    if isinstance(value, int):
+        return _xsd("int")
+    if isinstance(value, float):
+        return _xsd("double")
+    if isinstance(value, str):
+        return _xsd("string")
+    return None
+
+
+def primitive_text(value: Any) -> Optional[str]:
+    """The element text :func:`encode_value` writes for *value*.
+
+    Must stay literally in lock-step with :func:`_encode_into`; the
+    envelope-template parity tests diff the two paths byte-for-byte.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    return None
+
+
 def python_type_to_xsd(py_type: Any) -> str:
     """Map a Python annotation to an XSD type name for WSDL generation."""
     if py_type in _PRIMITIVES:

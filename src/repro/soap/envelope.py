@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.caching import ArtifactCache, fastpath_enabled
 from repro.soap.faults import SoapFault
 from repro.xmlkit import Element, QName, ns, parse, serialize
+from repro.xmlkit.serializer import escape_text
 
 
 class SoapEnvelopeError(ValueError):
@@ -95,6 +97,10 @@ class SoapEnvelope:
         return env
 
     def to_wire(self, pretty: bool = False) -> str:
+        if not pretty:
+            wire = wire_templates.render(self)
+            if wire is not None:
+                return wire
         return serialize(self.to_element(), pretty=pretty, xml_declaration=True)
 
     @classmethod
@@ -119,3 +125,211 @@ class SoapEnvelope:
     def __repr__(self) -> str:
         op = self.body_content.name.local if self.body_content is not None else "(empty)"
         return f"<SoapEnvelope body={op} headers={len(self.headers)}>"
+
+
+class EnvelopeTemplate:
+    """A pre-serialised envelope with holes for the per-call fields.
+
+    Most of an RPC request envelope is invariant across calls to the
+    same operation of the same endpoint — the skeleton, the addressing
+    headers, the parameter names and ``xsi:type`` markers.  A template
+    captures that invariant text once (produced by the *real* slow
+    path, so the bytes are identical by construction) and splits it at
+    sentinel markers into ``segments``; :meth:`render` interleaves the
+    per-call field texts to rebuild the full wire string with plain
+    ``str.join``.
+
+    Field values passed to :meth:`render` must already be escaped —
+    the caller applies :func:`repro.xmlkit.serializer.escape_text`
+    exactly where the slow path would.
+    """
+
+    __slots__ = ("segments", "fields")
+
+    def __init__(self, segments: list[str], fields: list):
+        self.segments = segments
+        self.fields = fields
+
+    @classmethod
+    def from_wire(cls, wire: str, sentinels: dict) -> Optional["EnvelopeTemplate"]:
+        """Split *wire* at the planted sentinel strings.
+
+        *sentinels* maps a field key to the sentinel text that stands
+        in for it in the prototype wire.  Returns None when any
+        sentinel does not occur exactly once (static document content
+        collided with the marker alphabet) — the caller falls back to
+        the slow path.
+        """
+        spans: list[tuple[int, int, object]] = []
+        for key, marker in sentinels.items():
+            first = wire.find(marker)
+            if first < 0 or wire.find(marker, first + 1) >= 0:
+                return None
+            spans.append((first, len(marker), key))
+        spans.sort()
+        segments: list[str] = []
+        fields: list = []
+        prev = 0
+        for start, length, key in spans:
+            if start < prev:
+                return None  # overlapping markers
+            segments.append(wire[prev:start])
+            fields.append(key)
+            prev = start + length
+        segments.append(wire[prev:])
+        return cls(segments, fields)
+
+    def render(self, values: dict) -> str:
+        segments = self.segments
+        parts = [segments[0]]
+        append = parts.append
+        for i, key in enumerate(self.fields):
+            append(values[key])
+            append(segments[i + 1])
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return f"<EnvelopeTemplate fields={len(self.fields)}>"
+
+
+# ----------------------------------------------------------------------
+# generic wire templates (the :meth:`SoapEnvelope.to_wire` fast path)
+# ----------------------------------------------------------------------
+#: marks a shape whose template build failed (sentinel collision with
+#: static document content); cached so the probe is not re-run.
+_UNTEMPLATABLE = object()
+
+
+def _leaf_shape(elem: Element) -> Optional[tuple]:
+    """Static identity of a childless element; its text is the hole.
+
+    Returns None for elements with child elements — those shapes are
+    left to the ordinary serialiser.
+    """
+    for item in elem.content:
+        if not isinstance(item, str):
+            return None
+    name = elem.name
+    return (
+        (name.uri, name.local, name.prefix),
+        tuple(elem.nsdecls.items()),
+        tuple(((a.uri, a.local, a.prefix), v) for a, v in elem.attributes.items()),
+        bool(elem.content),
+    )
+
+
+class WireTemplateCache:
+    """Pre-serialised envelope skeletons keyed by envelope *shape*.
+
+    Most envelopes this stack emits — RPC responses, acks, retained
+    dedup replays — share a small set of shapes: text-only header
+    blocks plus a body wrapper whose children are text-only parameter
+    elements.  The shape (names, prefix hints, namespace declarations,
+    attributes, text presence — everything byte-affecting except the
+    text values) keys a template whose prototype is serialised by the
+    real serialiser with sentinel text, so rendering is a string splice
+    with bytes identical to the slow path by construction.  Any element
+    with child elements (EPRs, faults with detail trees, struct
+    parameters) makes :meth:`render` return None and the caller runs
+    the ordinary serialiser.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self._cache = ArtifactCache("wire-templates", max_entries)
+
+    def render(self, envelope: "SoapEnvelope") -> Optional[str]:
+        """The full wire text of *envelope*, or None to signal slow-path."""
+        if not fastpath_enabled():
+            return None
+        key = self._key(envelope)
+        if key is None:
+            return None
+        template = self._cache.get(key)
+        if template is _UNTEMPLATABLE:
+            return None
+        if template is None:
+            template = self._build(key)
+            self._cache.put(key, template if template is not None else _UNTEMPLATABLE)
+            if template is None:
+                return None
+        return template.render(self._values(envelope))
+
+    def invalidate_all(self) -> int:
+        return self._cache.clear()
+
+    @staticmethod
+    def _key(envelope: "SoapEnvelope") -> Optional[tuple]:
+        headers = []
+        for block in envelope.headers:
+            leaf = _leaf_shape(block)
+            if leaf is None:
+                return None
+            headers.append(leaf)
+        body = envelope.body_content
+        if body is None:
+            body_shape = None
+        else:
+            kids = []
+            for item in body.content:
+                if isinstance(item, str):
+                    return None
+                leaf = _leaf_shape(item)
+                if leaf is None:
+                    return None
+                kids.append(leaf)
+            name = body.name
+            body_shape = (
+                (name.uri, name.local, name.prefix),
+                tuple(body.nsdecls.items()),
+                tuple(((a.uri, a.local, a.prefix), v) for a, v in body.attributes.items()),
+                tuple(kids),
+            )
+        return (tuple(headers), body_shape)
+
+    @staticmethod
+    def _build(key: tuple) -> Optional[EnvelopeTemplate]:
+        header_shapes, body_shape = key
+        sentinels: dict = {}
+
+        def leaf_from(shape: tuple, hole_key: tuple) -> Element:
+            name, nsd, attrs, has_text = shape
+            elem = Element(QName(*name), nsdecls=dict(nsd) or None)
+            for aname, avalue in attrs:
+                elem.attributes[QName(*aname)] = avalue
+            if has_text:
+                # NUL never survives escaping, so a collision requires
+                # NUL in static content — caught by from_wire
+                marker = f"\x00{len(sentinels)}\x00"
+                sentinels[hole_key] = marker
+                elem.append_text(marker)
+            return elem
+
+        headers = [leaf_from(shape, ("h", i)) for i, shape in enumerate(header_shapes)]
+        body: Optional[Element] = None
+        if body_shape is not None:
+            name, nsd, attrs, kid_shapes = body_shape
+            body = Element(QName(*name), nsdecls=dict(nsd) or None)
+            for aname, avalue in attrs:
+                body.attributes[QName(*aname)] = avalue
+            for j, shape in enumerate(kid_shapes):
+                body.append(leaf_from(shape, ("c", j)))
+        proto = SoapEnvelope(body_content=body, headers=headers)
+        wire = serialize(proto.to_element(), xml_declaration=True)
+        return EnvelopeTemplate.from_wire(wire, sentinels)
+
+    @staticmethod
+    def _values(envelope: "SoapEnvelope") -> dict:
+        values: dict = {}
+        for i, block in enumerate(envelope.headers):
+            if block.content:
+                values[("h", i)] = escape_text(block.text)
+        body = envelope.body_content
+        if body is not None:
+            for j, item in enumerate(body.content):
+                if item.content:
+                    values[("c", j)] = escape_text(item.text)
+        return values
+
+
+#: Process-wide wire-template cache consulted by every ``to_wire``.
+wire_templates = WireTemplateCache()

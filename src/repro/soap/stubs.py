@@ -25,6 +25,8 @@ import keyword
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.caching import ArtifactCache
+
 InvokeFn = Callable[[str, dict[str, Any]], Any]
 
 
@@ -57,10 +59,24 @@ class StubSpec:
                     raise ValueError(f"parameter name unusable: {p!r} in {op.name}")
 
 
+#: StubSpec is a frozen dataclass of frozen dataclasses — hashable — and
+#: a stub class is a pure function of its spec, so identical specs (the
+#: common case: many handles to the same service interface) share one
+#: generated class.
+_class_cache = ArtifactCache("stub-classes", max_entries=128)
+
+
 class DynamicStubBuilder:
     """Builds stub classes directly in memory — no source, no compile."""
 
     def build_class(self, spec: StubSpec) -> type:
+        cached = _class_cache.get(spec)
+        if cached is not None:
+            return cached
+        cls = self._build_class(spec)
+        return _class_cache.put(spec, cls)
+
+    def _build_class(self, spec: StubSpec) -> type:
         spec.validate()
 
         def __init__(self, invoke: InvokeFn):  # noqa: N807

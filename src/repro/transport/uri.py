@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.caching import ArtifactCache
+
 
 class UriError(ValueError):
     """Raised for text that does not parse as a URI we accept."""
@@ -76,3 +78,19 @@ class Uri:
     @property
     def authority(self) -> str:
         return self.host if self.port is None else f"{self.host}:{self.port}"
+
+
+_uri_cache = ArtifactCache("uris", max_entries=512)
+
+
+def parse_uri_cached(text: str) -> Uri:
+    """Like :meth:`Uri.parse`, but memoised on the exact input text.
+
+    Endpoint addresses repeat on every call and retransmission; Uri is
+    frozen, so one parsed instance is safely shared.  Parse *errors*
+    are not cached — malformed addresses stay on the raising path.
+    """
+    uri = _uri_cache.get(text)
+    if uri is None:
+        uri = _uri_cache.put(text, Uri.parse(text))
+    return uri

@@ -14,11 +14,14 @@ The binding rules the paper uses (§IV-B items 3–5):
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Any, Optional
 
-from repro.soap.envelope import SoapEnvelope
+from repro.caching import ArtifactCache, fastpath_enabled
+from repro.soap.encoding import XSI_NIL, XSI_TYPE, primitive_text, primitive_xsi_type
+from repro.soap.envelope import EnvelopeTemplate, SoapEnvelope
 from repro.wsa.epr import EndpointReference, WsaError
 from repro.xmlkit import Element, QName, ns
+from repro.xmlkit.serializer import escape_text
 
 _TO = QName(ns.WSA, "To", "wsa")
 _ACTION = QName(ns.WSA, "Action", "wsa")
@@ -172,3 +175,202 @@ def relates_to_of(envelope: SoapEnvelope) -> Optional[str]:
     """The ``wsa:RelatesTo`` of *envelope*, or None (ack correlation)."""
     block = envelope.find_header(_RELATES_TO)
     return block.text if block is not None and block.text else None
+
+
+# ----------------------------------------------------------------------
+# request envelope templates
+# ----------------------------------------------------------------------
+#: marks a key whose template build failed (sentinel collision); cached
+#: so the expensive probe is not re-run on every call.
+_UNTEMPLATABLE = object()
+
+
+class RequestTemplateCache:
+    """Pre-serialised request envelopes for the invocation hot path.
+
+    Keyed by everything invariant across calls — target namespace,
+    operation, ``wsa:To``/``wsa:Action``, the argument *shape*
+    (names and primitive types, order-sensitive), the target EPR's
+    reference properties, and the reply EPR's shape — so only the
+    per-call fields (MessageID, parameter values, reply address and
+    property texts) are spliced in at send time.
+
+    The prototype wire is produced by the real envelope pipeline with
+    sentinel strings planted in the variable fields, which keeps the
+    template bytes identical to the slow path by construction.  Any
+    shape the template machinery cannot guarantee byte parity for —
+    non-primitive arguments, empty field texts (the serialiser
+    self-closes empty elements), properties with attributes or
+    children — makes :meth:`render` return None and the caller builds
+    the envelope the ordinary way.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self._cache = ArtifactCache("envelope-templates", max_entries)
+
+    # -- public ------------------------------------------------------------
+    def render(
+        self,
+        maps: MessageAddressingProperties,
+        namespace: str,
+        operation: str,
+        args: dict[str, Any],
+        target: Optional[EndpointReference] = None,
+    ) -> Optional[str]:
+        """The full request wire text, or None to signal slow-path."""
+        if not fastpath_enabled():
+            return None
+        key = self._key(maps, namespace, operation, args, target)
+        if key is None:
+            return None
+        template = self._cache.get(key)
+        if template is _UNTEMPLATABLE:
+            return None
+        if template is None:
+            template = self._build(maps, namespace, operation, args, target)
+            self._cache.put(key, template if template is not None else _UNTEMPLATABLE)
+            if template is None:
+                return None
+        values = self._values(maps, args)
+        if values is None:
+            return None
+        return template.render(values)
+
+    def invalidate_all(self) -> int:
+        return self._cache.clear()
+
+    # -- key construction --------------------------------------------------
+    @staticmethod
+    def _epr_fingerprint(epr: EndpointReference) -> Optional[tuple]:
+        """Full static identity of an EPR, texts included (target side)."""
+        props = []
+        for prop in epr.reference_properties:
+            if prop.attributes or prop.children:
+                return None
+            props.append(
+                (prop.name.clark(), prop.text, tuple(sorted(prop.nsdecls.items())))
+            )
+        return (epr.address, tuple(props))
+
+    @staticmethod
+    def _epr_shape(epr: EndpointReference) -> Optional[tuple]:
+        """Shape-only identity of an EPR whose texts vary per call
+        (reply side: the address and property texts become holes)."""
+        shape = []
+        for prop in epr.reference_properties:
+            if prop.attributes or prop.children:
+                return None
+            shape.append((prop.name.clark(), tuple(sorted(prop.nsdecls.items()))))
+        return tuple(shape)
+
+    def _key(
+        self,
+        maps: MessageAddressingProperties,
+        namespace: str,
+        operation: str,
+        args: dict[str, Any],
+        target: Optional[EndpointReference],
+    ) -> Optional[tuple]:
+        if maps.relates_to or maps.source is not None or maps.fault_to is not None:
+            return None
+        arg_shape = []
+        for name, value in args.items():
+            if value is not None and primitive_xsi_type(value) is None:
+                return None
+            arg_shape.append((name, None if value is None else type(value).__name__))
+        target_print: Optional[tuple] = None
+        if target is not None:
+            target_print = self._epr_fingerprint(target)
+            if target_print is None:
+                return None
+        reply_shape: Optional[tuple] = None
+        if maps.reply_to is not None:
+            reply_shape = self._epr_shape(maps.reply_to)
+            if reply_shape is None:
+                return None
+        return (
+            namespace,
+            operation,
+            maps.to,
+            maps.action,
+            maps.message_id is not None,
+            tuple(arg_shape),
+            target_print,
+            reply_shape,
+        )
+
+    # -- template build ----------------------------------------------------
+    def _build(
+        self,
+        maps: MessageAddressingProperties,
+        namespace: str,
+        operation: str,
+        args: dict[str, Any],
+        target: Optional[EndpointReference],
+    ) -> Optional[EnvelopeTemplate]:
+        sentinels: dict = {}
+
+        def plant(key: object) -> str:
+            # NUL never appears in escape output and never survives
+            # escaping itself, so collisions with real content require
+            # the static fields to contain NUL — checked by from_wire.
+            marker = f"\x00{len(sentinels)}\x00"
+            sentinels[key] = marker
+            return marker
+
+        wrapper = Element(QName(namespace, operation, "tns"), nsdecls={"tns": namespace})
+        for name, value in args.items():
+            param = Element(QName("", name))
+            if value is None:
+                param.set(XSI_NIL, "true")
+            else:
+                param.set(XSI_TYPE, primitive_xsi_type(value))
+                param.text = plant(("arg", name))
+            wrapper.append(param)
+        envelope = SoapEnvelope(body_content=wrapper)
+
+        proto_reply: Optional[EndpointReference] = None
+        if maps.reply_to is not None:
+            proto_reply = EndpointReference(plant(("reply", "address")))
+            for i, prop in enumerate(maps.reply_to.reference_properties):
+                clone = Element(prop.name, nsdecls=dict(prop.nsdecls))
+                clone.text = plant(("reply", i))
+                proto_reply.add_property(clone)
+        proto_maps = MessageAddressingProperties(
+            to=maps.to,
+            action=maps.action,
+            reply_to=proto_reply,
+            message_id=plant(("mid",)) if maps.message_id is not None else None,
+        )
+        proto_maps.apply_to(envelope, target=target)
+        return EnvelopeTemplate.from_wire(envelope.to_wire(), sentinels)
+
+    # -- per-call values ---------------------------------------------------
+    @staticmethod
+    def _values(
+        maps: MessageAddressingProperties, args: dict[str, Any]
+    ) -> Optional[dict]:
+        values: dict = {}
+        if maps.message_id is not None:
+            if not maps.message_id:
+                return None
+            values[("mid",)] = escape_text(maps.message_id)
+        for name, value in args.items():
+            if value is None:
+                continue
+            text = primitive_text(value)
+            if not text:
+                # '' would self-close on the slow path; fall back
+                return None
+            values[("arg", name)] = escape_text(text)
+        if maps.reply_to is not None:
+            values[("reply", "address")] = escape_text(maps.reply_to.address)
+            for i, prop in enumerate(maps.reply_to.reference_properties):
+                if not prop.text:
+                    return None
+                values[("reply", i)] = escape_text(prop.text)
+        return values
+
+
+#: Process-wide template cache shared by every invocation node.
+request_templates = RequestTemplateCache()

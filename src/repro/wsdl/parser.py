@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
+
+from repro.caching import ArtifactCache
 from repro.wsdl.model import (
     Binding,
     Message,
@@ -29,6 +32,26 @@ def parse_wsdl(text: str) -> WsdlDefinition:
     except XmlError as exc:
         raise WsdlError(f"WSDL is not well-formed XML: {exc}") from exc
     return parse_wsdl_element(root)
+
+
+_wsdl_cache = ArtifactCache("wsdl-definitions", max_entries=128)
+
+
+def parse_wsdl_cached(text: str) -> WsdlDefinition:
+    """Parse WSDL, reusing the definition for repeated document text.
+
+    Keyed by content hash so identical documents served by different
+    providers share one parsed :class:`WsdlDefinition` (discovery
+    sweeps fetch the same WSDL once per provider).  The shared
+    definition is immutable by convention; a provider that redeploys
+    serves different text, which hashes to a fresh entry — stale
+    definitions age out of the LRU rather than being served.
+    """
+    key = hashlib.sha256(text.encode("utf-8", "surrogatepass")).hexdigest()
+    definition = _wsdl_cache.get(key)
+    if definition is None:
+        definition = _wsdl_cache.put(key, parse_wsdl(text))
+    return definition
 
 
 def parse_wsdl_element(root: Element) -> WsdlDefinition:

@@ -7,8 +7,10 @@ operation shapes the stub builders need.
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional
 
+from repro.caching import ArtifactCache
 from repro.soap.stubs import OperationSpec, StubSpec
 from repro.wsdl.model import Port, WsdlDefinition, WsdlError
 
@@ -58,3 +60,30 @@ def to_stub_spec(
             )
         )
     return StubSpec(service.name, tuple(operations))
+
+
+_spec_cache = ArtifactCache("stub-specs", max_entries=256)
+
+
+def stub_spec_cached(
+    definition: WsdlDefinition,
+    service_name: Optional[str] = None,
+    port_name: Optional[str] = None,
+) -> StubSpec:
+    """Memoised :func:`to_stub_spec` keyed on the definition object.
+
+    Entries pair the spec with a weak reference to the definition they
+    were derived from: ``id()`` reuse after garbage collection cannot
+    serve a stale spec, because the guard reference no longer matches
+    (or has died) and the entry is invalidated.
+    """
+    key = (id(definition), service_name, port_name)
+    entry = _spec_cache.get(key)
+    if entry is not None:
+        guard, spec = entry
+        if guard() is definition:
+            return spec
+        _spec_cache.invalidate(key)
+    spec = to_stub_spec(definition, service_name, port_name)
+    _spec_cache.put(key, (weakref.ref(definition), spec))
+    return spec

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Union
 
-from repro.xmlkit.names import QName
+from repro.xmlkit.names import QName, intern_qname
 
 NameLike = Union[QName, str]
 
@@ -14,7 +14,7 @@ def _as_qname(name: NameLike, default_uri: str = "") -> QName:
         return name
     if name.startswith("{"):
         return QName.from_clark(name)
-    return QName(default_uri, name)
+    return intern_qname(default_uri, name)
 
 
 class Element:

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
-_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
-_NAME_CHARS = _NAME_START | set("0123456789.-")
+_NCNAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9._\-]*\Z")
 
 XMLNS_URI = "http://www.w3.org/2000/xmlns/"
 XML_URI = "http://www.w3.org/XML/1998/namespace"
@@ -17,11 +17,7 @@ def is_ncname(name: str) -> bool:
     We restrict to the ASCII subset of the XML NCName production, which
     is all this stack ever emits.
     """
-    if not name:
-        return False
-    if name[0] not in _NAME_START:
-        return False
-    return all(c in _NAME_CHARS for c in name[1:])
+    return _NCNAME_RE.match(name) is not None
 
 
 def split_prefixed(name: str) -> tuple[str, str]:
@@ -54,6 +50,8 @@ class QName:
             raise ValueError(f"invalid prefix: {self.prefix!r}")
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, QName):
             return self.uri == other.uri and self.local == other.local
         return NotImplemented
@@ -80,3 +78,27 @@ class QName:
 
     def with_prefix(self, prefix: str) -> "QName":
         return QName(self.uri, self.local, prefix)
+
+
+# ----------------------------------------------------------------------
+# interning
+# ----------------------------------------------------------------------
+# Wire traffic repeats a small vocabulary of names (soapenv:Envelope,
+# wsa:To, xsi:type, ...) millions of times; interning skips the
+# dataclass construction and NCName re-validation for every repeat and
+# makes the ``self is other`` equality fast path hit.  The table is
+# bounded so adversarial name churn cannot grow memory without limit —
+# once full, fresh names simply construct uncached instances.
+_INTERN_MAX = 4096
+_interned: dict[tuple[str, str, str], QName] = {}
+
+
+def intern_qname(uri: str, local: str, prefix: str = "") -> QName:
+    """A shared, validated :class:`QName` for ``(uri, local, prefix)``."""
+    key = (uri, local, prefix)
+    qname = _interned.get(key)
+    if qname is None:
+        qname = QName(uri, local, prefix)
+        if len(_interned) < _INTERN_MAX:
+            _interned[key] = qname
+    return qname

@@ -6,44 +6,92 @@ from typing import Optional
 
 from repro.xmlkit.element import Element
 from repro.xmlkit.errors import XmlParseError, XmlWellFormednessError
-from repro.xmlkit.names import QName, XML_URI, split_prefixed
+from repro.xmlkit.names import QName, XML_URI, intern_qname, split_prefixed
 from repro.xmlkit.tokenizer import Token, TokenType, Tokenizer
+
+#: Active implementations.  ``repro.xmlkit.reference.reference_codec``
+#: swaps these for the frozen pre-change tokenizer / plain QName
+#: construction so benchmarks can measure before/after in one process.
+_ACTIVE_TOKENIZER = Tokenizer
+_ACTIVE_QNAME = intern_qname
+
+
+_MISSING = object()
 
 
 class _NsScope:
-    """Stack of prefix → URI bindings mirroring the open-element stack."""
+    """Prefix → URI bindings mirroring the open-element stack.
+
+    Kept as one flat dict plus an undo journal per frame, so
+    :meth:`resolve` is a single dict lookup instead of a walk up the
+    frame stack.
+    """
+
+    __slots__ = ("_flat", "_undo")
 
     def __init__(self) -> None:
-        self._stack: list[dict[str, str]] = [{"xml": XML_URI, "": ""}]
+        self._flat: dict[str, object] = {"xml": XML_URI, "": ""}
+        self._undo: list[list[tuple[str, object]]] = []
 
     def push(self, decls: dict[str, str]) -> None:
-        self._stack.append(decls)
+        """Enter a frame for non-empty *decls*.  Decl-less elements skip
+        push/pop entirely (the caller gates on truthiness)."""
+        flat = self._flat
+        undo = [(prefix, flat.get(prefix, _MISSING)) for prefix in decls]
+        flat.update(decls)
+        self._undo.append(undo)
 
     def pop(self) -> None:
-        self._stack.pop()
+        undo = self._undo.pop()
+        flat = self._flat
+        for prefix, old in reversed(undo):
+            if old is _MISSING:
+                del flat[prefix]
+            else:
+                flat[prefix] = old
 
     def resolve(self, prefix: str) -> Optional[str]:
-        for frame in reversed(self._stack):
-            if prefix in frame:
-                return frame[prefix]
-        return None
+        return self._flat.get(prefix)
+
+
+_NO_DECLS: dict[str, str] = {}
 
 
 def _split_tag_attrs(token: Token) -> tuple[dict[str, str], list[tuple[str, str]]]:
     """Separate xmlns declarations from ordinary attributes."""
+    attrs = token.attrs
+    if not attrs:
+        return _NO_DECLS, attrs
+    if len(attrs) == 1:
+        # single attribute: no duplicate possible, one startswith test
+        name, value = attrs[0]
+        if not name.startswith("xmlns"):
+            return _NO_DECLS, attrs
+        if name == "xmlns":
+            return {"": value}, []
+        if name[5] == ":":
+            prefix = name[6:]
+            if not prefix:
+                raise XmlWellFormednessError(
+                    "empty xmlns prefix", token.line, token.column
+                )
+            return {prefix: value}, []
+        return _NO_DECLS, attrs
     nsdecls: dict[str, str] = {}
     plain: list[tuple[str, str]] = []
     seen: set[str] = set()
-    for name, value in token.attrs:
+    for name, value in attrs:
         if name in seen:
             raise XmlWellFormednessError(
                 f"duplicate attribute {name!r}", token.line, token.column
             )
         seen.add(name)
-        if name == "xmlns":
+        if not name.startswith("xmlns"):
+            plain.append((name, value))
+        elif name == "xmlns":
             nsdecls[""] = value
-        elif name.startswith("xmlns:"):
-            prefix = name[len("xmlns:") :]
+        elif name[5] == ":":
+            prefix = name[6:]
             if not prefix:
                 raise XmlWellFormednessError("empty xmlns prefix", token.line, token.column)
             nsdecls[prefix] = value
@@ -52,11 +100,12 @@ def _split_tag_attrs(token: Token) -> tuple[dict[str, str], list[tuple[str, str]
     return nsdecls, plain
 
 
-def _resolve_element(token: Token, scope: _NsScope) -> Element:
+def _resolve_element(token: Token, scope: _NsScope, make_qname=intern_qname) -> Element:
     nsdecls, plain_attrs = _split_tag_attrs(token)
-    scope.push(nsdecls)
+    if nsdecls:
+        scope.push(nsdecls)
     try:
-        prefix, local = split_prefixed(str(token.value))
+        prefix, local = split_prefixed(token.value)
         uri = scope.resolve(prefix)
         if uri is None:
             raise XmlWellFormednessError(
@@ -64,7 +113,7 @@ def _resolve_element(token: Token, scope: _NsScope) -> Element:
                 token.line,
                 token.column,
             )
-        elem = Element(QName(uri, local, prefix), nsdecls=nsdecls)
+        elem = Element(make_qname(uri, local, prefix), nsdecls=nsdecls)
         for aname, avalue in plain_attrs:
             aprefix, alocal = split_prefixed(aname)
             if aprefix:
@@ -77,10 +126,11 @@ def _resolve_element(token: Token, scope: _NsScope) -> Element:
                     )
             else:
                 auri = ""  # unprefixed attributes are in no namespace
-            elem.attributes[QName(auri, alocal, aprefix)] = avalue
+            elem.attributes[make_qname(auri, alocal, aprefix)] = avalue
         return elem
     except Exception:
-        scope.pop()
+        if nsdecls:
+            scope.pop()
         raise
 
 
@@ -102,21 +152,39 @@ def parse_fragment(text: str) -> Element:
     return root
 
 
-def _parse_impl(text: str, fragment: bool) -> tuple[Element, bool]:
-    tokenizer = Tokenizer(text)
+def _parse_impl(
+    text: str,
+    fragment: bool,
+    tokenizer_cls=None,
+    make_qname=None,
+) -> tuple[Element, bool]:
+    tokenizer = (tokenizer_cls or _ACTIVE_TOKENIZER)(text)
+    make_qname = make_qname or _ACTIVE_QNAME
     root: Optional[Element] = None
     stack: list[Element] = []
     scope = _NsScope()
 
+    _START, _END, _TEXT = TokenType.START_TAG, TokenType.END_TAG, TokenType.TEXT
     for token in tokenizer.tokens():
-        if token.type is TokenType.DECLARATION:
-            if root is not None or stack:
-                raise XmlParseError("XML declaration after content", token.line, token.column)
+        ttype = token.type
+        if ttype is _START:
+            if root is not None and not stack:
+                raise XmlWellFormednessError(
+                    "multiple root elements", token.line, token.column
+                )
+            elem = _resolve_element(token, scope, make_qname)
+            if stack:
+                stack[-1].append(elem)
+            else:
+                root = elem
+            if token.self_closing:
+                if elem.nsdecls:
+                    scope.pop()
+            else:
+                stack.append(elem)
             continue
-        if token.type in (TokenType.COMMENT, TokenType.PI):
-            continue
-        if token.type is TokenType.TEXT:
-            chunk = str(token.value)
+        if ttype is _TEXT:
+            chunk = token.value
             if not stack:
                 if chunk.strip():
                     where = "before" if root is None else "after"
@@ -126,28 +194,13 @@ def _parse_impl(text: str, fragment: bool) -> tuple[Element, bool]:
                 continue
             stack[-1].append_text(chunk)
             continue
-        if token.type is TokenType.START_TAG:
-            if root is not None and not stack:
-                raise XmlWellFormednessError(
-                    "multiple root elements", token.line, token.column
-                )
-            elem = _resolve_element(token, scope)
-            if stack:
-                stack[-1].append(elem)
-            else:
-                root = elem
-            if token.self_closing:
-                scope.pop()
-            else:
-                stack.append(elem)
-            continue
-        if token.type is TokenType.END_TAG:
+        if ttype is _END:
             if not stack:
                 raise XmlWellFormednessError(
                     f"unexpected closing tag </{token.value}>", token.line, token.column
                 )
             open_elem = stack.pop()
-            prefix, local = split_prefixed(str(token.value))
+            prefix, local = split_prefixed(token.value)
             if open_elem.name.local != local or open_elem.name.prefix != prefix:
                 raise XmlWellFormednessError(
                     f"mismatched closing tag </{token.value}>; "
@@ -155,8 +208,15 @@ def _parse_impl(text: str, fragment: bool) -> tuple[Element, bool]:
                     token.line,
                     token.column,
                 )
-            scope.pop()
+            if open_elem.nsdecls:
+                scope.pop()
             continue
+        if ttype is TokenType.DECLARATION:
+            if root is not None or stack:
+                raise XmlParseError("XML declaration after content", token.line, token.column)
+            continue
+        # COMMENT / PI carry no structure
+        continue
 
     if stack:
         raise XmlWellFormednessError(f"unclosed element <{stack[-1].name.local}>")

@@ -5,17 +5,33 @@ tree (the round-trip property the test suite checks with hypothesis).
 Namespace handling: explicit ``nsdecls`` on elements are honoured;
 elements or attributes whose namespace URI has no in-scope prefix get a
 generated ``ns<N>`` declaration at the point of use.
+
+Fast path: namespace scopes are *flattened* — each :class:`_Scope`
+carries complete ``prefix → uri`` and ``uri → prefix`` dicts, so
+:meth:`_Scope.resolve` and :meth:`_Scope.prefix_for` are single dict
+lookups instead of ancestor-chain walks.  Scopes that declare nothing
+share their parent's dicts (copy-on-write), so the common body element
+costs no allocation at all.  Prefix *choice* is kept byte-identical to
+the original chain-walking implementation (frozen in
+:mod:`repro.xmlkit.reference`), including its innermost-first,
+insertion-ordered search; the property tests diff the two outputs.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import re
+from typing import Optional
 
 from repro.xmlkit.element import Element
 from repro.xmlkit.names import QName, XML_URI
 
+_TEXT_NEEDS_ESCAPE = re.compile(r"[&<>]")
+_ATTR_NEEDS_ESCAPE = re.compile(r'[&<"\n\t]')
+
 
 def escape_text(value: str) -> str:
+    if _TEXT_NEEDS_ESCAPE.search(value) is None:
+        return value
     return (
         value.replace("&", "&amp;")
         .replace("<", "&lt;")
@@ -24,6 +40,8 @@ def escape_text(value: str) -> str:
 
 
 def escape_attr(value: str) -> str:
+    if _ATTR_NEEDS_ESCAPE.search(value) is None:
+        return value
     return (
         value.replace("&", "&amp;")
         .replace("<", "&lt;")
@@ -34,35 +52,145 @@ def escape_attr(value: str) -> str:
 
 
 class _Scope:
-    def __init__(self, parent: Optional["_Scope"] = None):
-        self.parent = parent
-        self.decls: dict[str, str] = {}  # prefix -> uri
+    """One element's namespace scope, flattened for O(1) lookups.
 
-    def resolve(self, prefix: str) -> Optional[str]:
+    ``local`` holds only this scope's declarations (insertion-ordered,
+    mirroring the reference implementation's per-scope dict), ``flat``
+    the innermost binding of every in-scope prefix, and ``by_uri`` the
+    prefix the reference algorithm's innermost-first search would
+    return for every in-scope URI.
+    """
+
+    __slots__ = ("parent", "local", "flat", "by_uri", "_owned", "_child_memo")
+
+    #: cap on each scope's child memo, so adversarial inputs with
+    #: unbounded declaration vocabularies cannot grow it without limit
+    _MEMO_MAX = 64
+
+    def __init__(
+        self,
+        parent: Optional["_Scope"] = None,
+        decls: Optional[dict[str, str]] = None,
+    ):
+        self.parent = parent
+        self._child_memo: Optional[dict] = None
+        if decls:
+            self.local: dict[str, str] = dict(decls)
+            if parent is not None:
+                parent_flat = parent.flat
+                flat = dict(parent_flat)
+                flat.update(decls)
+                self.flat = flat
+                # Incremental winner update: a local binding wins its URI
+                # (innermost-first); the full replay is needed only when
+                # re-binding a prefix dethrones it as an ancestor winner.
+                parent_by_uri = parent.by_uri
+                for prefix, uri in decls.items():
+                    old = parent_flat.get(prefix)
+                    if old is not None and old != uri and parent_by_uri.get(old) == prefix:
+                        self.by_uri = self._build_by_uri()
+                        break
+                else:
+                    by_uri = dict(parent_by_uri)
+                    won: set[str] = set()
+                    for prefix, uri in decls.items():
+                        if uri not in won:  # first local binding wins
+                            by_uri[uri] = prefix
+                            won.add(uri)
+                    self.by_uri = by_uri
+            else:
+                self.flat = dict(decls)
+                by_uri = {}
+                for prefix, uri in decls.items():
+                    if uri not in by_uri:
+                        by_uri[uri] = prefix
+                self.by_uri = by_uri
+            self._owned = True
+        else:
+            self.local = {}
+            self.flat = parent.flat if parent is not None else {}
+            self.by_uri = parent.by_uri if parent is not None else {}
+            self._owned = parent is None
+
+    @classmethod
+    def shared(cls, parent: "_Scope", decls: dict[str, str]) -> "_Scope":
+        """The memoised child scope of *parent* for *decls*.
+
+        Sibling elements routinely carry identical declaration dicts
+        (every wsa: header block), and with the persistent root scope
+        the whole scope tree of a recurring document shape is built
+        exactly once per process.  Returned scopes are SHARED — callers
+        must never mutate them (``element`` rebuilds a private
+        equivalent before any ``declare``).
+        """
+        memo = parent._child_memo
+        if memo is None:
+            memo = parent._child_memo = {}
+        key = tuple(decls.items())
+        scope = memo.get(key)
+        if scope is None:
+            if len(memo) >= cls._MEMO_MAX:
+                memo.clear()
+            scope = cls(parent, decls)
+            memo[key] = scope
+        return scope
+
+    def _build_by_uri(self) -> dict[str, str]:
+        """Replay the reference search order: innermost scope first, each
+        scope's declarations in insertion order, shadowed prefixes skipped."""
+        by_uri: dict[str, str] = {}
+        seen: set[str] = set()
         scope: Optional[_Scope] = self
         while scope is not None:
-            if prefix in scope.decls:
-                return scope.decls[prefix]
+            for prefix, uri in scope.local.items():
+                if prefix in seen:
+                    continue
+                seen.add(prefix)
+                if uri not in by_uri:
+                    by_uri[uri] = prefix
             scope = scope.parent
-        if prefix == "xml":
+        return by_uri
+
+    # ------------------------------------------------------------------
+    def resolve(self, prefix: str) -> Optional[str]:
+        uri = self.flat.get(prefix)
+        if uri is None and prefix == "xml" and "xml" not in self.flat:
             return XML_URI
-        return None
+        return uri
 
     def prefix_for(self, uri: str) -> Optional[str]:
         """Innermost prefix bound to *uri*, honouring shadowing."""
-        shadowed: set[str] = set()
-        scope: Optional[_Scope] = self
-        while scope is not None:
-            for prefix, bound in scope.decls.items():
-                if prefix in shadowed:
-                    continue
-                if bound == uri:
-                    return prefix
-                shadowed.add(prefix)
-            scope = scope.parent
-        if uri == XML_URI:
+        prefix = self.by_uri.get(uri)
+        if prefix is None and uri == XML_URI:
             return "xml"
-        return None
+        return prefix
+
+    def declare(self, prefix: str, uri: str) -> None:
+        """Bind *prefix* at the end of this scope's declarations, exactly
+        where the reference implementation appends it."""
+        if not self._owned:
+            self.local = dict(self.local)
+            self.flat = dict(self.flat)
+            self.by_uri = dict(self.by_uri)
+            self._owned = True
+        if prefix in self.flat:
+            # Re-binding an in-scope prefix — overwriting this scope's
+            # own declaration (the default-namespace undeclare) or
+            # shadowing an ancestor's — dethrones it as the winner for
+            # its old URI; replay the search (rare branch).
+            self.local[prefix] = uri
+            self.flat[prefix] = uri
+            self.by_uri = self._build_by_uri()
+            return
+        self.local[prefix] = uri
+        self.flat[prefix] = uri
+        current = self.by_uri.get(uri)
+        if current is None:
+            self.by_uri[uri] = prefix
+        elif current != prefix and current not in self.local:
+            # The old winner lives in an ancestor scope; the new local
+            # binding comes earlier in the reference search order.
+            self.by_uri[uri] = prefix
 
 
 class _Serializer:
@@ -78,46 +206,121 @@ class _Serializer:
             if scope.resolve(candidate) is None:
                 return candidate
 
+    def _declare(
+        self, st: list, parent_scope: _Scope, nsdecls: dict, prefix: str, uri: str
+    ) -> None:
+        """Bind *prefix* in the element state *st* = [scope, owned, extras].
+
+        Materialises a private scope on first declaration so the
+        mutation cannot pollute the shared memoised scope tree.
+        """
+        scope = st[0]
+        if not st[1]:
+            scope = _Scope(parent_scope, nsdecls) if nsdecls else _Scope(scope)
+            st[0] = scope
+            st[1] = True
+        if st[2] is None:
+            st[2] = {}
+        st[2][prefix] = uri
+        scope.declare(prefix, uri)
+
+    def _prefix_of(
+        self, st: list, parent_scope: _Scope, nsdecls: dict, q: QName, is_attr: bool
+    ) -> str:
+        """The full resolution cascade, byte-compatible with the
+        reference implementation.  ``element`` inlines the two hot
+        cases (no namespace, hint already bound) and only falls back
+        here; after any call the caller must re-read ``st[0]`` because
+        a declaration replaces the shared scope with a private one."""
+        scope = st[0]
+        if q.uri == "":
+            # Attributes never use the default namespace; elements in
+            # no namespace must not inherit a non-empty default.
+            if not is_attr and scope.resolve("") not in (None, ""):
+                self._declare(st, parent_scope, nsdecls, "", "")
+            return ""
+        # honour the hint when it is already bound correctly
+        if q.prefix and scope.resolve(q.prefix) == q.uri:
+            return q.prefix
+        existing = scope.prefix_for(q.uri)
+        if existing is not None and not (is_attr and existing == ""):
+            return existing
+        # need a declaration: use the hint if free, else generate
+        prefix = q.prefix if (q.prefix and scope.resolve(q.prefix) is None) else ""
+        if not prefix or (is_attr and prefix == ""):
+            prefix = self.fresh_prefix(scope)
+        self._declare(st, parent_scope, nsdecls, prefix, q.uri)
+        return prefix
+
     def element(self, elem: Element, parent_scope: _Scope, depth: int) -> None:
-        scope = _Scope(parent_scope)
-        scope.decls.update(elem.nsdecls)
-        extra_decls: dict[str, str] = {}
+        nsdecls = elem.nsdecls
+        # Elements that declare nothing share the parent scope object
+        # outright, and decl-bearing elements share the memoised scope
+        # tree; a private scope is materialised only if an undeclared-
+        # namespace resolution forces a declaration.
+        if nsdecls:
+            scope = _Scope.shared(parent_scope, nsdecls)
+        else:
+            scope = parent_scope
+        # [scope, owned, extra_decls] — mutated only by _declare
+        st = [scope, False, None]
 
-        def prefix_of(q: QName, is_attr: bool) -> str:
-            if q.uri == "":
-                # Attributes never use the default namespace; elements in
-                # no namespace must not inherit a non-empty default.
-                if not is_attr and scope.resolve("") not in (None, ""):
-                    extra_decls[""] = ""
-                    scope.decls[""] = ""
-                return ""
-            # honour the hint when it is already bound correctly
-            if q.prefix and scope.resolve(q.prefix) == q.uri:
-                return q.prefix
-            existing = scope.prefix_for(q.uri)
-            if existing is not None and not (is_attr and existing == ""):
-                return existing
-            # need a declaration: use the hint if free, else generate
-            prefix = q.prefix if (q.prefix and scope.resolve(q.prefix) is None) else ""
-            if not prefix or (is_attr and prefix == ""):
-                prefix = self.fresh_prefix(scope)
-            extra_decls[prefix] = q.uri
-            scope.decls[prefix] = q.uri
-            return prefix
-
-        tag_prefix = prefix_of(elem.name, is_attr=False)
+        q = elem.name
+        flat = scope.flat
+        if q.uri:
+            tag_prefix = q.prefix
+            if not tag_prefix or flat.get(tag_prefix) != q.uri:
+                tag_prefix = self._prefix_of(st, parent_scope, nsdecls, q, False)
+                scope = st[0]
+                flat = scope.flat
+        else:
+            tag_prefix = ""
+            default = flat.get("")
+            if default is not None and default != "":
+                self._declare(st, parent_scope, nsdecls, "", "")
+                scope = st[0]
+                flat = scope.flat
         tag = f"{tag_prefix}:{elem.name.local}" if tag_prefix else elem.name.local
 
         attr_parts: list[str] = []
-        for aname, avalue in elem.attributes.items():
-            ap = prefix_of(aname, is_attr=True)
-            key = f"{ap}:{aname.local}" if ap else aname.local
-            attr_parts.append(f' {key}="{escape_attr(avalue)}"')
+        attributes = elem.attributes
+        if attributes:
+            for aname, avalue in attributes.items():
+                if not aname.uri:
+                    ap = ""
+                else:
+                    ap = aname.prefix
+                    if not ap or flat.get(ap) != aname.uri:
+                        ap = self._prefix_of(st, parent_scope, nsdecls, aname, True)
+                        scope = st[0]
+                        flat = scope.flat
+                key = f"{ap}:{aname.local}" if ap else aname.local
+                attr_parts.append(f' {key}="{escape_attr(avalue)}"')
 
+        extra_decls = st[2]
         decl_parts: list[str] = []
-        for prefix, uri in {**elem.nsdecls, **extra_decls}.items():
-            key = f"xmlns:{prefix}" if prefix else "xmlns"
-            decl_parts.append(f' {key}="{escape_attr(uri)}"')
+        if nsdecls:
+            if extra_decls:
+                # Same iteration order and override semantics as the old
+                # ``{**elem.nsdecls, **extra_decls}`` merge, without
+                # building the merged dict.
+                for prefix, uri in nsdecls.items():
+                    uri = extra_decls.get(prefix, uri)
+                    key = f"xmlns:{prefix}" if prefix else "xmlns"
+                    decl_parts.append(f' {key}="{escape_attr(uri)}"')
+                for prefix, uri in extra_decls.items():
+                    if prefix in nsdecls:
+                        continue
+                    key = f"xmlns:{prefix}" if prefix else "xmlns"
+                    decl_parts.append(f' {key}="{escape_attr(uri)}"')
+            else:
+                for prefix, uri in nsdecls.items():
+                    key = f"xmlns:{prefix}" if prefix else "xmlns"
+                    decl_parts.append(f' {key}="{escape_attr(uri)}"')
+        elif extra_decls:
+            for prefix, uri in extra_decls.items():
+                key = f"xmlns:{prefix}" if prefix else "xmlns"
+                decl_parts.append(f' {key}="{escape_attr(uri)}"')
 
         indent = "  " * depth if self.pretty else ""
         open_tag = f"{indent}<{tag}{''.join(decl_parts)}{''.join(attr_parts)}"
@@ -154,6 +357,32 @@ class _Serializer:
             self.parts.append("\n")
 
 
+#: The persistent document root scope.  Every serialisation starts
+#: here, so the child-scope memo hanging off it (and off its cached
+#: descendants) survives across calls: a recurring document shape —
+#: every SOAP envelope this stack emits — flattens its scope tree
+#: exactly once per process.  The root itself is never mutated
+#: (``element`` materialises a private scope before any declare).
+_ROOT_SCOPE = _Scope()
+
+
+def _serialize_fast(elem: Element, pretty: bool, xml_declaration: bool) -> str:
+    ser = _Serializer(pretty)
+    ser.element(elem, _ROOT_SCOPE, 0)
+    body = "".join(ser.parts)
+    if pretty:
+        body = body.rstrip("\n") + "\n"
+    if xml_declaration:
+        return '<?xml version="1.0" encoding="utf-8"?>' + ("\n" if pretty else "") + body
+    return body
+
+
+#: Active implementation hook.  ``repro.xmlkit.reference.reference_codec``
+#: swaps this to the frozen pre-change serializer so benchmarks can
+#: measure before/after in one process.
+_ACTIVE_SERIALIZE = _serialize_fast
+
+
 def serialize(
     elem: Element,
     *,
@@ -166,11 +395,4 @@ def serialize(
     inserts whitespace text nodes, so use it for humans, not for
     signature-sensitive exchange.
     """
-    ser = _Serializer(pretty)
-    ser.element(elem, _Scope(), 0)
-    body = "".join(ser.parts)
-    if pretty:
-        body = body.rstrip("\n") + "\n"
-    if xml_declaration:
-        return '<?xml version="1.0" encoding="utf-8"?>' + ("\n" if pretty else "") + body
-    return body
+    return _ACTIVE_SERIALIZE(elem, pretty, xml_declaration)

@@ -7,13 +7,22 @@ numeric character references, CDATA sections, comments, processing
 instructions and the XML declaration.  DTDs are rejected (none of the
 2004-era Web-service formats require them, and skipping them removes a
 whole class of parser attacks).
+
+Position tracking is *lazy*: the cursor is a single integer offset and
+every move is O(1) — ``str.find`` jumps over text runs and attribute
+values, a compiled regex eats names and whitespace.  Line/column pairs
+(needed only to format error messages and carried by every token for
+diagnostics) are derived from the offset on demand by counting
+newlines, so the well-formed hot path never pays for them.  The frozen
+original implementation lives in :mod:`repro.xmlkit.reference` as the
+parity oracle.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
 from enum import Enum, auto
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.xmlkit.errors import XmlParseError
 
@@ -26,6 +35,27 @@ _PREDEFINED_ENTITIES = {
 }
 
 _WS = " \t\r\n"
+_WS_RE = re.compile(r"[ \t\r\n]*")
+# everything a name may NOT contain, mirroring the reference stop-set
+_NAME_RE = re.compile(r"[^ \t\r\n=/>\"'<&]+")
+# one whole well-formed attribute (ws + name + '=' + quoted value) OR
+# the tag terminator, in a single scan; when this fails to match, the
+# stepwise fallback reproduces the reference error message and
+# position exactly
+_ATTR_OR_END_RE = re.compile(
+    r"[ \t\r\n]*(?:([^ \t\r\n=/>\"'<&]+)[ \t\r\n]*=[ \t\r\n]*"
+    r"(?:\"([^\"<]*)\"|'([^'<]*)')|(/?>))"
+)
+# a whole well-formed end tag after '</'
+_END_TAG_RE = re.compile(r"([^ \t\r\n=/>\"'<&]+)[ \t\r\n]*>")
+
+
+def line_col_at(text: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of *offset* in *text*, computed on demand."""
+    line = text.count("\n", 0, offset) + 1
+    # rfind returns -1 when offset sits on the first line, which makes
+    # the subtraction come out 1-based exactly.
+    return line, offset - text.rfind("\n", 0, offset)
 
 
 class TokenType(Enum):
@@ -37,174 +67,235 @@ class TokenType(Enum):
     DECLARATION = auto()     # value: the <?xml ...?> attribute string
 
 
-@dataclass
+_NO_ATTRS: list[tuple[str, str]] = []
+
+
 class Token:
-    type: TokenType
-    value: object
-    line: int
-    column: int
-    attrs: list[tuple[str, str]] = field(default_factory=list)
-    self_closing: bool = False
+    """One token.  ``line``/``column`` are computed lazily from the
+    source offset, so producing a token costs no position bookkeeping."""
+
+    __slots__ = ("type", "value", "source", "offset", "attrs", "self_closing")
+
+    def __init__(
+        self,
+        type: TokenType,
+        value: object,
+        source: str,
+        offset: int,
+        attrs: Optional[list[tuple[str, str]]] = None,
+        self_closing: bool = False,
+    ):
+        self.type = type
+        self.value = value
+        self.source = source
+        self.offset = offset
+        self.attrs = attrs if attrs is not None else _NO_ATTRS
+        self.self_closing = self_closing
+
+    @property
+    def line(self) -> int:
+        return line_col_at(self.source, self.offset)[0]
+
+    @property
+    def column(self) -> int:
+        return line_col_at(self.source, self.offset)[1]
+
+    def __repr__(self) -> str:
+        return f"<Token {self.type.name} {self.value!r} @{self.offset}>"
 
 
 class Tokenizer:
     """Single-pass cursor tokenizer over an XML string."""
 
+    __slots__ = ("text", "pos")
+
     def __init__(self, text: str):
         self.text = text
         self.pos = 0
-        self.line = 1
-        self.col = 1
+
+    # -- lazy position reporting ----------------------------------------
+    @property
+    def line(self) -> int:
+        return line_col_at(self.text, self.pos)[0]
+
+    @property
+    def col(self) -> int:
+        return line_col_at(self.text, self.pos)[1]
+
+    def _error(self, msg: str, offset: Optional[int] = None) -> XmlParseError:
+        line, col = line_col_at(self.text, self.pos if offset is None else offset)
+        return XmlParseError(msg, line, col)
 
     # -- low-level cursor ------------------------------------------------
-    def _peek(self, n: int = 1) -> str:
-        return self.text[self.pos : self.pos + n]
-
-    def _advance(self, n: int = 1) -> str:
-        chunk = self.text[self.pos : self.pos + n]
-        for ch in chunk:
-            if ch == "\n":
-                self.line += 1
-                self.col = 1
-            else:
-                self.col += 1
-        self.pos += n
-        return chunk
-
-    def _error(self, msg: str) -> XmlParseError:
-        return XmlParseError(msg, self.line, self.col)
-
     def _expect(self, literal: str) -> None:
         if not self.text.startswith(literal, self.pos):
             raise self._error(f"expected {literal!r}")
-        self._advance(len(literal))
+        self.pos += len(literal)
 
     def _skip_ws(self) -> None:
-        while self.pos < len(self.text) and self.text[self.pos] in _WS:
-            self._advance()
+        self.pos = _WS_RE.match(self.text, self.pos).end()
 
     def _read_until(self, literal: str, what: str) -> str:
         end = self.text.find(literal, self.pos)
         if end < 0:
             raise self._error(f"unterminated {what}")
         chunk = self.text[self.pos : end]
-        self._advance(len(chunk) + len(literal))
+        self.pos = end + len(literal)
         return chunk
 
     def _read_name(self) -> str:
-        start = self.pos
-        while self.pos < len(self.text) and self.text[self.pos] not in _WS + "=/>\"'<&":
-            self._advance()
-        if self.pos == start:
+        match = _NAME_RE.match(self.text, self.pos)
+        if match is None:
             raise self._error("expected a name")
-        return self.text[start : self.pos]
+        self.pos = match.end()
+        return match.group()
 
     # -- entity decoding --------------------------------------------------
-    def _decode_entities(self, raw: str, line: int, col: int) -> str:
+    def _decode_entities(self, raw: str, offset: int) -> str:
         if "&" not in raw:
             return raw
         out: list[str] = []
         i = 0
-        while i < len(raw):
-            ch = raw[i]
-            if ch != "&":
-                out.append(ch)
-                i += 1
-                continue
-            end = raw.find(";", i + 1)
+        n = len(raw)
+        while i < n:
+            amp = raw.find("&", i)
+            if amp < 0:
+                out.append(raw[i:])
+                break
+            if amp > i:
+                out.append(raw[i:amp])
+            end = raw.find(";", amp + 1)
             if end < 0:
-                raise XmlParseError("unterminated entity reference", line, col)
-            name = raw[i + 1 : end]
+                raise self._error("unterminated entity reference", offset)
+            name = raw[amp + 1 : end]
             if name.startswith("#x") or name.startswith("#X"):
                 try:
                     out.append(chr(int(name[2:], 16)))
                 except ValueError:
-                    raise XmlParseError(f"bad character reference &{name};", line, col) from None
+                    raise self._error(f"bad character reference &{name};", offset) from None
             elif name.startswith("#"):
                 try:
                     out.append(chr(int(name[1:])))
                 except ValueError:
-                    raise XmlParseError(f"bad character reference &{name};", line, col) from None
+                    raise self._error(f"bad character reference &{name};", offset) from None
             elif name in _PREDEFINED_ENTITIES:
                 out.append(_PREDEFINED_ENTITIES[name])
             else:
-                raise XmlParseError(f"unknown entity &{name};", line, col)
+                raise self._error(f"unknown entity &{name};", offset)
             i = end + 1
         return "".join(out)
 
     # -- token production ---------------------------------------------------
     def tokens(self) -> Iterator[Token]:
-        while self.pos < len(self.text):
-            line, col = self.line, self.col
-            if self._peek() == "<":
-                nxt2 = self._peek(2)
-                nxt4 = self._peek(4)
-                nxt9 = self._peek(9)
-                if nxt4 == "<!--":
-                    self._advance(4)
-                    body = self._read_until("-->", "comment")
-                    if "--" in body:
-                        raise XmlParseError("'--' not allowed in comment", line, col)
-                    yield Token(TokenType.COMMENT, body, line, col)
-                elif nxt9 == "<![CDATA[":
-                    self._advance(9)
-                    body = self._read_until("]]>", "CDATA section")
-                    yield Token(TokenType.TEXT, body, line, col)
+        text = self.text
+        length = len(text)
+        while self.pos < length:
+            start = self.pos
+            if text[start] == "<":
+                nxt2 = text[start : start + 2]
+                if nxt2 == "<!":
+                    if text.startswith("<!--", start):
+                        self.pos = start + 4
+                        body = self._read_until("-->", "comment")
+                        if "--" in body:
+                            raise self._error("'--' not allowed in comment", start)
+                        yield Token(TokenType.COMMENT, body, text, start)
+                    elif text.startswith("<![CDATA[", start):
+                        self.pos = start + 9
+                        body = self._read_until("]]>", "CDATA section")
+                        yield Token(TokenType.TEXT, body, text, start)
+                    else:
+                        raise self._error(
+                            "DTD / doctype declarations are not supported", start
+                        )
                 elif nxt2 == "<?":
-                    self._advance(2)
+                    self.pos = start + 2
                     body = self._read_until("?>", "processing instruction")
                     target, _, data = body.partition(" ")
                     if target.lower() == "xml":
-                        yield Token(TokenType.DECLARATION, data.strip(), line, col)
+                        yield Token(TokenType.DECLARATION, data.strip(), text, start)
                     else:
-                        yield Token(TokenType.PI, (target, data.strip()), line, col)
-                elif nxt2 == "<!":
-                    raise XmlParseError("DTD / doctype declarations are not supported", line, col)
+                        yield Token(TokenType.PI, (target, data.strip()), text, start)
                 elif nxt2 == "</":
-                    self._advance(2)
-                    name = self._read_name()
-                    self._skip_ws()
-                    self._expect(">")
-                    yield Token(TokenType.END_TAG, name, line, col)
+                    match = _END_TAG_RE.match(text, start + 2)
+                    if match is not None:
+                        self.pos = match.end()
+                        name = match.group(1)
+                    else:  # malformed: reproduce the reference errors
+                        self.pos = start + 2
+                        name = self._read_name()
+                        self._skip_ws()
+                        self._expect(">")
+                    yield Token(TokenType.END_TAG, name, text, start)
                 else:
-                    yield self._read_start_tag(line, col)
+                    yield self._read_start_tag(start)
             else:
-                start = self.pos
-                nxt = self.text.find("<", self.pos)
+                nxt = text.find("<", start)
                 if nxt < 0:
-                    nxt = len(self.text)
-                raw = self.text[start:nxt]
-                self._advance(len(raw))
-                yield Token(TokenType.TEXT, self._decode_entities(raw, line, col), line, col)
+                    nxt = length
+                raw = text[start:nxt]
+                self.pos = nxt
+                yield Token(
+                    TokenType.TEXT, self._decode_entities(raw, start), text, start
+                )
 
-    def _read_start_tag(self, line: int, col: int) -> Token:
-        self._expect("<")
+    def _read_start_tag(self, start: int) -> Token:
+        text = self.text
+        self.pos = start + 1  # consume '<'
         name = self._read_name()
         attrs: list[tuple[str, str]] = []
         while True:
+            match = _ATTR_OR_END_RE.match(text, self.pos)
+            if match is not None:
+                end = match.group(4)
+                if end is not None:
+                    self.pos = match.end()
+                    return Token(
+                        TokenType.START_TAG,
+                        name,
+                        text,
+                        start,
+                        attrs=attrs,
+                        self_closing=end != ">",
+                    )
+                raw = match.group(2)
+                if raw is None:
+                    raw = match.group(3)
+                if "&" in raw:
+                    raw = self._decode_entities(raw, match.start(1))
+                attrs.append((match.group(1), raw))
+                self.pos = match.end()
+                continue
+            # a malformed attribute or unterminated tag: the stepwise
+            # path below reproduces the reference errors byte-for-byte
             self._skip_ws()
-            nxt = self._peek()
+            pos = self.pos
+            nxt = text[pos : pos + 1]
             if nxt == ">":
-                self._advance()
-                return Token(TokenType.START_TAG, name, line, col, attrs=attrs)
-            if self._peek(2) == "/>":
-                self._advance(2)
-                return Token(TokenType.START_TAG, name, line, col, attrs=attrs, self_closing=True)
+                self.pos = pos + 1
+                return Token(TokenType.START_TAG, name, text, start, attrs=attrs)
+            if nxt == "/" and text.startswith("/>", pos):
+                self.pos = pos + 2
+                return Token(
+                    TokenType.START_TAG, name, text, start, attrs=attrs, self_closing=True
+                )
             if not nxt:
                 raise self._error(f"unterminated start tag <{name}")
-            aline, acol = self.line, self.col
+            astart = pos
             aname = self._read_name()
             self._skip_ws()
             self._expect("=")
             self._skip_ws()
-            quote = self._peek()
-            if quote not in "\"'":
+            quote = text[self.pos : self.pos + 1]
+            if quote not in ("\"", "'"):
                 raise self._error(f"attribute {aname!r} value must be quoted")
-            self._advance()
+            self.pos += 1
             raw = self._read_until(quote, f"attribute {aname!r} value")
             if "<" in raw:
-                raise XmlParseError(f"'<' not allowed in attribute value of {aname!r}", aline, acol)
-            attrs.append((aname, self._decode_entities(raw, aline, acol)))
+                raise self._error(
+                    f"'<' not allowed in attribute value of {aname!r}", astart
+                )
+            attrs.append((aname, self._decode_entities(raw, astart)))
 
 
 def tokenize(text: str) -> Iterator[Token]:
