@@ -31,6 +31,7 @@ from repro.p2ps.pipes import PipeError, ResolutionError
 from repro.reliability import DedupWindow, ack_requested, build_ack
 from repro.simnet.network import Node
 from repro.soap.envelope import SoapEnvelope
+from repro.soap.faults import is_busy_fault_element
 from repro.transport.http import DEFAULT_HTTP_PORT, HttpRequest, HttpResponse, HttpServer
 from repro.wsa.epr import EndpointReference
 from repro.wsa.headers import MessageAddressingProperties
@@ -287,7 +288,13 @@ class P2psServiceDeployer(ServiceDeployer):
             )
             reply_maps.apply_to(response)
             wire = response.to_wire()
-            if maps.message_id:
+            if maps.message_id and not (
+                response.body_content is not None
+                and is_busy_fault_element(response.body_content)
+            ):
+                # busy answers are load-state, not results: a
+                # retransmission must get a fresh admission decision,
+                # not a cached "busy"
                 self._remember(maps.message_id, wire)
             try:
                 self.peer.send_down_pipe(out_pipe, wire)

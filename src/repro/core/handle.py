@@ -31,13 +31,34 @@ class ServiceHandle:
     def namespace(self) -> str:
         return self.wsdl.target_namespace
 
-    def endpoint_for_scheme(self, scheme: str) -> Optional[EndpointReference]:
-        """First endpoint whose address uses *scheme* (e.g. 'http', 'p2ps')."""
+    def endpoints_for_scheme(self, scheme: str) -> list[EndpointReference]:
+        """Every endpoint whose address uses *scheme*, in a deterministic
+        order (sorted by address).
+
+        Failover ranking iterates this, so the iteration order must be
+        stable across runs and across peers that assembled the same
+        handle from differently-ordered discovery responses.
+        """
         prefix = scheme + "://"
-        for epr in self.endpoints:
-            if epr.address.startswith(prefix):
-                return epr
-        return None
+        return sorted(
+            (epr for epr in self.endpoints if epr.address.startswith(prefix)),
+            key=lambda epr: epr.address,
+        )
+
+    def endpoint_for_scheme(self, scheme: str) -> Optional[EndpointReference]:
+        """Deterministically-first endpoint of *scheme* (e.g. 'http')."""
+        eprs = self.endpoints_for_scheme(scheme)
+        return eprs[0] if eprs else None
+
+    def drop_endpoint(self, address: str) -> bool:
+        """Remove the endpoint at *address*; True if one was dropped.
+
+        Supervision calls this when an endpoint is declared dead, so a
+        shared handle stops steering new invocations at a poisoned EPR.
+        """
+        before = len(self.endpoints)
+        self.endpoints = [e for e in self.endpoints if e.address != address]
+        return len(self.endpoints) != before
 
     @property
     def schemes(self) -> list[str]:

@@ -99,9 +99,35 @@ class LightweightContainer(EventSource):
         self._clock = clock or (lambda: 0.0)
         self._services: dict[str, DeployedService] = {}
         self.interceptor: Optional[Interceptor] = None
+        #: optional load shedding; see :meth:`set_admission_control`
+        self.admission = None
+        self.requests_shed = 0
 
     def _now(self) -> float:
         return self._clock()
+
+    def set_admission_control(
+        self,
+        capacity: Optional[float] = 8.0,
+        drain_rate: float = 50.0,
+        controller=None,
+    ):
+        """Bound this container's pending-request queue.
+
+        Once set, requests arriving with the queue at capacity are
+        answered with a ``Server.Busy`` fault carrying a retry-after
+        hint instead of being dispatched — the overloaded provider
+        stays responsive and steers clients to other endpoints.  Pass
+        ``controller=None, capacity=None`` to disable shedding again.
+        """
+        if controller is None and capacity is not None:
+            from repro.supervision.admission import AdmissionController
+
+            controller = AdmissionController(
+                capacity=capacity, drain_rate=drain_rate, clock=self._clock
+            )
+        self.admission = controller
+        return controller
 
     # ------------------------------------------------------------------
     def deploy(
@@ -213,13 +239,42 @@ class LightweightContainer(EventSource):
                         message_id=message_id,
                     )
                 else:
-                    deployed.requests_processed += 1
-                    context = MessageContext(request, service_name, operation)
-                    response = deployed.chain.run(
-                        context, lambda ctx: deployed.dispatcher.dispatch(ctx.request)
+                    admitted, retry_after = (
+                        self.admission.try_admit()
+                        if self.admission is not None
+                        else (True, 0.0)
                     )
-                    if message_id is not None:
-                        deployed.dedup.remember(message_id, response.to_wire())
+                    if not admitted:
+                        # shed before any dispatch work: the whole point
+                        # is that a saturated provider answers cheaply.
+                        # Busy responses are NOT remembered in the dedup
+                        # window — a retransmit must get a fresh
+                        # admission decision, not a replay of "busy".
+                        from repro.soap.faults import ServerBusyFault
+
+                        self.requests_shed += 1
+                        response = SoapEnvelope.for_fault(
+                            ServerBusyFault(
+                                f"service {service_name!r} is at capacity",
+                                retry_after=retry_after,
+                            )
+                        )
+                        self.fire_server(
+                            "request-shed",
+                            service=service_name,
+                            operation=operation,
+                            message_id=message_id,
+                            retry_after=retry_after,
+                        )
+                    else:
+                        deployed.requests_processed += 1
+                        context = MessageContext(request, service_name, operation)
+                        response = deployed.chain.run(
+                            context,
+                            lambda ctx: deployed.dispatcher.dispatch(ctx.request),
+                        )
+                        if message_id is not None:
+                            deployed.dedup.remember(message_id, response.to_wire())
         self.fire_server(
             "response-sent",
             service=service_name,

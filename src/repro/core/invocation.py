@@ -232,9 +232,12 @@ class HttpInvocation(Invocation):
         callback: InvokeCallback,
         timeout: Optional[float] = None,
         policy: Optional[ReliabilityPolicy] = None,
+        endpoint: Optional[EndpointReference] = None,
+        message_id: Optional[str] = None,
     ) -> None:
         policy = self._effective_policy(policy)
-        endpoint = self._pick_endpoint(handle)
+        if endpoint is None:
+            endpoint = self._pick_endpoint(handle)
         if endpoint is None:
             callback(
                 None,
@@ -245,11 +248,25 @@ class HttpInvocation(Invocation):
             )
             return
         uri = parse_uri_cached(endpoint.address)
-        transport = self._transports[uri.scheme]
+        transport = self._transports.get(uri.scheme)
+        if transport is None:
+            callback(
+                None,
+                InvocationError(
+                    f"no transport for scheme {uri.scheme!r} (endpoint "
+                    f"{endpoint.address})"
+                ),
+            )
+            return
 
         # One envelope for every attempt: retries reuse the MessageID so
         # the provider's dedup window suppresses duplicate execution.
+        # A caller-supplied message_id extends the same guarantee across
+        # endpoints — the failover executor keeps one identity per
+        # logical call no matter where each attempt lands.
         maps = MessageAddressingProperties.for_request(endpoint, operation)
+        if message_id is not None:
+            maps.message_id = message_id
         wire = request_templates.render(
             maps, handle.namespace, operation, args, target=endpoint
         )
@@ -394,9 +411,12 @@ class P2psInvocation(Invocation):
         callback: InvokeCallback,
         timeout: Optional[float] = None,
         policy: Optional[ReliabilityPolicy] = None,
+        endpoint: Optional[EndpointReference] = None,
+        message_id: Optional[str] = None,
     ) -> None:
         policy = self._effective_policy(policy)
-        endpoint = self._endpoint_for_operation(handle, operation)
+        if endpoint is None:
+            endpoint = self._endpoint_for_operation(handle, operation)
         if endpoint is None:
             callback(
                 None,
@@ -436,7 +456,7 @@ class P2psInvocation(Invocation):
             to=endpoint.address,
             action=action_for_pipe(target_advert),
             reply_to=reply_epr,
-            message_id=new_message_id(),
+            message_id=message_id if message_id is not None else new_message_id(),
         )
         wire = request_templates.render(
             maps, handle.namespace, operation, args, target=endpoint

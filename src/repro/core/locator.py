@@ -47,9 +47,60 @@ class ServiceLocator(EventSource):
     def __init__(self, clock, parent: Optional[EventSource] = None):
         super().__init__("locator", parent)
         self._clock = clock
+        #: endpoint addresses known to be dead — dropped from every
+        #: handle this locator returns until a later alive verdict.
+        #: Discovery caches go stale the moment a provider leaves (the
+        #: paper's transient peers); supervision verdicts are the
+        #: freshness signal.
+        self._quarantine: set[str] = set()
 
     def _now(self) -> float:
         return self._clock()
+
+    # -- endpoint staleness ------------------------------------------------
+    @property
+    def quarantined(self) -> frozenset[str]:
+        return frozenset(self._quarantine)
+
+    def mark_endpoint_dead(self, address: str) -> None:
+        if address not in self._quarantine:
+            self._quarantine.add(address)
+            self.fire_discovery("endpoint-quarantined", endpoint=address)
+
+    def mark_endpoint_alive(self, address: str) -> None:
+        if address in self._quarantine:
+            self._quarantine.discard(address)
+            self.fire_discovery("endpoint-restored", endpoint=address)
+
+    def watch_health(self, monitor) -> None:
+        """Feed a :class:`~repro.supervision.health.HealthMonitor`'s
+        dead/alive verdicts into this locator's quarantine."""
+        from repro.supervision.health import DEAD
+
+        def on_verdict(address: str, verdict: str) -> None:
+            if verdict == DEAD:
+                self.mark_endpoint_dead(address)
+            else:
+                self.mark_endpoint_alive(address)
+
+        monitor.add_verdict_listener(on_verdict)
+
+    def _filter_quarantined(
+        self, handle: Optional[ServiceHandle]
+    ) -> Optional[ServiceHandle]:
+        """Strip quarantined EPRs from *handle*; None when none remain."""
+        if handle is None or not self._quarantine:
+            return handle
+        for endpoint in list(handle.endpoints):
+            if endpoint.address in self._quarantine:
+                handle.drop_endpoint(endpoint.address)
+        if not handle.endpoints:
+            self.fire_discovery(
+                "service-skipped", service=handle.name,
+                reason="all endpoints quarantined",
+            )
+            return None
+        return handle
 
     def locate(
         self, query: ServiceQuery, timeout: float = 10.0, expect: int = 1
@@ -99,13 +150,17 @@ class UddiServiceLocator(ServiceLocator):
                 self.fire_discovery("service-skipped", service=service.name,
                                     reason=f"wsdl fetch failed: {exc}")
                 continue
-            handle = ServiceHandle(
-                service.name, parse_wsdl_cached(wsdl_text), endpoints, source="uddi"
+            handle = self._filter_quarantined(
+                ServiceHandle(
+                    service.name, parse_wsdl_cached(wsdl_text), endpoints, source="uddi"
+                )
             )
+            if handle is None:
+                continue
             handles.append(handle)
             self.fire_discovery(
                 "service-found", service=service.name, via="uddi",
-                endpoints=[e.address for e in endpoints],
+                endpoints=[e.address for e in handle.endpoints],
             )
         if not handles:
             self.fire_discovery("query-empty", query=query.describe())
@@ -208,13 +263,19 @@ class UddiServiceLocator(ServiceLocator):
                                             reason="wsdl fetch failed")
                         finish_one()
                         return
-                    handle = ServiceHandle(
-                        full.name, parse_wsdl_cached(response.body), endpoints, source="uddi"
+                    handle = self._filter_quarantined(
+                        ServiceHandle(
+                            full.name, parse_wsdl_cached(response.body), endpoints,
+                            source="uddi",
+                        )
                     )
+                    if handle is None:
+                        finish_one()
+                        return
                     state["found"] += 1
                     self.fire_discovery(
                         "service-found", service=full.name, via="uddi-async",
-                        endpoints=[e.address for e in endpoints],
+                        endpoints=[e.address for e in handle.endpoints],
                     )
                     on_found(handle)
                     finish_one()
@@ -300,12 +361,14 @@ class P2psServiceLocator(ServiceLocator):
                 reason=f"definition fetch failed: {exc}",
             )
             return None
-        return ServiceHandle(
-            advert.name,
-            parse_wsdl_cached(wsdl_text),
-            endpoints,
-            source="p2ps",
-            attributes=dict(advert.attributes),
+        return self._filter_quarantined(
+            ServiceHandle(
+                advert.name,
+                parse_wsdl_cached(wsdl_text),
+                endpoints,
+                source="p2ps",
+                attributes=dict(advert.attributes),
+            )
         )
 
     def _fetch_definition(self, advert: ServiceAdvertisement, timeout: float) -> str:

@@ -91,6 +91,8 @@ class WSPeer(EventSource):
         self._clock = clock
         self.server = Server(self, clock)
         self.client = Client(self)
+        #: set by :meth:`enable_failover`
+        self.failover = None
 
         self.server.register_deployer(binding.make_deployer(self))
         self.server.register_publisher(binding.make_publisher(self, self.server.deployer))
@@ -145,6 +147,15 @@ class WSPeer(EventSource):
     def set_interceptor(self, interceptor: Optional[Interceptor]) -> None:
         """Let the application handle requests before the engine (§III)."""
         self.server.container.interceptor = interceptor
+
+    def set_admission_control(
+        self, capacity: Optional[float] = 8.0, drain_rate: float = 50.0
+    ):
+        """Bound this peer's pending-request queue; overload answers
+        with ``Server.Busy`` + retry-after instead of queueing forever."""
+        return self.server.container.set_admission_control(
+            capacity=capacity, drain_rate=drain_rate
+        )
 
     def local_handle(self, name: str) -> ServiceHandle:
         """A handle to one of this peer's own deployed services."""
@@ -248,6 +259,46 @@ class WSPeer(EventSource):
         policy: Optional["ReliabilityPolicy"] = None,
     ) -> Any:
         return self.client.invocation.create_stub(handle, timeout=timeout, policy=policy)
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+    def enable_failover(self, config=None, extra_invokers: Optional[dict] = None):
+        """Supervise multi-endpoint handles: health-ranked invocation
+        with cross-endpoint (and, with *extra_invokers*, cross-binding)
+        failover.
+
+        Wires a :class:`~repro.supervision.FailoverExecutor` over the
+        client's active invocation node, attaches its circuit breakers
+        to the health ranking, and feeds dead/alive verdicts into the
+        locator so stale EPRs stop being handed out.  *extra_invokers*
+        maps additional URI schemes to invocation nodes (e.g.
+        ``{"p2ps": p2ps_invocation}`` on an HTTP-bound peer).  Returns
+        the executor, also kept as ``self.failover``.
+        """
+        from repro.supervision import FailoverConfig, FailoverExecutor, HealthMonitor
+
+        health = HealthMonitor(clock=self._clock)
+        executor = FailoverExecutor(
+            self.node.network.kernel,
+            health,
+            parent=self.client,
+            config=config if config is not None else FailoverConfig(),
+        )
+        invocation = self.client.invocation
+        schemes = getattr(invocation, "_transports", None)
+        if schemes:
+            for scheme in schemes:
+                executor.register_invoker(scheme, invocation)
+        else:
+            executor.register_invoker("p2ps", invocation)
+        for scheme, invoker in (extra_invokers or {}).items():
+            executor.register_invoker(scheme, invoker)
+        health.attach_breakers(invocation.breakers)
+        if self.client.locator is not None:
+            self.client.locator.watch_health(health)
+        self.failover = executor
+        return executor
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -44,7 +44,14 @@ class CircuitBreaker:
         self.state = CLOSED
         self._outcomes: deque[bool] = deque(maxlen=self.config.window)
         self._opened_at = 0.0
-        self._half_open_inflight = 0
+        #: expiry times of outstanding half-open probe leases.  A lease
+        #: is taken by :meth:`allow` and released by the next outcome
+        #: report; a caller that never reports (crash, lost completion)
+        #: leaks its lease, so leases self-expire after
+        #: ``config.half_open_lease_timeout`` instead of wedging the
+        #: breaker in half-open forever.
+        self._half_open_leases: list[float] = []
+        self.leases_expired = 0  #: probe slots reclaimed from silent callers
         self.rejected = 0  #: calls shed while open
         self.transitions: list[tuple[float, str]] = []
 
@@ -60,7 +67,7 @@ class CircuitBreaker:
         if state == OPEN:
             self._opened_at = self._now()
         if state == HALF_OPEN:
-            self._half_open_inflight = 0
+            self._half_open_leases.clear()
         if state == CLOSED:
             self._outcomes.clear()
         if self.on_transition is not None:
@@ -72,6 +79,22 @@ class CircuitBreaker:
             return 0.0
         return 1.0 - sum(self._outcomes) / len(self._outcomes)
 
+    def _prune_leases(self) -> None:
+        now = self._now()
+        alive = [expiry for expiry in self._half_open_leases if expiry > now]
+        self.leases_expired += len(self._half_open_leases) - len(alive)
+        self._half_open_leases = alive
+
+    def _release_lease(self) -> None:
+        if self._half_open_leases:
+            self._half_open_leases.pop(0)
+
+    @property
+    def half_open_inflight(self) -> int:
+        """Unexpired probe leases currently outstanding."""
+        self._prune_leases()
+        return len(self._half_open_leases)
+
     # ------------------------------------------------------------------
     def allow(self) -> bool:
         """May a call proceed right now?  (Counts shed calls.)"""
@@ -82,19 +105,24 @@ class CircuitBreaker:
                 self.rejected += 1
                 return False
         if self.state == HALF_OPEN:
-            if self._half_open_inflight >= self.config.half_open_max:
+            self._prune_leases()
+            if len(self._half_open_leases) >= self.config.half_open_max:
                 self.rejected += 1
                 return False
-            self._half_open_inflight += 1
+            self._half_open_leases.append(
+                self._now() + self.config.half_open_lease_timeout
+            )
         return True
 
     def record_success(self) -> None:
         if self.state == HALF_OPEN:
+            self._release_lease()
             self._move(CLOSED)
         self._outcomes.append(True)
 
     def record_failure(self) -> None:
         if self.state == HALF_OPEN:
+            self._release_lease()
             self._move(OPEN)
             return
         self._outcomes.append(False)

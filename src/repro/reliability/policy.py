@@ -86,12 +86,17 @@ class RetryPolicy:
         Without an explicit ``retry_on`` filter, transport-level trouble
         is retried but application-level SOAP faults are not — the
         provider *did* answer, it just said no, and a retransmitted
-        request would only be deduplicated into the same fault.
+        request would only be deduplicated into the same fault.  The
+        one fault exception is ``Server.Busy``: the provider explicitly
+        did *not* execute, so retrying (after its retry-after hint) is
+        always safe.
         """
+        from repro.soap.faults import ServerBusyFault, SoapFault
+
+        if isinstance(error, ServerBusyFault):
+            return True
         if self.retry_on is not None:
             return isinstance(error, self.retry_on)
-        from repro.soap.faults import SoapFault
-
         return not isinstance(error, SoapFault)
 
     def reset(self) -> None:
@@ -150,6 +155,10 @@ class BreakerConfig:
     min_calls: int = 4          #: ... and at least this many calls observed
     open_timeout: float = 5.0   #: seconds open before probing (half-open)
     half_open_max: int = 1      #: concurrent probes allowed while half-open
+    #: a half-open probe slot taken by :meth:`CircuitBreaker.allow` is
+    #: reclaimed after this many seconds if the caller never reports an
+    #: outcome (crashed caller), so the breaker cannot wedge half-open
+    half_open_lease_timeout: float = 30.0
 
 
 @dataclass

@@ -17,6 +17,7 @@ from repro.simnet.kernel import Kernel, ScheduledEvent, SimTimeoutError
 from repro.simnet.network import Frame, Network, NetworkError, Node, NodeDownError
 from repro.simnet.latency import FixedLatency, LatencyModel, SeededLatency, UniformLatency
 from repro.simnet.faults import ChurnInjector, DropInjector, PartitionInjector
+from repro.simnet.churn import ChurnRecord, ChurnSchedule
 from repro.simnet.trace import Counter, TraceLog, summarize
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "SeededLatency",
     "DropInjector",
     "ChurnInjector",
+    "ChurnRecord",
+    "ChurnSchedule",
     "PartitionInjector",
     "Counter",
     "TraceLog",

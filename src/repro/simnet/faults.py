@@ -38,6 +38,9 @@ class DropInjector:
         return True
 
     def detach(self) -> None:
+        """Stop dropping frames.  Safe to call redundantly, and safe to
+        call from inside another delivery hook mid-iteration — the
+        network walks a snapshot of its hook list per frame."""
         self._network.remove_delivery_hook(self._hook)
 
 
@@ -62,7 +65,8 @@ class PartitionInjector:
         return True
 
     def heal(self) -> None:
-        """Remove the partition."""
+        """Remove the partition.  Idempotent: healing twice (or healing
+        a partition another schedule already removed) is a no-op."""
         self._network.remove_delivery_hook(self._hook)
 
 

@@ -178,7 +178,13 @@ class Network:
         self._delivery_hooks.append(hook)
 
     def remove_delivery_hook(self, hook: DeliveryHook) -> None:
-        self._delivery_hooks.remove(hook)
+        """Detach *hook*; a hook not (or no longer) attached is a no-op,
+        so injectors may detach themselves redundantly (e.g. ``heal()``
+        called twice, or a hook detaching from inside delivery)."""
+        try:
+            self._delivery_hooks.remove(hook)
+        except ValueError:
+            pass
 
     # -- transmission ---------------------------------------------------------
     def send(self, frame: Frame) -> Frame:
@@ -189,7 +195,9 @@ class Network:
             raise NodeDownError(f"source node is down: {frame.src}")
         self.sent.incr(frame.src)
 
-        for hook in self._delivery_hooks:
+        # iterate a snapshot: a hook may detach itself (or another hook)
+        # mid-delivery without perturbing this frame's hook sequence
+        for hook in tuple(self._delivery_hooks):
             if not hook(frame):
                 self.trace.emit(self.kernel.now, "dropped", src=frame.src, dst=frame.dst, port=frame.port)
                 return frame

@@ -228,11 +228,17 @@ class WireTemplateCache:
     attributes, text presence — everything byte-affecting except the
     text values) keys a template whose prototype is serialised by the
     real serialiser with sentinel text, so rendering is a string splice
-    with bytes identical to the slow path by construction.  Any element
-    with child elements (EPRs, faults with detail trees, struct
-    parameters) makes :meth:`render` return None and the caller runs
+    with bytes identical to the slow path by construction.  Body
+    content is shaped *recursively*: element trees whose leaves carry
+    only text (RPC responses, struct returns, faults with detail
+    trees — the ``Server.Busy`` shed path in particular) all template;
+    mixed content (text alongside child elements) and header blocks
+    with children make :meth:`render` return None and the caller runs
     the ordinary serialiser.
     """
+
+    #: body trees deeper than this fall back to the ordinary serialiser
+    MAX_DEPTH = 6
 
     def __init__(self, max_entries: int = 256):
         self._cache = ArtifactCache("wire-templates", max_entries)
@@ -257,8 +263,35 @@ class WireTemplateCache:
     def invalidate_all(self) -> int:
         return self._cache.clear()
 
-    @staticmethod
-    def _key(envelope: "SoapEnvelope") -> Optional[tuple]:
+    @classmethod
+    def _tree_shape(cls, elem: Element, depth: int = 0) -> Optional[tuple]:
+        """Recursive static identity of *elem*; leaf texts are the holes.
+
+        Mixed content (text next to child elements) and over-deep trees
+        return None — those shapes go to the ordinary serialiser.
+        """
+        if depth > cls.MAX_DEPTH:
+            return None
+        name = elem.name
+        static = (
+            (name.uri, name.local, name.prefix),
+            tuple(elem.nsdecls.items()),
+            tuple(((a.uri, a.local, a.prefix), v) for a, v in elem.attributes.items()),
+        )
+        if any(not isinstance(item, str) for item in elem.content):
+            kids = []
+            for item in elem.content:
+                if isinstance(item, str):
+                    return None  # mixed content
+                sub = cls._tree_shape(item, depth + 1)
+                if sub is None:
+                    return None
+                kids.append(sub)
+            return static + (("node", tuple(kids)),)
+        return static + (("leaf", bool(elem.content)),)
+
+    @classmethod
+    def _key(cls, envelope: "SoapEnvelope") -> Optional[tuple]:
         headers = []
         for block in envelope.headers:
             leaf = _leaf_shape(block)
@@ -266,24 +299,11 @@ class WireTemplateCache:
                 return None
             headers.append(leaf)
         body = envelope.body_content
-        if body is None:
-            body_shape = None
-        else:
-            kids = []
-            for item in body.content:
-                if isinstance(item, str):
-                    return None
-                leaf = _leaf_shape(item)
-                if leaf is None:
-                    return None
-                kids.append(leaf)
-            name = body.name
-            body_shape = (
-                (name.uri, name.local, name.prefix),
-                tuple(body.nsdecls.items()),
-                tuple(((a.uri, a.local, a.prefix), v) for a, v in body.attributes.items()),
-                tuple(kids),
-            )
+        body_shape = None
+        if body is not None:
+            body_shape = cls._tree_shape(body)
+            if body_shape is None:
+                return None
         return (tuple(headers), body_shape)
 
     @staticmethod
@@ -291,28 +311,38 @@ class WireTemplateCache:
         header_shapes, body_shape = key
         sentinels: dict = {}
 
+        def plant(hole_key: tuple) -> str:
+            # NUL never survives escaping, so a collision requires
+            # NUL in static content — caught by from_wire
+            marker = f"\x00{len(sentinels)}\x00"
+            sentinels[hole_key] = marker
+            return marker
+
         def leaf_from(shape: tuple, hole_key: tuple) -> Element:
             name, nsd, attrs, has_text = shape
             elem = Element(QName(*name), nsdecls=dict(nsd) or None)
             for aname, avalue in attrs:
                 elem.attributes[QName(*aname)] = avalue
             if has_text:
-                # NUL never survives escaping, so a collision requires
-                # NUL in static content — caught by from_wire
-                marker = f"\x00{len(sentinels)}\x00"
-                sentinels[hole_key] = marker
-                elem.append_text(marker)
+                elem.append_text(plant(hole_key))
+            return elem
+
+        def tree_from(shape: tuple, path: tuple) -> Element:
+            name, nsd, attrs, tail = shape
+            kind, payload = tail
+            if kind == "leaf":
+                return leaf_from((name, nsd, attrs, payload), ("c",) + path)
+            elem = Element(QName(*name), nsdecls=dict(nsd) or None)
+            for aname, avalue in attrs:
+                elem.attributes[QName(*aname)] = avalue
+            for j, sub in enumerate(payload):
+                elem.append(tree_from(sub, path + (j,)))
             return elem
 
         headers = [leaf_from(shape, ("h", i)) for i, shape in enumerate(header_shapes)]
         body: Optional[Element] = None
         if body_shape is not None:
-            name, nsd, attrs, kid_shapes = body_shape
-            body = Element(QName(*name), nsdecls=dict(nsd) or None)
-            for aname, avalue in attrs:
-                body.attributes[QName(*aname)] = avalue
-            for j, shape in enumerate(kid_shapes):
-                body.append(leaf_from(shape, ("c", j)))
+            body = tree_from(body_shape, ())
         proto = SoapEnvelope(body_content=body, headers=headers)
         wire = serialize(proto.to_element(), xml_declaration=True)
         return EnvelopeTemplate.from_wire(wire, sentinels)
@@ -323,11 +353,18 @@ class WireTemplateCache:
         for i, block in enumerate(envelope.headers):
             if block.content:
                 values[("h", i)] = escape_text(block.text)
+
+        def walk(elem: Element, path: tuple) -> None:
+            if any(not isinstance(item, str) for item in elem.content):
+                for j, item in enumerate(elem.content):
+                    walk(item, path + (j,))
+                return
+            if elem.content:
+                values[("c",) + path] = escape_text(elem.text)
+
         body = envelope.body_content
         if body is not None:
-            for j, item in enumerate(body.content):
-                if item.content:
-                    values[("c", j)] = escape_text(item.text)
+            walk(body, ())
         return values
 
 

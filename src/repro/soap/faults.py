@@ -21,7 +21,8 @@ class SoapFault(Exception):
     """A SOAP fault, usable as a Python exception and as wire content.
 
     ``detail`` is an optional :class:`Element` carried verbatim in the
-    fault's ``<detail>`` wrapper.
+    fault's ``<detail>`` wrapper.  ``subcode`` is a dotted suffix on
+    the faultcode QName (SOAP 1.1 style, e.g. ``Server.Busy``).
     """
 
     def __init__(
@@ -30,17 +31,23 @@ class SoapFault(Exception):
         message: str,
         actor: str = "",
         detail: Optional[Element] = None,
+        subcode: str = "",
     ):
         super().__init__(message)
         self.code = code
         self.message = message
         self.actor = actor
         self.detail = detail
+        self.subcode = subcode
+
+    @property
+    def code_text(self) -> str:
+        return self.code.value + (f".{self.subcode}" if self.subcode else "")
 
     def to_element(self) -> Element:
         fault = Element(QName(ns.SOAP_ENV, "Fault", "soapenv"))
         # faultcode is an env-qualified QName in text content
-        fault.add("faultcode", f"soapenv:{self.code.value}")
+        fault.add("faultcode", f"soapenv:{self.code_text}")
         fault.add("faultstring", self.message)
         if self.actor:
             fault.add("faultactor", self.actor)
@@ -53,6 +60,7 @@ class SoapFault(Exception):
     def from_element(cls, elem: Element) -> "SoapFault":
         code_text = elem.find_text("faultcode", "Server")
         _, _, local = code_text.rpartition(":")
+        local, _, subcode = local.partition(".")
         try:
             code = FaultCode(local)
         except ValueError:
@@ -63,11 +71,72 @@ class SoapFault(Exception):
         detail = None
         if detail_wrapper is not None and detail_wrapper.children:
             detail = detail_wrapper.children[0].copy()
-        return cls(code, message, actor, detail)
+        if code is FaultCode.SERVER and subcode == ServerBusyFault.SUBCODE:
+            return ServerBusyFault.from_parts(message, actor, detail)
+        return cls(code, message, actor, detail, subcode=subcode)
 
     @staticmethod
     def is_fault_element(elem: Element) -> bool:
         return elem.name == QName(ns.SOAP_ENV, "Fault")
 
     def __repr__(self) -> str:
-        return f"<SoapFault {self.code.value}: {self.message!r}>"
+        return f"<SoapFault {self.code_text}: {self.message!r}>"
+
+
+class ServerBusyFault(SoapFault):
+    """``Server.Busy``: the provider shed this request under load.
+
+    Carries a retry-after hint (seconds, virtual time) in the fault
+    detail, so a client may back off and retransmit — or fail over to
+    another endpoint of the same service.  Crucially the provider did
+    *not* execute the operation, which makes a busy answer always safe
+    to retry, unlike an ordinary ``Server`` fault.
+    """
+
+    SUBCODE = "Busy"
+    _RETRY_AFTER = QName(ns.WSPEER, "RetryAfter", "wsp")
+
+    def __init__(
+        self,
+        message: str = "service is at capacity",
+        retry_after: float = 0.0,
+        actor: str = "",
+    ):
+        detail = Element(
+            self._RETRY_AFTER,
+            text=f"{max(0.0, retry_after):g}",
+            nsdecls={"wsp": ns.WSPEER},
+        )
+        super().__init__(
+            FaultCode.SERVER, message, actor, detail, subcode=self.SUBCODE
+        )
+        self.retry_after = max(0.0, retry_after)
+
+    @classmethod
+    def from_parts(
+        cls, message: str, actor: str, detail: Optional[Element]
+    ) -> "ServerBusyFault":
+        retry_after = 0.0
+        if detail is not None and detail.name.local == "RetryAfter":
+            try:
+                retry_after = float(detail.text)
+            except (TypeError, ValueError):
+                retry_after = 0.0
+        return cls(message or "service is at capacity", retry_after, actor)
+
+    def __repr__(self) -> str:
+        return f"<ServerBusyFault retry_after={self.retry_after:g}s>"
+
+
+def is_busy_fault_element(elem: Element) -> bool:
+    """True when *elem* is a Fault whose code is ``Server.Busy``.
+
+    Used by the dedup layers: busy answers must never be retained as
+    the canonical response for a MessageID, or a later retransmission
+    would replay "busy" forever instead of executing.
+    """
+    if not SoapFault.is_fault_element(elem):
+        return False
+    code_text = elem.find_text("faultcode", "")
+    _, _, local = code_text.rpartition(":")
+    return local == f"{FaultCode.SERVER.value}.{ServerBusyFault.SUBCODE}"

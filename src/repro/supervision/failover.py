@@ -1,0 +1,348 @@
+"""Client-side failover: one logical call across many endpoints.
+
+The :class:`FailoverExecutor` sits above the per-endpoint reliability
+machinery (:mod:`repro.reliability` retries *within* an endpoint) and
+makes a multi-EPR :class:`ServiceHandle` behave like one highly
+available service: endpoints are ranked by the
+:class:`~repro.supervision.health.HealthMonitor`, attempts walk the
+ranking, and retryable faults — timeouts, unreachable nodes, open
+breakers, ``Server.Busy`` sheds — trigger failover to the next
+endpoint, including *cross-binding* failover from an ``http://`` EPR
+to a ``p2ps://`` pipe and back.  This is the paper's §III promise
+("the application does not have to care where or how the service has
+been located") extended to *whether the first place answers*.
+
+Every attempt of one logical call carries the same ``wsa:MessageID``,
+so provider-side dedup windows keep execution at-most-once even when
+the client gives up on one binding mid-flight and the original request
+later arrives anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.errors import InvocationError
+from repro.core.events import EventSource
+from repro.core.handle import ServiceHandle
+from repro.reliability import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReliabilityPolicy,
+)
+from repro.simnet.kernel import SimTimeoutError
+from repro.soap.faults import ServerBusyFault, SoapFault
+from repro.supervision.health import HealthMonitor
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import new_message_id
+
+#: completion callback: (result, error) — exactly one is non-None,
+#: except void results where both may be None.
+InvokeCallback = Callable[[Any, Optional[Exception]], None]
+
+#: verdicts from :func:`classify_error`
+FINAL = "final"  # application fault: failing over would not help
+BUSY = "busy"  # endpoint shed us: back off there, try elsewhere
+FAILOVER = "failover"  # endpoint unreachable/slow: try the next one
+
+
+def classify_error(error: Exception) -> str:
+    """Decide whether *error* ends the call or moves it elsewhere.
+
+    Application-level SOAP faults are *final* — the service executed
+    and said no; another replica would say the same.  The one
+    exception is ``Server.Busy``, which is an explicit "try another
+    endpoint" signal.  Everything else — network errors, node-down,
+    transport failures, attempt timeouts, exhausted per-endpoint
+    retries, open circuit breakers — is failover-eligible.
+    """
+    if isinstance(error, ServerBusyFault):
+        return BUSY
+    if isinstance(error, SoapFault):
+        return FINAL
+    return FAILOVER
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """Shape of the failover loop for one executor."""
+
+    #: maximum passes over the ranked endpoint list; the second and
+    #: later rounds re-rank, so a node that recovered mid-call gets
+    #: retried before the call gives up
+    rounds: int = 2
+    #: virtual-time pause between rounds (lets busy cooldowns lapse and
+    #: restarted peers come back before the next sweep)
+    round_backoff: float = 0.5
+    #: total wall-budget for the logical call across every endpoint and
+    #: round; ``None`` leaves only per-attempt timeouts
+    deadline: Optional[float] = 30.0
+    #: treat attempt timeouts as failover-eligible (the safe default —
+    #: the shared MessageID keeps a late-executing duplicate suppressed)
+    failover_on_timeout: bool = True
+
+
+class FailoverExecutor(EventSource):
+    """Invokes through the healthiest endpoint, failing over on error.
+
+    Register one invoker per URI scheme (``http``/``httpg`` usually
+    share an :class:`~repro.core.invocation.HttpInvocation`; ``p2ps``
+    gets the :class:`~repro.core.invocation.P2psInvocation`), then call
+    ``invoke``/``invoke_async`` with a multi-endpoint handle.  Health
+    signals feed back automatically: successes, failures and busy
+    sheds from real traffic are exactly the passive telemetry the
+    monitor scores.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        health: Optional[HealthMonitor] = None,
+        parent: Optional[EventSource] = None,
+        config: Optional[FailoverConfig] = None,
+    ):
+        super().__init__("failover", parent)
+        self._kernel_ref = kernel
+        self.health = health if health is not None else HealthMonitor(
+            clock=lambda: kernel.now
+        )
+        self.config = config if config is not None else FailoverConfig()
+        self._invokers: dict[str, Any] = {}
+        self.failovers = 0  # endpoint switches across all calls
+
+    def _now(self) -> float:
+        return self._kernel_ref.now
+
+    # -- wiring ------------------------------------------------------------
+    def register_invoker(self, scheme: str, invocation) -> None:
+        """Route *scheme* endpoints through *invocation* (any object
+        with the ``invoke_async(handle, operation, args, callback,
+        timeout, policy=, endpoint=, message_id=)`` contract)."""
+        self._invokers[scheme.lower()] = invocation
+
+    @property
+    def schemes(self) -> list[str]:
+        return sorted(self._invokers)
+
+    # -- endpoint planning -------------------------------------------------
+    @staticmethod
+    def _scheme_of(endpoint: EndpointReference) -> str:
+        scheme, _, _ = endpoint.address.partition("://")
+        return scheme.lower()
+
+    def candidate_endpoints(
+        self, handle: ServiceHandle, operation: str
+    ) -> list[EndpointReference]:
+        """Every EPR of *handle* this executor can actually invoke:
+        request/response endpoints for any registered transport scheme,
+        plus p2ps pipe endpoints whose pipe serves *operation*."""
+        candidates: list[EndpointReference] = []
+        for endpoint in handle.endpoints:
+            scheme = self._scheme_of(endpoint)
+            if scheme not in self._invokers:
+                continue
+            if scheme == "p2ps" and endpoint.property_text("PipeName") != operation:
+                continue
+            candidates.append(endpoint)
+        return candidates
+
+    def plan(self, handle: ServiceHandle, operation: str) -> list[EndpointReference]:
+        """The ranked attempt order the next call would use."""
+        return self.health.rank(self.candidate_endpoints(handle, operation))
+
+    # -- invocation --------------------------------------------------------
+    def invoke_async(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: dict[str, Any],
+        callback: InvokeCallback,
+        timeout: Optional[float] = None,
+        policy: Optional[ReliabilityPolicy] = None,
+    ) -> None:
+        candidates = self.candidate_endpoints(handle, operation)
+        if not candidates:
+            callback(
+                None,
+                InvocationError(
+                    f"service {handle.name!r} has no endpoint this executor "
+                    f"can reach (schemes {self.schemes})"
+                ),
+            )
+            return
+
+        # One MessageID for the whole logical call: every endpoint and
+        # every round retransmits the same identity, so provider dedup
+        # keeps execution at-most-once across failover.
+        message_id = new_message_id()
+        started = self._now()
+        state = {
+            "round": 0,
+            "queue": self.health.rank(candidates),
+            "attempted": 0,
+            "last_endpoint": None,
+            "last_error": None,
+            "done": False,
+        }
+
+        def finish(result: Any, error: Optional[Exception]) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            if error is not None:
+                self.fire_client(
+                    "failover-exhausted",
+                    service=handle.name,
+                    operation=operation,
+                    attempts=state["attempted"],
+                    rounds=state["round"] + 1,
+                    message_id=message_id,
+                    reason=str(error),
+                )
+            callback(result, error)
+
+        def budget_left() -> Optional[float]:
+            if self.config.deadline is None:
+                return None
+            return self.config.deadline - (self._now() - started)
+
+        def next_endpoint() -> None:
+            if state["done"]:
+                return
+            remaining = budget_left()
+            if remaining is not None and remaining <= 0:
+                finish(
+                    None,
+                    state["last_error"]
+                    or DeadlineExceededError(
+                        f"failover deadline of {self.config.deadline}s "
+                        f"exhausted for {operation!r}"
+                    ),
+                )
+                return
+            if not state["queue"]:
+                state["round"] += 1
+                if state["round"] >= self.config.rounds:
+                    finish(
+                        None,
+                        state["last_error"]
+                        or InvocationError(
+                            f"all endpoints failed for {operation!r} after "
+                            f"{state['attempted']} attempt(s)"
+                        ),
+                    )
+                    return
+                # next round: re-rank what we know now, after a breather
+                def start_round() -> None:
+                    state["queue"] = self.health.rank(candidates)
+                    next_endpoint()
+
+                if self.config.round_backoff > 0:
+                    self._kernel_ref.schedule(self.config.round_backoff, start_round)
+                else:
+                    start_round()
+                return
+            endpoint = state["queue"].pop(0)
+            attempt(endpoint, remaining)
+
+        def attempt(endpoint: EndpointReference, remaining: Optional[float]) -> None:
+            scheme = self._scheme_of(endpoint)
+            invoker = self._invokers[scheme]
+            previous = state["last_endpoint"]
+            if previous is not None and previous != endpoint.address:
+                self.failovers += 1
+                self.fire_client(
+                    "failover",
+                    service=handle.name,
+                    operation=operation,
+                    from_endpoint=previous,
+                    to_endpoint=endpoint.address,
+                    message_id=message_id,
+                    reason=str(state["last_error"]),
+                )
+            state["last_endpoint"] = endpoint.address
+            state["attempted"] += 1
+            attempt_timeout = timeout
+            if remaining is not None:
+                attempt_timeout = (
+                    remaining
+                    if attempt_timeout is None
+                    else min(attempt_timeout, remaining)
+                )
+            sent_at = self._now()
+
+            def on_done(result: Any, error: Optional[Exception]) -> None:
+                if state["done"]:
+                    return
+                if error is None:
+                    self.health.record_success(
+                        endpoint.address, latency=self._now() - sent_at
+                    )
+                    finish(result, None)
+                    return
+                state["last_error"] = error
+                verdict = classify_error(error)
+                if verdict == FAILOVER and not self.config.failover_on_timeout:
+                    if isinstance(error, (SimTimeoutError, DeadlineExceededError)):
+                        verdict = FINAL
+                if verdict == FINAL:
+                    finish(None, error)
+                    return
+                if verdict == BUSY:
+                    self.health.record_busy(
+                        endpoint.address, retry_after=error.retry_after
+                    )
+                elif isinstance(error, CircuitOpenError):
+                    # the breaker already holds the failure history; do
+                    # not double-count a shed local decision as a fresh
+                    # remote failure
+                    pass
+                else:
+                    self.health.record_failure(endpoint.address)
+                next_endpoint()
+
+            try:
+                invoker.invoke_async(
+                    handle,
+                    operation,
+                    args,
+                    on_done,
+                    attempt_timeout,
+                    policy=policy,
+                    endpoint=endpoint,
+                    message_id=message_id,
+                )
+            except Exception as exc:  # noqa: BLE001 - invoker boundary
+                on_done(None, exc)
+
+        next_endpoint()
+
+    def invoke(
+        self,
+        handle: ServiceHandle,
+        operation: str,
+        args: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = 5.0,
+        policy: Optional[ReliabilityPolicy] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Synchronous failover invocation: pump virtual time until done."""
+        all_args = dict(args or {})
+        all_args.update(kwargs)
+        box: dict[str, Any] = {}
+
+        def callback(result: Any, error: Optional[Exception]) -> None:
+            box["result"] = result
+            box["error"] = error
+
+        self.invoke_async(handle, operation, all_args, callback, timeout, policy=policy)
+        try:
+            self._kernel_ref.pump_until(lambda: "result" in box or "error" in box)
+        except SimTimeoutError as exc:
+            raise InvocationError(
+                f"failover invocation of {operation!r} never completed"
+            ) from exc
+        if box.get("error") is not None:
+            raise box["error"]
+        return box.get("result")

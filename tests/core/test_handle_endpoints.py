@@ -1,0 +1,96 @@
+"""ServiceHandle endpoint selection: deterministic order, safe drops.
+
+Two peers that assemble "the same" handle from differently-ordered
+discovery responses must iterate its endpoints identically — failover
+ranking, tie-breaks, and benchmark reproducibility all lean on it.
+"""
+
+import random
+
+from repro.core.handle import ServiceHandle
+from repro.soap import ServiceObject
+from repro.wsa.epr import EndpointReference
+from repro.wsdl import generate_wsdl
+
+
+class Echo:
+    def echo(self, message: str) -> str:
+        return message
+
+
+def make_handle(addresses):
+    service = ServiceObject.from_instance("Echo", Echo(), "urn:echo")
+    wsdl = generate_wsdl(service)
+    return ServiceHandle(
+        "Echo", wsdl, [EndpointReference(a) for a in addresses], source="merged"
+    )
+
+
+ADDRESSES = [
+    "http://prov2:80/services/Echo",
+    "p2ps://peer-b/Echo",
+    "http://prov0:80/services/Echo",
+    "p2ps://peer-a/Echo",
+    "http://prov1:80/services/Echo",
+]
+
+
+class TestDeterministicOrder:
+    def test_sorted_by_address_within_scheme(self):
+        handle = make_handle(ADDRESSES)
+        assert [e.address for e in handle.endpoints_for_scheme("http")] == [
+            "http://prov0:80/services/Echo",
+            "http://prov1:80/services/Echo",
+            "http://prov2:80/services/Echo",
+        ]
+
+    def test_order_independent_of_discovery_order(self):
+        rng = random.Random(11)
+        baseline = None
+        for _ in range(10):
+            shuffled = list(ADDRESSES)
+            rng.shuffle(shuffled)
+            order = [
+                e.address for e in make_handle(shuffled).endpoints_for_scheme("http")
+            ]
+            baseline = baseline or order
+            assert order == baseline
+
+    def test_scheme_filter_is_exact_prefix(self):
+        handle = make_handle(ADDRESSES)
+        p2ps = [e.address for e in handle.endpoints_for_scheme("p2ps")]
+        assert p2ps == ["p2ps://peer-a/Echo", "p2ps://peer-b/Echo"]
+        assert handle.endpoints_for_scheme("https") == []
+
+    def test_endpoint_for_scheme_is_first_of_sorted(self):
+        handle = make_handle(ADDRESSES)
+        assert (
+            handle.endpoint_for_scheme("http").address
+            == "http://prov0:80/services/Echo"
+        )
+        assert handle.endpoint_for_scheme("ftp") is None
+
+
+class TestDropEndpoint:
+    def test_drop_removes_only_named_address(self):
+        handle = make_handle(ADDRESSES)
+        assert handle.drop_endpoint("http://prov1:80/services/Echo")
+        assert len(handle.endpoints) == 4
+        assert [e.address for e in handle.endpoints_for_scheme("http")] == [
+            "http://prov0:80/services/Echo",
+            "http://prov2:80/services/Echo",
+        ]
+
+    def test_drop_unknown_address_is_noop(self):
+        handle = make_handle(ADDRESSES)
+        assert not handle.drop_endpoint("http://nowhere/Echo")
+        assert len(handle.endpoints) == 5
+
+    def test_drop_preserves_determinism(self):
+        a = make_handle(ADDRESSES)
+        b = make_handle(list(reversed(ADDRESSES)))
+        for handle in (a, b):
+            handle.drop_endpoint("p2ps://peer-a/Echo")
+        assert [e.address for e in a.endpoints_for_scheme("p2ps")] == [
+            e.address for e in b.endpoints_for_scheme("p2ps")
+        ]

@@ -1,0 +1,119 @@
+"""Half-open probe leases: crashed callers must not wedge the breaker.
+
+`allow()` in half-open hands out a probe *lease* that is normally
+released by the matching ``record_success``/``record_failure``.  A
+caller that dies mid-probe never reports, and without a timeout that
+leaked lease would pin the breaker in half-open (all further calls
+rejected) forever.  Leases therefore self-expire after
+``half_open_lease_timeout``.
+"""
+
+from repro.reliability import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.simnet import Kernel
+
+
+def make_breaker(kernel=None, **overrides):
+    kernel = kernel or Kernel()
+    config = BreakerConfig(
+        window=overrides.pop("window", 8),
+        failure_threshold=overrides.pop("failure_threshold", 0.5),
+        min_calls=overrides.pop("min_calls", 2),
+        open_timeout=overrides.pop("open_timeout", 5.0),
+        half_open_max=overrides.pop("half_open_max", 1),
+        half_open_lease_timeout=overrides.pop("half_open_lease_timeout", 10.0),
+    )
+    return kernel, CircuitBreaker(config, clock=lambda: kernel.now)
+
+
+def advance(kernel, dt):
+    kernel.schedule(dt, lambda: None)
+    kernel.run()
+
+
+def trip_to_half_open(kernel, breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    advance(kernel, breaker.config.open_timeout + 0.001)
+    assert breaker.allow()  # transitions to half-open, takes the lease
+    assert breaker.state == HALF_OPEN
+    return breaker
+
+
+class TestLeaseLifecycle:
+    def test_lease_holds_probe_slot(self):
+        kernel, breaker = make_breaker(half_open_max=1)
+        trip_to_half_open(kernel, breaker)
+        assert breaker.half_open_inflight == 1
+        assert not breaker.allow()  # slot taken, within lease timeout
+
+    def test_outcome_report_releases_lease(self):
+        kernel, breaker = make_breaker(half_open_max=1)
+        trip_to_half_open(kernel, breaker)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.half_open_inflight == 0
+        assert breaker.leases_expired == 0
+
+    def test_silent_caller_lease_expires(self):
+        """The regression: allow() then *never* report.  After the lease
+        timeout a fresh probe must be admitted — the breaker is not
+        wedged by the crashed caller."""
+        kernel, breaker = make_breaker(
+            half_open_max=1, half_open_lease_timeout=10.0
+        )
+        trip_to_half_open(kernel, breaker)
+        # caller crashes here: no record_success / record_failure
+
+        advance(kernel, 9.0)
+        assert not breaker.allow()  # lease still live at t+9
+
+        advance(kernel, 1.5)  # past the 10 s lease timeout
+        assert breaker.half_open_inflight == 0
+        assert breaker.allow()  # new probe admitted
+        assert breaker.leases_expired == 1
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_multiple_leaked_leases_all_expire(self):
+        kernel, breaker = make_breaker(
+            half_open_max=3, half_open_lease_timeout=4.0
+        )
+        trip_to_half_open(kernel, breaker)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert breaker.half_open_inflight == 3
+        assert not breaker.allow()  # all three slots leased
+
+        advance(kernel, 4.5)
+        assert breaker.half_open_inflight == 0
+        assert breaker.leases_expired == 3
+        assert breaker.allow()
+
+    def test_expiry_is_per_lease_not_batch(self):
+        kernel, breaker = make_breaker(
+            half_open_max=2, half_open_lease_timeout=5.0
+        )
+        trip_to_half_open(kernel, breaker)  # lease #1 at t=5.001
+        advance(kernel, 3.0)
+        assert breaker.allow()  # lease #2 three seconds later
+        advance(kernel, 2.5)  # t: lease #1 expired, #2 still live
+        assert breaker.half_open_inflight == 1
+        assert breaker.leases_expired == 1
+
+    def test_reopen_clears_outstanding_leases(self):
+        kernel, breaker = make_breaker(half_open_max=2)
+        trip_to_half_open(kernel, breaker)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed → back to OPEN
+        assert breaker.state == OPEN
+        advance(kernel, breaker.config.open_timeout + 0.001)
+        assert breaker.allow()  # fresh half-open round, fresh slots
+        assert breaker.state == HALF_OPEN
+        assert breaker.half_open_inflight == 1

@@ -1,0 +1,74 @@
+"""Shared fixtures for supervision tests.
+
+The canonical scenario is a *replicated world*: one logical service
+deployed on several provider peers, merged into a single multi-endpoint
+handle the way an application would after discovery — the raw material
+the failover executor supervises.
+"""
+
+import pytest
+
+from repro.core import ServiceHandle, WSPeer
+from repro.core.binding import StandardBinding
+from repro.core.events import RecordingListener
+from repro.simnet import FixedLatency, Network
+from repro.uddi import UddiRegistryNode
+
+
+class Echo:
+    def echo(self, message: str) -> str:
+        return message
+
+
+class Counter:
+    """Stateful service: duplicate executions are visible in .value."""
+
+    def __init__(self):
+        self.value = 0
+
+    def increment(self, by: int) -> int:
+        self.value += by
+        return self.value
+
+
+@pytest.fixture
+def net():
+    return Network(latency=FixedLatency(0.002))
+
+
+@pytest.fixture
+def registry_node(net):
+    return UddiRegistryNode(net.add_node("registry"))
+
+
+def build_replicated_world(net, registry_node, n_providers=3, service=None):
+    """N providers all hosting the same service + one consumer.
+
+    Returns (providers, consumer, handle, service_objects) where
+    *handle* merges every provider's endpoints — the multi-EPR handle
+    the supervision layer is for.
+    """
+    providers = []
+    service_objects = []
+    for i in range(n_providers):
+        peer = WSPeer(
+            net.add_node(f"prov{i}"), StandardBinding(registry_node.endpoint)
+        )
+        obj = service() if service is not None else Echo()
+        peer.deploy(obj, name="Echo")
+        providers.append(peer)
+        service_objects.append(obj)
+    consumer = WSPeer(
+        net.add_node("cons"),
+        StandardBinding(registry_node.endpoint),
+        listener=RecordingListener(),
+    )
+    locals_ = [p.local_handle("Echo") for p in providers]
+    endpoints = [epr for h in locals_ for epr in h.endpoints]
+    handle = ServiceHandle("Echo", locals_[0].wsdl, endpoints, source="merged")
+    return providers, consumer, handle, service_objects
+
+
+@pytest.fixture
+def replicated_world(net, registry_node):
+    return build_replicated_world(net, registry_node)

@@ -1,0 +1,124 @@
+"""ChurnSchedule scenarios: kills, partitions, brownouts on virtual time."""
+
+import pytest
+
+from repro.simnet import ChurnSchedule, FixedLatency, Network
+
+
+@pytest.fixture
+def net():
+    return Network(latency=FixedLatency(0.001))
+
+
+def wire(net, *node_ids):
+    nodes = [net.add_node(n) for n in node_ids]
+    for node in nodes:
+        node.open_port("inbox", lambda frame: None)
+    return nodes
+
+
+class TestKillRestart:
+    def test_kill_fires_at_scheduled_time(self, net):
+        (a,) = wire(net, "a")
+        churn = ChurnSchedule(net)
+        churn.kill("a", at=1.0)
+        net.run(until=0.5)
+        assert a.up
+        net.run(until=2.0)
+        assert not a.up
+        assert churn.records("kill")[0].time == pytest.approx(1.0)
+
+    def test_kill_with_restart(self, net):
+        (a,) = wire(net, "a")
+        churn = ChurnSchedule(net)
+        churn.kill("a", at=1.0, restart_at=2.0)
+        net.run(until=1.5)
+        assert not a.up
+        net.run(until=2.5)
+        assert a.up
+        assert [r.kind for r in churn.records()] == ["kill", "restart"]
+
+    def test_restart_before_kill_rejected(self, net):
+        wire(net, "a")
+        churn = ChurnSchedule(net)
+        with pytest.raises(ValueError):
+            churn.kill("a", at=2.0, restart_at=1.0)
+
+    def test_kill_restart_cycle_counts(self, net):
+        (a,) = wire(net, "a")
+        churn = ChurnSchedule(net)
+        cycles = churn.kill_restart_cycle(
+            "a", start=1.0, downtime=0.5, period=2.0, until=7.0
+        )
+        assert cycles == 3
+        net.run(until=10.0)
+        assert len(churn.records("kill")) == 3
+        assert len(churn.records("restart")) == 3
+        assert a.up
+
+    def test_random_kills_are_seeded(self, net):
+        wire(net, "a", "b", "c")
+        plan1 = ChurnSchedule(net, seed=7).random_kills(
+            ["a", "b", "c"], n_kills=4, start=1.0, until=5.0, downtime=0.5
+        )
+        net2 = Network(latency=FixedLatency(0.001))
+        for n in ("a", "b", "c"):
+            net2.add_node(n)
+        plan2 = ChurnSchedule(net2, seed=7).random_kills(
+            ["a", "b", "c"], n_kills=4, start=1.0, until=5.0, downtime=0.5
+        )
+        assert plan1 == plan2
+
+
+class TestPartition:
+    def test_partition_blocks_cross_group_frames(self, net):
+        a, b = wire(net, "a", "b")
+        got = []
+        b.close_port("inbox")
+        b.open_port("inbox", lambda frame: got.append(frame.payload))
+        churn = ChurnSchedule(net)
+        churn.partition([["a"], ["b"]], at=1.0, heal_at=2.0)
+        net.run(until=1.5)
+        a.send("b", "inbox", "blocked")
+        net.run(until=1.9)
+        assert got == []
+        net.run(until=2.5)
+        a.send("b", "inbox", "healed")
+        net.run(until=3.0)
+        assert got == ["healed"]
+        assert [r.kind for r in churn.records()] == ["partition", "heal"]
+
+    def test_heal_all_is_idempotent_with_scheduled_heal(self, net):
+        a, b = wire(net, "a", "b")
+        churn = ChurnSchedule(net)
+        churn.partition([["a"], ["b"]], at=0.5, heal_at=1.0)
+        net.run(until=0.7)
+        churn.heal_all()  # heals now; the scheduled heal at 1.0 re-heals
+        net.run(until=2.0)  # must not raise
+        got = []
+        b.close_port("inbox")
+        b.open_port("inbox", lambda frame: got.append(frame.payload))
+        a.send("b", "inbox", "after")
+        net.run(until=3.0)
+        assert got == ["after"]
+
+
+class TestBrownout:
+    def test_brownout_slows_then_recovers(self, net):
+        a, b = wire(net, "a", "b")
+        churn = ChurnSchedule(net)
+        churn.brownout("b", at=1.0, until=2.0, service_time=0.25)
+        net.run(until=1.5)
+        assert b.service_time == 0.25
+        net.run(until=2.5)
+        assert b.service_time == 0.0
+        kinds = [r.kind for r in churn.records()]
+        assert kinds == ["brownout", "recover"]
+
+    def test_nested_brownouts_restore_original(self, net):
+        a, b = wire(net, "a", "b")
+        b.service_time = 0.01  # a provider with a base cost
+        churn = ChurnSchedule(net)
+        churn.brownout("b", at=1.0, until=3.0, service_time=0.5)
+        net.run(until=4.0)
+        assert b.service_time == pytest.approx(0.01)
