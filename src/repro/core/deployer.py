@@ -25,6 +25,7 @@ from repro.core.errors import DeploymentError
 from repro.core.events import EventSource
 from repro.core.hosting import DeployedService, LightweightContainer
 from repro.core.p2psmap import epr_from_pipe, pipe_from_epr
+from repro.observability import metrics as obs_metrics
 from repro.p2ps.advertisements import ServiceAdvertisement
 from repro.p2ps.peer import Peer
 from repro.p2ps.pipes import PipeError, ResolutionError
@@ -246,6 +247,12 @@ class P2psServiceDeployer(ServiceDeployer):
             # execution under client retries
             if maps is not None and maps.message_id in self._response_cache:
                 self.duplicates_suppressed += 1
+                obs_metrics.inc("server.duplicates_suppressed")
+                self.fire_server(
+                    "duplicate-suppressed",
+                    service=deployed.name,
+                    message_id=maps.message_id,
+                )
                 if wants_ack:
                     self._send_ack(deployed, maps)
                 elif maps.reply_to is not None:

@@ -21,6 +21,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.errors import DeploymentError
 from repro.core.events import EventSource
+from repro.observability import metrics as obs_metrics
 from repro.reliability import DedupWindow
 from repro.soap.encoding import StructRegistry
 from repro.soap.envelope import SoapEnvelope
@@ -204,18 +205,23 @@ class LightweightContainer(EventSource):
         operation = (
             request.body_content.name.local if request.body_content is not None else ""
         )
+        message_id = self._request_message_id(request)
+        obs_metrics.inc("server.requests")
         self.fire_server(
             "request-received",
             service=service_name,
             operation=operation,
             envelope=request,
+            message_id=message_id,
         )
         response: Optional[SoapEnvelope] = None
         if self.interceptor is not None:
             response = self.interceptor(service_name, request)
             if response is not None:
+                obs_metrics.inc("server.intercepted")
                 self.fire_server(
-                    "request-intercepted", service=service_name, operation=operation
+                    "request-intercepted", service=service_name, operation=operation,
+                    message_id=message_id,
                 )
         if response is None:
             deployed = self._services.get(service_name)
@@ -228,9 +234,9 @@ class LightweightContainer(EventSource):
                     )
                 )
             else:
-                message_id = self._request_message_id(request)
                 if message_id is not None and deployed.dedup.seen(message_id):
                     deployed.duplicates_suppressed += 1
+                    obs_metrics.inc("server.duplicates_suppressed")
                     response = SoapEnvelope.from_wire(deployed.dedup.get(message_id))
                     self.fire_server(
                         "duplicate-suppressed",
@@ -253,6 +259,7 @@ class LightweightContainer(EventSource):
                         from repro.soap.faults import ServerBusyFault
 
                         self.requests_shed += 1
+                        obs_metrics.inc("server.requests_shed")
                         response = SoapEnvelope.for_fault(
                             ServerBusyFault(
                                 f"service {service_name!r} is at capacity",
@@ -268,6 +275,7 @@ class LightweightContainer(EventSource):
                         )
                     else:
                         deployed.requests_processed += 1
+                        obs_metrics.inc("server.dispatched")
                         context = MessageContext(request, service_name, operation)
                         response = deployed.chain.run(
                             context,
@@ -275,11 +283,14 @@ class LightweightContainer(EventSource):
                         )
                         if message_id is not None:
                             deployed.dedup.remember(message_id, response.to_wire())
+        if response.is_fault:
+            obs_metrics.inc("server.faults")
         self.fire_server(
             "response-sent",
             service=service_name,
             operation=operation,
             fault=response.is_fault,
             envelope=response,
+            message_id=message_id,
         )
         return response

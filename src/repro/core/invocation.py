@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.errors import InvocationError
 from repro.core.events import EventSource
+from repro.observability import metrics as obs_metrics
 from repro.core.handle import ServiceHandle
 from repro.core.p2psmap import action_for_pipe, epr_from_pipe, pipe_from_epr
 from repro.p2ps.peer import Peer
@@ -100,6 +101,7 @@ class Invocation(EventSource):
         return self._breakers
 
     def _on_breaker_transition(self, endpoint: str, old: str, new: str) -> None:
+        obs_metrics.inc("breaker.transitions." + new)
         self.fire_client(f"circuit-{new}", endpoint=endpoint, previous=old)
 
     def _effective_policy(
@@ -275,6 +277,8 @@ class HttpInvocation(Invocation):
             maps.apply_to(envelope, target=endpoint)
             wire = envelope.to_wire()
         headers = {"SOAPAction": maps.action}
+        obs_metrics.inc("client.requests")
+        started = self._now()
         self.fire_client(
             "request-sent",
             service=handle.name,
@@ -285,12 +289,15 @@ class HttpInvocation(Invocation):
 
         def finish(result: Any, error: Optional[Exception]) -> None:
             if error is not None:
+                obs_metrics.inc("client.failures")
                 self.fire_client(
                     "invoke-failed", service=handle.name, operation=operation,
-                    reason=str(error),
+                    reason=str(error), message_id=maps.message_id,
                 )
                 callback(None, error)
                 return
+            obs_metrics.inc("client.responses")
+            obs_metrics.observe("client.latency", self._now() - started)
             self.fire_client(
                 "response-received", service=handle.name, operation=operation,
                 message_id=maps.message_id,
@@ -339,6 +346,7 @@ class HttpInvocation(Invocation):
             transport.send(uri, wire, headers, on_response, timeout=attempt_timeout)
 
         def on_retry(next_attempt: int, delay: float, error: Exception) -> None:
+            obs_metrics.inc("client.retransmits")
             self.fire_client(
                 "retransmit", service=handle.name, operation=operation,
                 attempt=next_attempt, message_id=maps.message_id,
@@ -485,11 +493,14 @@ class P2psInvocation(Invocation):
                 else:
                     breaker.record_failure()
             if error is not None:
+                obs_metrics.inc("client.failures")
                 self.fire_client(
                     "invoke-failed", service=handle.name, operation=operation,
-                    reason=str(error),
+                    reason=str(error), message_id=maps.message_id,
                 )
             else:
+                obs_metrics.inc("client.responses")
+                obs_metrics.observe("client.latency", self._now() - started)
                 self.fire_client(
                     "response-received", service=handle.name, operation=operation,
                     message_id=maps.message_id,
@@ -543,6 +554,7 @@ class P2psInvocation(Invocation):
                     else 0.0
                 )
                 attempts["sent"] += 1
+                obs_metrics.inc("client.retransmits")
                 self.fire_client(
                     "retransmit", service=handle.name, operation=operation,
                     attempt=attempts["sent"], message_id=maps.message_id,
@@ -563,6 +575,8 @@ class P2psInvocation(Invocation):
                     ),
                 )
 
+        obs_metrics.inc("client.requests")
+        started = self._now()
         self.fire_client(
             "request-sent",
             service=handle.name,
@@ -622,6 +636,7 @@ class P2psInvocation(Invocation):
             )
             maps.apply_to(envelope, target=endpoint)
             wire = envelope.to_wire()
+        obs_metrics.inc("client.oneway_sent")
         self.fire_client(
             "oneway-sent", service=handle.name, operation=operation,
             endpoint=endpoint.address, message_id=maps.message_id,
@@ -688,6 +703,8 @@ class P2psInvocation(Invocation):
                 status.acked_at = self._now()
                 if breaker is not None:
                     breaker.record_success()
+                obs_metrics.inc("client.oneway_acked")
+                obs_metrics.observe("client.ack_latency", status.acked_at - sent_at)
                 self.fire_client(
                     "oneway-acked", service=handle.name, operation=operation,
                     message_id=message_id, attempts=status.attempts,
@@ -696,6 +713,7 @@ class P2psInvocation(Invocation):
                 status.error = error
                 if breaker is not None:
                     breaker.record_failure()
+                obs_metrics.inc("client.oneway_failed")
                 self.fire_client(
                     "oneway-failed", service=handle.name, operation=operation,
                     message_id=message_id, reason=str(error),
@@ -756,6 +774,8 @@ class P2psInvocation(Invocation):
             else:
                 send_attempt()
 
+        obs_metrics.inc("client.oneway_sent")
+        sent_at = self._now()
         self.fire_client(
             "oneway-sent", service=handle.name, operation=operation,
             endpoint=endpoint.address, message_id=message_id, ack_requested=True,

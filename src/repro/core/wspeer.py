@@ -93,6 +93,8 @@ class WSPeer(EventSource):
         self.client = Client(self)
         #: set by :meth:`enable_failover`
         self.failover = None
+        #: set by :meth:`enable_observability`
+        self.tracer = None
 
         self.server.register_deployer(binding.make_deployer(self))
         self.server.register_publisher(binding.make_publisher(self, self.server.deployer))
@@ -299,6 +301,52 @@ class WSPeer(EventSource):
             self.client.locator.watch_health(health)
         self.failover = executor
         return executor
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def enable_observability(
+        self, tracer=None, codec: bool = False, max_spans: int = 1024
+    ):
+        """Attach a span tracer at this peer's root.
+
+        Every event the subtree fires is stitched into per-invocation
+        span trees keyed by ``wsa:MessageID``.  Pass an existing
+        *tracer* to share one store across several peers (client and
+        providers), so one tree shows both sides of each exchange;
+        ``codec=True`` additionally installs the tracer as the codec
+        fast-path recorder.  Returns the tracer, also kept as
+        ``self.tracer``.
+        """
+        from repro.observability import SpanTracer
+
+        if tracer is None:
+            tracer = SpanTracer(max_spans=max_spans)
+        tracer.install(self, codec=codec)
+        self.tracer = tracer
+        return tracer
+
+    def host_introspection(self, name: str = "Introspection", tracer=None):
+        """Deploy the peer's self-description service.
+
+        ``GetMetrics`` / ``GetTrace(message_id)`` / ``ListServices``
+        become invocable over this peer's binding like any other
+        operations — the observability outputs are themselves services
+        (the paper's symmetric-peer argument applied to the peer's own
+        internals).  Uses ``self.tracer`` (enable observability first
+        for trace queries) unless *tracer* is given.  Returns the
+        :class:`~repro.core.hosting.DeployedService`.
+        """
+        from repro.observability import INTROSPECTION_NS, IntrospectionService
+        from repro.observability.introspection import OPERATIONS
+
+        service = IntrospectionService(self, tracer if tracer is not None else self.tracer)
+        return self.deploy(
+            service,
+            name=name,
+            namespace=INTROSPECTION_NS,
+            include=list(OPERATIONS),
+        )
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

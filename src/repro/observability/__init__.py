@@ -1,0 +1,67 @@
+"""repro.observability — message-correlated tracing and metrics.
+
+Three pieces, each usable alone:
+
+- :mod:`~repro.observability.metrics` — the registry every subsystem
+  reports into (counters / gauges / fixed-bucket histograms, plain-text
+  exporter, external collectors such as the codec cache stats);
+- :mod:`~repro.observability.spans` — :class:`SpanTracer`, the
+  root-of-tree listener that stitches events into per-invocation span
+  trees keyed by ``wsa:MessageID`` (retransmits, failover hops and
+  server-side processing all land in one tree);
+- :mod:`~repro.observability.introspection` — the dogfooded service a
+  peer hosts about itself (``GetMetrics`` / ``GetTrace`` /
+  ``ListServices``).
+
+Shared plumbing: :mod:`~repro.observability.stats` (pure-python
+quantiles — this package never imports numpy), the event-kind registry
+(:mod:`~repro.observability.kinds`) and the zero-allocation codec
+recorder hook (:mod:`~repro.observability.recorder`).
+"""
+
+from repro.observability.introspection import INTROSPECTION_NS, IntrospectionService
+from repro.observability.kinds import FAMILIES, KIND_REGISTRY, KNOWN_KINDS, family_of, is_known
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+    set_metrics_enabled,
+)
+from repro.observability.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    current_recorder,
+    set_recorder,
+)
+from repro.observability.spans import Span, SpanTracer
+from repro.observability.stats import percentile, quantile, quantile_sorted, summarize
+
+__all__ = [
+    "INTROSPECTION_NS",
+    "IntrospectionService",
+    "FAMILIES",
+    "KIND_REGISTRY",
+    "KNOWN_KINDS",
+    "family_of",
+    "is_known",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "reset_default_registry",
+    "set_metrics_enabled",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "current_recorder",
+    "set_recorder",
+    "Span",
+    "SpanTracer",
+    "percentile",
+    "quantile",
+    "quantile_sorted",
+    "summarize",
+]

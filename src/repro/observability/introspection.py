@@ -1,0 +1,82 @@
+"""The dogfooded introspection service: WSPeer describing itself.
+
+The strongest claim the paper makes for symmetric peers is that a
+node's capabilities are just services — so the observability layer's
+own outputs are exposed the same way everything else is: a live
+:class:`IntrospectionService` object deployed through the ordinary
+container/deployer path, invocable over whichever binding the peer
+speaks (HTTP or P2PS), discoverable like any other service.
+
+Operations (RPC-style, results as plain strings so any client can
+read them without a struct registry):
+
+- ``GetMetrics()`` — the peer's metrics registry rendered as the
+  plain-text snapshot;
+- ``GetTrace(message_id)`` — the stitched span tree for one logical
+  invocation as JSON (the JSONL exporter's record shape);
+- ``ListServices()`` — the peer's deployed services as JSON.
+
+Hosting the tracer's data over the traced machinery is intentional:
+if the span tree for a failover hop cannot itself be fetched through
+the container, the observability layer does not actually work.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.observability import metrics as obs_metrics
+from repro.observability.spans import SpanTracer
+
+#: namespace the introspection service publishes under
+INTROSPECTION_NS = "urn:repro:introspection"
+
+#: the operations exposed through the container (deploy ``include=`` list)
+OPERATIONS = ("GetMetrics", "GetTrace", "ListServices")
+
+
+class IntrospectionService:
+    """A live object the container exposes; one per hosting peer."""
+
+    def __init__(
+        self,
+        peer: Any = None,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
+    ):
+        self._peer = peer
+        self._tracer = tracer
+        self._metrics = metrics
+
+    # -- helpers (underscored: invisible to the RPC surface) ---------------
+    def _registry(self) -> obs_metrics.MetricsRegistry:
+        if self._metrics is not None:
+            return self._metrics
+        if self._tracer is not None:
+            return self._tracer.metrics
+        return obs_metrics.default_registry()
+
+    # -- operations --------------------------------------------------------
+    def GetMetrics(self) -> str:
+        """The hosting peer's metrics snapshot, plain text."""
+        return self._registry().render_text()
+
+    def GetTrace(self, message_id: str) -> str:
+        """The span tree for *message_id* as JSON ('{"error": ...}' when
+        no tracer is wired or the ring has evicted the trace)."""
+        if self._tracer is None:
+            return json.dumps({"error": "no tracer attached", "message_id": message_id})
+        tree = self._tracer.trace_dict(message_id)
+        if tree is None:
+            return json.dumps({"error": "no trace", "message_id": message_id})
+        return json.dumps({"message_id": message_id, **tree}, default=str)
+
+    def ListServices(self) -> str:
+        """The hosting peer's deployed services as JSON."""
+        if self._peer is None:
+            return json.dumps({"services": []})
+        return json.dumps({
+            "peer": getattr(self._peer, "name", ""),
+            "services": list(getattr(self._peer, "deployed_services", [])),
+        })

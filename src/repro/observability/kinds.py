@@ -1,0 +1,81 @@
+"""The one registry of every event ``kind`` the interface tree fires.
+
+The paper's event model is only as debuggable as its vocabulary: a
+subsystem that invents a new ``kind`` string nobody documents is a
+silent hole in every trace.  This module is the single source of truth
+— each kind the tree can fire, its family, and what it means.  A
+regression test replays representative invocations through a recording
+listener and asserts every observed kind is documented here, so adding
+an event without registering it fails CI instead of vanishing.
+
+:class:`~repro.observability.spans.SpanTracer` also consults this
+registry: events with unknown kinds are still recorded (traces must
+never drop data) but are tallied in ``tracer.unknown_kinds`` so the
+gap is visible.
+"""
+
+from __future__ import annotations
+
+#: family name -> the ``fire_*`` helper that emits it
+FAMILIES = ("client", "server", "discovery", "publish", "deployment")
+
+#: kind -> (family, meaning).  Keep alphabetical within each block.
+KIND_REGISTRY: dict[str, tuple[str, str]] = {
+    # -- client: fired by invocation nodes and the failover executor ------
+    "circuit-closed": ("client", "endpoint breaker recovered to closed"),
+    "circuit-half-open": ("client", "endpoint breaker probing after open_timeout"),
+    "circuit-open": ("client", "endpoint breaker tripped; calls shed fast"),
+    "failover": ("client", "logical call hopped to another endpoint"),
+    "failover-exhausted": ("client", "every candidate endpoint failed the call"),
+    "invoke-failed": ("client", "invocation concluded with an error"),
+    "oneway-acked": ("client", "provider acknowledged a reliable one-way"),
+    "oneway-failed": ("client", "one-way send gave up (no ack / send error)"),
+    "oneway-sent": ("client", "notification-style request left the node"),
+    "request-sent": ("client", "request/response invocation attempt sent"),
+    "response-received": ("client", "response decoded; invocation succeeded"),
+    "retransmit": ("client", "same MessageID re-sent after timeout/backoff"),
+    # -- server: fired by the container and provider-side deployers -------
+    "ack-sent": ("server", "receipt ack sent down the requester's ack pipe"),
+    "ack-undeliverable": ("server", "receipt ack could not be delivered"),
+    "duplicate-suppressed": ("server", "retransmitted MessageID answered from dedup"),
+    "malformed-request": ("server", "unparseable request dropped at the boundary"),
+    "reply-undeliverable": ("server", "response could not reach the ReplyTo pipe"),
+    "request-intercepted": ("server", "application interceptor answered directly"),
+    "request-received": ("server", "request entered the container"),
+    "request-shed": ("server", "admission control answered Server.Busy"),
+    "response-sent": ("server", "response left the container"),
+    # -- discovery: fired by service locators -----------------------------
+    "endpoint-quarantined": ("discovery", "health verdict DEAD; EPR withheld"),
+    "endpoint-restored": ("discovery", "health verdict ALIVE; EPR served again"),
+    "query-empty": ("discovery", "query completed with no matches"),
+    "query-failed": ("discovery", "locate aborted (registry unreachable, ...)"),
+    "query-issued": ("discovery", "locate started against a discovery source"),
+    "service-found": ("discovery", "a matching service handle was produced"),
+    "service-skipped": ("discovery", "a candidate was rejected (no WSDL, ...)"),
+    # -- publish: fired by service publishers -----------------------------
+    "publish-failed": ("publish", "registry/advert publication failed"),
+    "published": ("publish", "service made findable"),
+    "withdrawn": ("publish", "service removed from discovery"),
+    # -- deployment: fired by the container and deployers -----------------
+    "deployed": ("deployment", "live object exposed as a service"),
+    "endpoint-closed": ("deployment", "HTTP(G) endpoint removed"),
+    "endpoint-opened": ("deployment", "HTTP(G) endpoint routed"),
+    "http-server-launched": ("deployment", "first deploy started the listener"),
+    "http-server-stopped": ("deployment", "last undeploy stopped the listener"),
+    "pipes-closed": ("deployment", "P2PS operation pipes closed"),
+    "pipes-opened": ("deployment", "P2PS operation pipes created + advertised"),
+    "undeployed": ("deployment", "service removed from the container"),
+}
+
+#: the flat set used by fast membership checks
+KNOWN_KINDS = frozenset(KIND_REGISTRY)
+
+
+def family_of(kind: str) -> str:
+    """The family of *kind* ('unknown' when unregistered)."""
+    entry = KIND_REGISTRY.get(kind)
+    return entry[0] if entry is not None else "unknown"
+
+
+def is_known(kind: str) -> bool:
+    return kind in KNOWN_KINDS

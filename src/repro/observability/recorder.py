@@ -1,0 +1,49 @@
+"""The codec-layer recorder hook: zero-cost when nobody is listening.
+
+The message codec's fast path (template-cache splices, wire-template
+hits) runs thousands of times per second; instrumenting it must not
+tax the common case where no tracer is installed.  The contract:
+
+- hot paths fetch the current recorder and check its ``active`` flag
+  *before* building any event detail — when the :class:`NullRecorder`
+  is installed the entire cost is one attribute check, and **zero
+  objects are allocated per event** (guarded by a CI test);
+- a :class:`~repro.observability.spans.SpanTracer` (or anything with
+  the same two-member surface) is installed with :func:`set_recorder`
+  and then receives ``codec_event(kind, detail)`` calls.
+
+This module deliberately imports nothing from the rest of the repo so
+leaf modules (``repro.wsa.headers``, ``repro.soap.envelope``) can hook
+in without import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class NullRecorder:
+    """The inactive recorder: hot paths see ``active`` False and stop."""
+
+    active = False
+
+    def codec_event(self, kind: str, detail: Optional[dict[str, Any]] = None) -> None:
+        """Never called on the guarded paths; a safe no-op if it is."""
+
+
+NULL_RECORDER = NullRecorder()
+_current: Any = NULL_RECORDER
+
+
+def current_recorder() -> Any:
+    """The active recorder (the shared :class:`NullRecorder` when none)."""
+    return _current
+
+
+def set_recorder(recorder: Optional[Any]) -> Any:
+    """Install *recorder* (None restores the null recorder); returns the
+    previously installed one so callers can restore it."""
+    global _current
+    previous = _current
+    _current = recorder if recorder is not None else NULL_RECORDER
+    return previous

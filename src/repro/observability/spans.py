@@ -1,0 +1,464 @@
+"""Message-correlated span trees over the WSPeer event tree.
+
+The paper's architectural bet (§III) is that an application listening
+at the root of the interface tree "sees every request/response either
+side of the messaging engine".  :class:`SpanTracer` is that listener,
+productised: it subscribes to one or more peers' event trees and
+stitches ``ClientMessageEvent`` / ``ServerMessageEvent`` / reliability
+/ supervision events into **one span tree per logical invocation**,
+keyed by ``wsa:MessageID``:
+
+- retransmits reuse the logical span — each re-send becomes an
+  attempt-numbered child, never a second trace;
+- failover hops reuse it too (the executor propagates the original
+  MessageID), so cross-endpoint and cross-binding journeys render as
+  endpoint-tagged attempt children of a single root;
+- when the tracer is attached to provider peers as well, server-side
+  processing (request-received → response-sent, dedup replays,
+  admission sheds) appears as peer-tagged ``server`` children of the
+  same tree — both sides of the engine in one picture.
+
+Storage is a ring buffer of logical spans (``max_spans``): a
+retransmission storm cannot grow memory without bound, the oldest
+trees are evicted first, and ``evicted`` counts what the ring lost.
+The tracer also implements the codec recorder protocol
+(:mod:`repro.observability.recorder`): installed with ``codec=True``
+it tallies template-cache events that are never even constructed when
+no tracer is active.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import OrderedDict, deque
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.events import EventSource, PeerEvent, PeerMessageListener
+from repro.observability import metrics as obs_metrics
+from repro.observability.kinds import KNOWN_KINDS
+from repro.observability.recorder import set_recorder
+
+_span_ids = itertools.count(1)
+
+#: per-span cap on attempt/server children and annotations: a storm
+#: keeps counting (``dropped`` tag) but stops allocating
+MAX_CHILDREN = 128
+MAX_ANNOTATIONS = 64
+
+# root statuses
+IN_FLIGHT = "in-flight"
+OK = "ok"
+ERROR = "error"
+SENT = "sent"  # fire-and-forget oneway: complete at send time
+
+
+class Span:
+    """One node of a trace tree: a timed, tagged unit of work."""
+
+    __slots__ = ("span_id", "name", "kind", "start", "end", "status",
+                 "tags", "annotations", "children")
+
+    def __init__(self, name: str, kind: str, start: float,
+                 tags: Optional[dict[str, Any]] = None):
+        self.span_id = next(_span_ids)
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = IN_FLIGHT
+        self.tags: dict[str, Any] = tags if tags is not None else {}
+        self.annotations: list[tuple[float, str, dict[str, Any]]] = []
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def annotate(self, time: float, kind: str, detail: dict[str, Any]) -> None:
+        if len(self.annotations) < MAX_ANNOTATIONS:
+            self.annotations.append((time, kind, detail))
+        else:
+            self.tags["annotations_dropped"] = self.tags.get("annotations_dropped", 0) + 1
+
+    def add_child(self, child: "Span") -> bool:
+        if len(self.children) < MAX_CHILDREN:
+            self.children.append(child)
+            return True
+        self.tags["children_dropped"] = self.tags.get("children_dropped", 0) + 1
+        return False
+
+    def close(self, time: float, status: str) -> None:
+        self.end = time
+        self.status = status
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "tags": dict(self.tags),
+            "annotations": [
+                {"time": t, "kind": k, **detail} for t, k, detail in self.annotations
+            ],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"<Span {self.kind}:{self.name} status={self.status}>"
+
+
+class _PeerListener(PeerMessageListener):
+    """Adapter: tags each event with the peer it was heard on."""
+
+    def __init__(self, tracer: "SpanTracer", peer: Optional[str]):
+        self.tracer = tracer
+        self.peer = peer
+
+    def message_received(self, event: PeerEvent) -> None:
+        self.tracer.observe(event, peer=self.peer)
+
+
+def _endpoint_host(address: Optional[str]) -> Optional[str]:
+    """The node id a URI endpoint lives on (frame-correlation key)."""
+    if not address:
+        return None
+    _, sep, rest = address.partition("://")
+    if not sep:
+        return None
+    authority = rest.split("/", 1)[0]
+    return authority.split(":", 1)[0] or None
+
+
+class SpanTracer:
+    """Stitches tree events into per-invocation span trees.
+
+    One tracer may be attached to many peers (client *and* providers):
+    everything correlates through the MessageID, so the resulting tree
+    spans processes the way the underlying call did.  Also usable as
+    the codec recorder and as a :class:`~repro.simnet.trace.TraceLog`
+    sink (:meth:`simnet_sink`), folding wire-level frame records into
+    the spans of the endpoints they touched.
+    """
+
+    #: recorder-protocol flag: hot paths consult this before building
+    #: any event detail
+    active = True
+
+    def __init__(
+        self,
+        max_spans: int = 1024,
+        metrics: Optional[obs_metrics.MetricsRegistry] = None,
+    ):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self.metrics = metrics if metrics is not None else obs_metrics.default_registry()
+        self._spans: "OrderedDict[str, Span]" = OrderedDict()
+        self._state: dict[str, dict[str, Any]] = {}  # per-root bookkeeping
+        self._open_attempt_by_host: dict[str, Span] = {}
+        self.evicted = 0
+        self.events_seen = 0
+        self.unknown_kinds: dict[str, int] = {}
+        self.codec_counts: dict[str, int] = {}
+        # per-kind instrument caches: the observe() hot path must not pay
+        # a string concat + registry lookup for every event
+        self._event_counters: dict[str, obs_metrics.Counter] = {}
+        self._codec_counters: dict[str, obs_metrics.Counter] = {}
+        self._latency_hists: dict[str, obs_metrics.Histogram] = {}
+        #: recent events that carry no MessageID (breaker transitions,
+        #: discovery/publish/deployment traffic) — kept for diagnostics
+        self.uncorrelated: "deque[tuple[float, str, str, dict]]" = deque(maxlen=256)
+        self._attached: list[tuple[EventSource, _PeerListener]] = []
+        self._recorder_installed = False
+        self._prev_recorder: Any = None
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, source: EventSource, peer: Optional[str] = None) -> None:
+        """Listen on *source* (usually a WSPeer root), tagging events
+        with *peer* so multi-peer traces say who did what."""
+        listener = _PeerListener(self, peer)
+        source.add_listener(listener)
+        self._attached.append((source, listener))
+
+    def install(self, *peers: Any, codec: bool = False) -> "SpanTracer":
+        """Attach to each WSPeer in *peers* (tagged by ``peer.name``);
+        with ``codec=True`` also become the codec-layer recorder."""
+        for peer in peers:
+            self.attach(peer, peer=getattr(peer, "name", None))
+        if codec and not self._recorder_installed:
+            self._prev_recorder = set_recorder(self)
+            self._recorder_installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Detach from every source and release the codec recorder."""
+        for source, listener in self._attached:
+            try:
+                source.remove_listener(listener)
+            except ValueError:
+                pass
+        self._attached.clear()
+        if self._recorder_installed:
+            set_recorder(self._prev_recorder)
+            self._recorder_installed = False
+            self._prev_recorder = None
+
+    # -- recorder protocol (codec fast path) -------------------------------
+    def codec_event(self, kind: str, detail: Optional[dict[str, Any]] = None) -> None:
+        self.codec_counts[kind] = self.codec_counts.get(kind, 0) + 1
+        counter = self._codec_counters.get(kind)
+        if counter is None:
+            counter = self._codec_counters[kind] = self.metrics.counter("codec." + kind)
+        if self.metrics.enabled:
+            counter.inc()
+
+    # -- span bookkeeping --------------------------------------------------
+    def _root(self, message_id: str, event: PeerEvent,
+              peer: Optional[str]) -> tuple[Span, dict[str, Any]]:
+        """The logical span for *message_id*, created on first sight."""
+        root = self._spans.get(message_id)
+        if root is not None:
+            self._spans.move_to_end(message_id)
+            return root, self._state[message_id]
+        detail = event.detail
+        service = detail.get("service", "")
+        operation = detail.get("operation", "")
+        name = f"{service}.{operation}" if service or operation else event.kind
+        root = Span(name, "invocation", event.time, tags={
+            "message_id": message_id,
+            "service": service,
+            "operation": operation,
+        })
+        if peer:
+            root.tags["client"] = peer
+        while len(self._spans) >= self.max_spans:
+            evicted_id, _ = self._spans.popitem(last=False)
+            self._state.pop(evicted_id, None)
+            self.evicted += 1
+            self.metrics.inc("tracing.spans_evicted")
+        self._spans[message_id] = root
+        state: dict[str, Any] = {"attempt": None, "attempts": 0, "servers": {}}
+        self._state[message_id] = state
+        self.metrics.inc("tracing.spans_started")
+        return root, state
+
+    def _new_attempt(self, root: Span, state: dict[str, Any], event: PeerEvent,
+                     peer: Optional[str], number: Optional[int] = None) -> Span:
+        current = state["attempt"]
+        if current is not None and current.end is None:
+            current.close(event.time, ERROR if event.kind == "retransmit" else current.status)
+        state["attempts"] += 1
+        attempt_no = number if number is not None else state["attempts"]
+        endpoint = event.detail.get("endpoint")
+        tags: dict[str, Any] = {"attempt": attempt_no}
+        if endpoint:
+            tags["endpoint"] = endpoint
+        if peer:
+            tags["peer"] = peer
+        attempt = Span(f"attempt#{attempt_no}", "attempt", event.time, tags)
+        root.add_child(attempt)
+        state["attempt"] = attempt
+        host = _endpoint_host(endpoint)
+        if host:
+            self._open_attempt_by_host[host] = attempt
+        return attempt
+
+    def _close_attempt(self, state: dict[str, Any], time: float, status: str) -> None:
+        attempt = state.get("attempt")
+        if attempt is not None and attempt.end is None:
+            attempt.close(time, status)
+
+    # -- the listener ------------------------------------------------------
+    def observe(self, event: PeerEvent, peer: Optional[str] = None) -> None:
+        """Fold one tree event into the span store."""
+        self.events_seen += 1
+        kind = event.kind
+        if kind not in KNOWN_KINDS and not kind.startswith("circuit-"):
+            self.unknown_kinds[kind] = self.unknown_kinds.get(kind, 0) + 1
+            self.metrics.inc("tracing.unknown_kinds")
+        counter = self._event_counters.get(kind)
+        if counter is None:
+            counter = self._event_counters[kind] = self.metrics.counter("events." + kind)
+        if self.metrics.enabled:
+            counter.inc()
+
+        message_id = event.detail.get("message_id")
+        if message_id is None:
+            self.uncorrelated.append((event.time, kind, event.source, event.detail))
+            return
+
+        root, state = self._root(message_id, event, peer)
+        detail = event.detail
+
+        if kind in ("request-sent", "oneway-sent"):
+            # a repeat request-sent with the same MessageID is a failover
+            # hop or an executor-driven retry: same logical span
+            if root.end is not None:  # reopen a provisionally-failed root
+                root.end = None
+                root.status = IN_FLIGHT
+                root.tags.pop("error", None)
+            self._new_attempt(root, state, event, peer)
+            if kind == "oneway-sent" and not detail.get("ack_requested"):
+                # fire-and-forget: the trace is complete once sent
+                self._close_attempt(state, event.time, SENT)
+                root.close(event.time, SENT)
+        elif kind == "retransmit":
+            self._new_attempt(root, state, event, peer, number=detail.get("attempt"))
+        elif kind == "failover":
+            root.annotate(event.time, kind, {
+                "from": detail.get("from_endpoint"),
+                "to": detail.get("to_endpoint"),
+                "reason": detail.get("reason"),
+            })
+        elif kind in ("response-received", "oneway-acked"):
+            self._close_attempt(state, event.time, OK)
+            root.close(event.time, OK)
+            if root.duration is not None:
+                name = "oneway.ack_latency" if kind == "oneway-acked" else "invocation.latency"
+                hist = self._latency_hists.get(name)
+                if hist is None:
+                    hist = self._latency_hists[name] = self.metrics.histogram(name)
+                if self.metrics.enabled:
+                    hist.observe(root.duration)
+        elif kind in ("invoke-failed", "oneway-failed"):
+            # provisional for failover-driven calls: a later request-sent
+            # with the same MessageID reopens the root
+            self._close_attempt(state, event.time, ERROR)
+            root.close(event.time, ERROR)
+            root.tags["error"] = detail.get("reason")
+        elif kind == "failover-exhausted":
+            self._close_attempt(state, event.time, ERROR)
+            root.close(event.time, ERROR)
+            root.tags["error"] = detail.get("reason")
+            root.tags["rounds"] = detail.get("rounds")
+        elif kind == "request-received":
+            server = Span(
+                f"server:{detail.get('service', '')}.{detail.get('operation', '')}",
+                "server", event.time,
+                tags={"peer": peer} if peer else {},
+            )
+            root.add_child(server)
+            state["servers"][peer] = server
+        elif kind == "response-sent":
+            server = state["servers"].get(peer)
+            if server is not None and server.end is None:
+                if server.status == "busy":  # shed verdict beats fault
+                    server.end = event.time
+                else:
+                    server.close(event.time, ERROR if detail.get("fault") else OK)
+        elif kind == "duplicate-suppressed":
+            server = state["servers"].get(peer)
+            if server is not None and server.end is None:
+                server.tags["duplicate"] = True
+                server.annotate(event.time, kind, {"peer": peer})
+            else:
+                replay = Span("server:dedup-replay", "server", event.time,
+                              tags={"peer": peer, "duplicate": True} if peer
+                              else {"duplicate": True})
+                replay.close(event.time, OK)
+                root.add_child(replay)
+        elif kind == "request-shed":
+            server = state["servers"].get(peer)
+            tags: dict[str, Any] = {"retry_after": detail.get("retry_after")}
+            if peer:
+                tags["peer"] = peer
+            if server is not None and server.end is None:
+                server.tags.update(tags)
+                server.status = "busy"
+            else:
+                shed = Span("server:shed", "server", event.time, tags)
+                shed.close(event.time, "busy")
+                root.add_child(shed)
+            root.annotate(event.time, kind, tags)
+        else:
+            root.annotate(event.time, kind, dict(detail))
+
+    # -- simnet bridge -----------------------------------------------------
+    def simnet_sink(self) -> Callable[[float, str, dict[str, Any]], None]:
+        """A :class:`~repro.simnet.trace.TraceLog` sink: frame records
+        annotate the open attempt span of the endpoint they touched."""
+
+        def sink(time: float, kind: str, detail: dict[str, Any]) -> None:
+            self.metrics.inc("simnet." + kind)
+            for key in ("dst", "src", "node"):
+                host = detail.get(key)
+                if host is None:
+                    continue
+                attempt = self._open_attempt_by_host.get(host)
+                if attempt is not None and attempt.end is None:
+                    attempt.annotate(time, "frame-" + kind, dict(detail))
+                    return
+
+        return sink
+
+    # -- queries -----------------------------------------------------------
+    def trace(self, message_id: str) -> Optional[Span]:
+        return self._spans.get(message_id)
+
+    def trace_dict(self, message_id: str) -> Optional[dict[str, Any]]:
+        span = self._spans.get(message_id)
+        return span.to_dict() if span is not None else None
+
+    def traces(self) -> Iterator[tuple[str, Span]]:
+        return iter(self._spans.items())
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def message_ids(self) -> list[str]:
+        return list(self._spans)
+
+    # -- exporters ---------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per logical span, oldest first."""
+        return "\n".join(
+            json.dumps({"message_id": mid, **span.to_dict()}, default=str)
+            for mid, span in self._spans.items()
+        )
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the span store to *path*; returns spans written."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self._spans)
+
+    def render(self, message_id: str) -> str:
+        """A human-readable tree for one logical invocation."""
+        root = self._spans.get(message_id)
+        if root is None:
+            return f"(no trace for {message_id})"
+        lines: list[str] = []
+
+        def fmt(span: Span) -> str:
+            dur = f"{span.duration * 1000:.1f}ms" if span.duration is not None else "open"
+            tags = " ".join(
+                f"{k}={v}" for k, v in span.tags.items()
+                if k not in ("service", "operation") and v not in (None, "")
+            )
+            return f"{span.name} [{dur}] {span.status}" + (f"  {tags}" if tags else "")
+
+        def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+            if is_root:
+                lines.append(fmt(span))
+                child_prefix = ""
+            else:
+                connector = "└─ " if is_last else "├─ "
+                lines.append(prefix + connector + fmt(span))
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            for time, kind, detail in span.annotations:
+                marker = "   " if is_root else child_prefix + "     "
+                brief = " ".join(f"{k}={v}" for k, v in detail.items() if v is not None)
+                lines.append(f"{marker}@{time:.3f} {kind} {brief}".rstrip())
+            for i, child in enumerate(span.children):
+                walk(child, child_prefix, i == len(span.children) - 1, False)
+
+        walk(root, "", True, True)
+        return "\n".join(lines)

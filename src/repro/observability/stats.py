@@ -1,0 +1,63 @@
+"""Pure-python quantile and summary helpers.
+
+The observability layer must stay importable on constrained peers
+(Srirama et al.'s mobile-provisioning argument), so nothing in
+:mod:`repro.observability` may import numpy.  These helpers reproduce
+the numpy semantics the benchmark tables rely on — linear-interpolation
+percentiles over the sorted sample — in plain python, and are the one
+shared implementation: :func:`repro.simnet.trace.summarize` delegates
+here instead of carrying its own numpy copy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def quantile_sorted(samples: Sequence[float], q: float) -> float:
+    """The *q*-quantile (0 ≤ q ≤ 1) of an already-sorted sequence.
+
+    Linear interpolation between closest ranks — the same definition as
+    ``numpy.percentile(..., interpolation="linear")``, so swapping the
+    numpy implementation for this one changes no reported number.
+    """
+    if not samples:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(samples) == 1:
+        return float(samples[0])
+    position = q * (len(samples) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(samples) - 1)
+    fraction = position - lower
+    return float(samples[lower]) + (float(samples[upper]) - float(samples[lower])) * fraction
+
+
+def quantile(samples: Iterable[float], q: float) -> float:
+    """The *q*-quantile of an unsorted iterable (sorts a copy)."""
+    return quantile_sorted(sorted(samples), q)
+
+
+def percentile(samples: Iterable[float], p: float) -> float:
+    """The *p*-th percentile (0–100) of an unsorted iterable."""
+    return quantile(samples, p / 100.0)
+
+
+def summarize(samples: Iterable[float]) -> Optional[dict[str, float]]:
+    """Mean / median / p95 / min / max summary used by bench tables.
+
+    Returns None for an empty sample set (matching the historical
+    numpy-backed behaviour in :mod:`repro.simnet.trace`).
+    """
+    data = sorted(float(s) for s in samples)
+    if not data:
+        return None
+    return {
+        "n": len(data),
+        "mean": sum(data) / len(data),
+        "median": quantile_sorted(data, 0.5),
+        "p95": quantile_sorted(data, 0.95),
+        "min": data[0],
+        "max": data[-1],
+    }

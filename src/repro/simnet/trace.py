@@ -1,12 +1,25 @@
-"""Tracing and metric collection for experiments."""
+"""Tracing and metric collection for experiments.
+
+Summary statistics delegate to :mod:`repro.observability.stats` — one
+pure-python quantile implementation for the whole repo (this module
+used to carry a numpy copy).  A :class:`TraceLog` can also feed the
+observability layer live: pass ``sink=`` (any callable of
+``(time, kind, detail)``, e.g. ``SpanTracer.simnet_sink()``) and every
+emitted record is forwarded — even when the log itself is disabled, so
+wire-level frame records can reach span trees without the memory cost
+of retaining them here.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
-import numpy as np
+from repro.observability.stats import summarize as _summarize
+
+#: a trace sink receives every emitted record: fn(time, kind, detail)
+TraceSink = Callable[[float, str, dict[str, Any]], None]
 
 
 @dataclass
@@ -26,13 +39,21 @@ class TraceLog:
     records pushed out of the ring.
     """
 
-    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_records: Optional[int] = None,
+        sink: Optional[TraceSink] = None,
+    ):
         if max_records is not None and max_records < 1:
             raise ValueError("max_records must be >= 1")
         self.enabled = enabled
         self.max_records = max_records
         self.records: "deque[TraceRecord]" = deque(maxlen=max_records)
         self.emitted = 0  #: total emitted, including any since dropped
+        #: forwarded every record regardless of ``enabled`` (live
+        #: observation is independent of retention)
+        self.sink = sink
 
     @property
     def dropped(self) -> int:
@@ -40,6 +61,8 @@ class TraceLog:
         return self.emitted - len(self.records)
 
     def emit(self, time: float, kind: str, **detail: Any) -> None:
+        if self.sink is not None:
+            self.sink(time, kind, detail)
         if self.enabled:
             self.records.append(TraceRecord(time, kind, detail))
             self.emitted += 1
@@ -88,14 +111,4 @@ class Counter:
 
 def summarize(samples: Iterable[float]) -> Optional[dict[str, float]]:
     """Mean / median / p95 / min / max summary used by bench tables."""
-    arr = np.asarray(list(samples), dtype=float)
-    if arr.size == 0:
-        return None
-    return {
-        "n": int(arr.size),
-        "mean": float(arr.mean()),
-        "median": float(np.median(arr)),
-        "p95": float(np.percentile(arr, 95)),
-        "min": float(arr.min()),
-        "max": float(arr.max()),
-    }
+    return _summarize(samples)

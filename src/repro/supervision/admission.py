@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.observability import metrics as obs_metrics
+
 
 class AdmissionController:
     """Leaky-bucket admission gate for a service container.
@@ -67,10 +69,12 @@ class AdmissionController:
         self._drain()
         if self.capacity is not None and self.level >= self.capacity:
             self.shed += 1
+            obs_metrics.inc("admission.shed")
             retry_after = (self.level - self.capacity + 1.0) / self.drain_rate
             return False, retry_after
         self.level += 1.0
         self.admitted += 1
+        obs_metrics.inc("admission.admitted")
         return True, 0.0
 
     @property

@@ -26,6 +26,7 @@ from typing import Any, Callable, Optional
 from repro.core.errors import InvocationError
 from repro.core.events import EventSource
 from repro.core.handle import ServiceHandle
+from repro.observability import metrics as obs_metrics
 from repro.reliability import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -191,6 +192,7 @@ class FailoverExecutor(EventSource):
                 return
             state["done"] = True
             if error is not None:
+                obs_metrics.inc("failover.exhausted")
                 self.fire_client(
                     "failover-exhausted",
                     service=handle.name,
@@ -252,6 +254,7 @@ class FailoverExecutor(EventSource):
             previous = state["last_endpoint"]
             if previous is not None and previous != endpoint.address:
                 self.failovers += 1
+                obs_metrics.inc("failover.hops")
                 self.fire_client(
                     "failover",
                     service=handle.name,

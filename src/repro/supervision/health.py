@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterable, Optional
 
+from repro.observability import metrics as obs_metrics
 from repro.wsa.epr import EndpointReference
 
 DEAD = "dead"
@@ -122,6 +123,7 @@ class HealthMonitor:
         self._verdict_listeners.append(listener)
 
     def _emit_verdict(self, address: str, verdict: str) -> None:
+        obs_metrics.inc("health.verdicts." + verdict)
         for listener in list(self._verdict_listeners):
             listener(address, verdict)
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Optional
 
+from repro.observability import metrics as obs_metrics
 from repro.simnet.network import Frame, Network, NetworkError, Node, NodeDownError
 from repro.transport.base import (
     ResponseCallback,
@@ -198,6 +199,7 @@ class HttpServer:
 
     def _handle(self, request: HttpRequest) -> HttpResponse:
         self.requests_served += 1
+        obs_metrics.inc("transport.http.requests_served")
         if self.interceptor is not None:
             intercepted = self.interceptor(request)
             if intercepted is not None:
@@ -247,6 +249,12 @@ class HttpClient:
                 done["timeout_event"].cancel()
             if self.node.has_port(conn):
                 self.node.close_port(conn)
+            if error is not None:
+                obs_metrics.inc(
+                    "transport.http.timeouts"
+                    if isinstance(error, TransportTimeoutError)
+                    else "transport.http.errors"
+                )
             callback(response, error)
 
         def on_reply(frame: Frame) -> None:
@@ -267,6 +275,7 @@ class HttpClient:
                     f"no response from {target_node}:{port}{request.path} within {timeout}s"
                 ),
             )
+        obs_metrics.inc("transport.http.requests_sent")
         try:
             self.node.send(target_node, f"http:{port}", request.to_wire(), reply_port=conn)
         except (NetworkError, NodeDownError) as exc:

@@ -17,6 +17,7 @@ import itertools
 from typing import Any, Optional
 
 from repro.caching import ArtifactCache, fastpath_enabled
+from repro.observability.recorder import current_recorder
 from repro.soap.encoding import XSI_NIL, XSI_TYPE, primitive_text, primitive_xsi_type
 from repro.soap.envelope import EnvelopeTemplate, SoapEnvelope
 from repro.wsa.epr import EndpointReference, WsaError
@@ -220,20 +221,36 @@ class RequestTemplateCache:
         """The full request wire text, or None to signal slow-path."""
         if not fastpath_enabled():
             return None
+        # recorder guard: with the NullRecorder installed this is one
+        # attribute check and NO detail dict is ever allocated (the CI
+        # no-op-overhead test holds this path to zero allocations)
+        rec = current_recorder()
         key = self._key(maps, namespace, operation, args, target)
         if key is None:
+            if rec.active:
+                rec.codec_event("template-bypass", {"operation": operation, "why": "unkeyable"})
             return None
         template = self._cache.get(key)
         if template is _UNTEMPLATABLE:
+            if rec.active:
+                rec.codec_event("template-bypass", {"operation": operation, "why": "untemplatable"})
             return None
         if template is None:
             template = self._build(maps, namespace, operation, args, target)
             self._cache.put(key, template if template is not None else _UNTEMPLATABLE)
             if template is None:
+                if rec.active:
+                    rec.codec_event("template-bypass", {"operation": operation, "why": "untemplatable"})
                 return None
+            if rec.active:
+                rec.codec_event("template-build", {"operation": operation})
         values = self._values(maps, args)
         if values is None:
+            if rec.active:
+                rec.codec_event("template-bypass", {"operation": operation, "why": "unrenderable"})
             return None
+        if rec.active:
+            rec.codec_event("template-hit", {"operation": operation})
         return template.render(values)
 
     def invalidate_all(self) -> int:

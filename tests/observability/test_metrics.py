@@ -1,0 +1,175 @@
+"""MetricsRegistry: instrument semantics, collectors, exporters."""
+
+import pytest
+
+from repro.observability import metrics as m
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.add(-1.0)
+        assert g.value == 2.0
+
+    def test_histogram_exact_aggregates(self):
+        h = Histogram("lat")
+        for v in (0.004, 0.009, 0.030, 0.009):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(0.052)
+        assert h.mean == pytest.approx(0.013)
+        assert h.min == 0.004
+        assert h.max == 0.030
+
+    def test_histogram_quantile_within_bucket_width(self):
+        h = Histogram("lat")
+        samples = [0.001 * i for i in range(1, 101)]  # 1ms .. 100ms
+        for v in samples:
+            h.observe(v)
+        for q, exact in ((0.5, 0.0505), (0.95, 0.0955), (0.99, 0.0995)):
+            est = h.quantile(q)
+            # estimate must land within one bucket width of the truth
+            width = max(
+                b - a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+                if a <= exact <= b
+            )
+            assert abs(est - exact) <= width
+
+    def test_histogram_quantile_clamped_to_observed_range(self):
+        h = Histogram("lat")
+        h.observe(0.003)
+        h.observe(0.004)
+        assert h.min <= h.quantile(0.0) <= h.quantile(1.0) <= h.max
+
+    def test_histogram_overflow_bucket(self):
+        h = Histogram("lat", bounds=[0.01])
+        h.observe(5.0)  # beyond every bound
+        assert h.count == 1
+        assert h.quantile(0.99) == pytest.approx(5.0)
+
+    def test_empty_histogram_quantile_is_none(self):
+        h = Histogram("lat")
+        assert h.quantile(0.5) is None
+        assert h.mean is None
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["p95"] is None
+
+    def test_bad_quantile_raises(self):
+        h = Histogram("lat")
+        h.observe(0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_empty_bounds_falls_back_to_defaults(self):
+        assert Histogram("lat", bounds=[]).bounds == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_create_on_use_and_get(self):
+        reg = MetricsRegistry()
+        reg.inc("a.b")
+        reg.inc("a.b", 2)
+        assert reg.get("a.b") == 3
+        assert reg.get("never.touched") == 0
+
+    def test_same_instrument_returned(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.observe("h", 1.0)
+        reg.set_gauge("g", 9.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_collector_appears_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.add_collector("ext", lambda: {"hits": 7})
+        assert reg.snapshot()["ext"] == {"hits": 7}
+        reg.remove_collector("ext")
+        assert "ext" not in reg.snapshot()
+
+    def test_collector_error_is_captured_not_raised(self):
+        reg = MetricsRegistry()
+
+        def boom():
+            raise RuntimeError("source down")
+
+        reg.add_collector("ext", boom)
+        snap = reg.snapshot()
+        assert snap["ext"] == {"error": "RuntimeError: source down"}
+
+    def test_reset_drops_instruments_keeps_collectors(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.add_collector("ext", lambda: {"k": 1})
+        reg.reset()
+        assert reg.get("a") == 0
+        assert reg.snapshot()["ext"] == {"k": 1}
+
+    def test_render_text_one_line_per_instrument(self):
+        reg = MetricsRegistry()
+        reg.inc("client.requests", 3)
+        reg.set_gauge("queue.depth", 2)
+        reg.observe("client.latency", 0.012)
+        reg.add_collector("caches", lambda: {"templates": 5})
+        text = reg.render_text()
+        lines = text.splitlines()
+        assert lines[0] == "# metrics snapshot"
+        assert "counter client.requests 3" in lines
+        assert "gauge queue.depth 2" in lines
+        assert any(
+            line.startswith("histogram client.latency count=1") for line in lines
+        )
+        assert "caches templates 5" in lines
+
+
+class TestDefaultRegistry:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        m.reset_default_registry()
+        m.set_metrics_enabled(True)
+        yield
+        m.reset_default_registry()
+        m.set_metrics_enabled(True)
+
+    def test_module_shortcuts_hit_default(self):
+        m.inc("t.c", 2)
+        m.observe("t.h", 0.5)
+        m.set_gauge("t.g", 4.0)
+        reg = m.default_registry()
+        assert reg.get("t.c") == 2
+        assert reg.histogram("t.h").count == 1
+        assert reg.gauge("t.g").value == 4.0
+
+    def test_set_metrics_enabled_gates_shortcuts(self):
+        m.set_metrics_enabled(False)
+        m.inc("t.c")
+        m.observe("t.h", 1.0)
+        assert m.default_registry().get("t.c") == 0
+        assert m.default_registry().histogram("t.h").count == 0
+
+    def test_default_registry_folds_cache_stats(self):
+        snap = m.default_registry().snapshot()
+        assert "caches" in snap
+        assert isinstance(snap["caches"], dict)
+        assert "error" not in snap["caches"]

@@ -1,0 +1,109 @@
+"""The no-op recorder path must cost nothing on the codec fast path.
+
+Two independent proofs:
+
+1. A recorder whose ``codec_event`` raises (but whose ``active`` flag
+   is False) sails through a full invocation — the guard branch is
+   provably never taken.
+2. ``tracemalloc`` over the warm template-render loop shows zero
+   allocations attributed to the observability package — the guard is
+   one attribute check, and no detail dict is ever built.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.caching import clear_all_caches
+from repro.observability.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    current_recorder,
+    set_recorder,
+)
+from repro.wsa.epr import EndpointReference
+from repro.wsa.headers import MessageAddressingProperties, request_templates
+
+
+class ExplodingRecorder:
+    """Inactive, but detonates if any guard is skipped."""
+
+    active = False
+
+    def codec_event(self, kind, detail=None):  # pragma: no cover - must not run
+        raise AssertionError(f"codec_event({kind!r}) called on an inactive recorder")
+
+
+@pytest.fixture(autouse=True)
+def _restore_recorder():
+    previous = set_recorder(NULL_RECORDER)
+    clear_all_caches()
+    yield
+    set_recorder(previous)
+    clear_all_caches()
+
+
+def render_once(i=0):
+    target = EndpointReference("http://node-1:8080/svc/Echo")
+    maps = MessageAddressingProperties.for_request(target, "echo")
+    return request_templates.render(
+        maps, "urn:echo", "echo", {"message": f"v{i}"}, target
+    )
+
+
+class TestGuardBranch:
+    def test_null_recorder_is_the_default_and_inactive(self):
+        recorder = current_recorder()
+        assert isinstance(recorder, NullRecorder)
+        assert recorder.active is False
+        recorder.codec_event("anything")  # no-op by contract
+
+    def test_inactive_recorder_never_receives_codec_events(self):
+        set_recorder(ExplodingRecorder())
+        # build (miss) + hit: every guard site on the render path
+        assert render_once(0) is not None
+        assert render_once(1) is not None
+
+    def test_inactive_recorder_survives_full_invocation(self, http_world):
+        consumer, provider, handle = http_world
+        set_recorder(ExplodingRecorder())
+        assert consumer.invoke(handle, "echo", {"message": "hi"}) == "hi"
+
+    def test_set_recorder_returns_previous(self):
+        sentinel = ExplodingRecorder()
+        assert set_recorder(sentinel) is NULL_RECORDER
+        assert current_recorder() is sentinel
+        assert set_recorder(NULL_RECORDER) is sentinel
+
+
+class TestZeroAllocations:
+    def test_warm_template_hit_allocates_nothing_in_observability(self):
+        import repro.observability as obs
+
+        pkg_dir = obs.__path__[0]
+        render_once()  # warm: template built and cached
+        for i in range(3):
+            render_once(i)  # stabilize interned strings etc.
+
+        tracemalloc.start(10)
+        try:
+            before = tracemalloc.take_snapshot()
+            for i in range(50):
+                render_once(i)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+
+        observability_allocs = [
+            stat
+            for stat in after.compare_to(before, "traceback")
+            if stat.size_diff > 0
+            and any(pkg_dir in frame.filename for frame in stat.traceback)
+        ]
+        assert not observability_allocs, (
+            "no-op recorder path allocated in observability code:\n"
+            + "\n".join(
+                f"{stat.size_diff}B {stat.traceback.format()[-1].strip()}"
+                for stat in observability_allocs
+            )
+        )

@@ -1,0 +1,82 @@
+"""stats: the one pure-python quantile implementation.
+
+The repo-wide contract: swapping numpy for these helpers changes no
+reported number, and :mod:`repro.observability` itself never imports
+numpy (constrained-peer deployability).
+"""
+
+import numpy as np
+import pytest
+
+from repro.observability import stats
+from repro.simnet import trace as simnet_trace
+
+SAMPLE_SETS = [
+    [1.0],
+    [1.0, 2.0],
+    [3.0, 1.0, 2.0],
+    [0.005, 0.007, 0.004, 0.120, 0.006, 0.005, 0.009],
+    list(range(100)),
+    [x * 0.37 for x in range(17)],
+]
+
+
+class TestNumpyParity:
+    @pytest.mark.parametrize("samples", SAMPLE_SETS)
+    @pytest.mark.parametrize("q", [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0])
+    def test_quantile_matches_numpy_percentile(self, samples, q):
+        ours = stats.quantile(samples, q)
+        theirs = float(np.percentile(np.asarray(samples, dtype=float), q * 100))
+        assert ours == pytest.approx(theirs, rel=1e-12, abs=1e-12)
+
+    @pytest.mark.parametrize("samples", SAMPLE_SETS)
+    def test_summarize_matches_numpy(self, samples):
+        summary = stats.summarize(samples)
+        arr = np.asarray(samples, dtype=float)
+        assert summary["n"] == arr.size
+        assert summary["mean"] == pytest.approx(float(arr.mean()))
+        assert summary["median"] == pytest.approx(float(np.median(arr)))
+        assert summary["p95"] == pytest.approx(float(np.percentile(arr, 95)))
+        assert summary["min"] == float(arr.min())
+        assert summary["max"] == float(arr.max())
+
+
+class TestEdges:
+    def test_empty_summary_is_none(self):
+        assert stats.summarize([]) is None
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            stats.quantile([], 0.5)
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ValueError):
+            stats.quantile([1.0], 1.5)
+
+    def test_percentile_is_quantile_over_100(self):
+        assert stats.percentile([1, 2, 3, 4], 50) == stats.quantile([1, 2, 3, 4], 0.5)
+
+    def test_unsorted_input_handled(self):
+        assert stats.quantile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+
+class TestSimnetDelegation:
+    def test_simnet_summarize_delegates_here(self):
+        samples = [0.004, 0.009, 0.005, 0.030]
+        assert simnet_trace.summarize(samples) == stats.summarize(samples)
+
+    def test_simnet_summarize_empty_still_none(self):
+        assert simnet_trace.summarize([]) is None
+
+    def test_observability_package_never_imports_numpy(self):
+        import pathlib
+        import re
+
+        import repro.observability as obs
+
+        importer = re.compile(r"^\s*(import|from)\s+numpy", re.MULTILINE)
+        pkg_dir = pathlib.Path(obs.__file__).parent
+        for path in pkg_dir.glob("*.py"):
+            assert not importer.search(path.read_text()), (
+                f"{path.name} imports numpy"
+            )
