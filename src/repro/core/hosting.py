@@ -234,10 +234,13 @@ class LightweightContainer(EventSource):
                     )
                 )
             else:
-                if message_id is not None and deployed.dedup.seen(message_id):
+                retained = (
+                    deployed.dedup.get(message_id) if message_id is not None else None
+                )
+                if retained is not None:
                     deployed.duplicates_suppressed += 1
                     obs_metrics.inc("server.duplicates_suppressed")
-                    response = SoapEnvelope.from_wire(deployed.dedup.get(message_id))
+                    response = SoapEnvelope.from_wire(retained)
                     self.fire_server(
                         "duplicate-suppressed",
                         service=service_name,

@@ -226,6 +226,30 @@ class HttpInvocation(Invocation):
     def add_transport(self, transport: Transport) -> None:
         self._transports[transport.scheme] = transport
 
+    def enable_http_keepalive(self, config=None):
+        """Switch every poolable transport to persistent pooled
+        connections (E11), sharing one pool across schemes.
+
+        One connection cache per *node* — retries and failover hops
+        issued through this invocation reuse the same warm connections
+        instead of re-handshaking per attempt.  *config* may be a
+        :class:`~repro.transport.connection.PoolConfig`, an existing
+        pool, or None.  Returns the shared
+        :class:`~repro.transport.connection.ConnectionPool`.
+        """
+        from repro.transport.connection import ConnectionPool
+
+        pool = config if isinstance(config, ConnectionPool) else None
+        for transport in self._transports.values():
+            if not hasattr(transport, "enable_pooling"):
+                continue
+            pool = transport.enable_pooling(pool if pool is not None else config)
+        if pool is None:
+            raise InvocationError(
+                f"no poolable transport among {sorted(self._transports)}"
+            )
+        return pool
+
     def invoke_async(
         self,
         handle: ServiceHandle,

@@ -95,6 +95,8 @@ class WSPeer(EventSource):
         self.failover = None
         #: set by :meth:`enable_observability`
         self.tracer = None
+        #: set by :meth:`enable_http_keepalive`
+        self.http_pool = None
 
         self.server.register_deployer(binding.make_deployer(self))
         self.server.register_publisher(binding.make_publisher(self, self.server.deployer))
@@ -299,8 +301,61 @@ class WSPeer(EventSource):
         health.attach_breakers(invocation.breakers)
         if self.client.locator is not None:
             self.client.locator.watch_health(health)
+        if self.http_pool is not None:
+            self.http_pool.attach_health(health)
         self.failover = executor
         return executor
+
+    # ------------------------------------------------------------------
+    # connection management (E11)
+    # ------------------------------------------------------------------
+    def enable_http_keepalive(self, config=None):
+        """Use persistent pooled HTTP(G) connections for this peer's
+        outbound calls.
+
+        Retries and failover hops reuse warm connections instead of
+        paying the connect handshake per attempt; when failover is (or
+        later becomes) enabled, ``dead`` health verdicts evict the
+        pooled connections to that endpoint.  *config* is an optional
+        :class:`~repro.transport.connection.PoolConfig`.  Returns the
+        pool, also kept as ``self.http_pool``.
+        """
+        invocation = self.client.invocation
+        if not hasattr(invocation, "enable_http_keepalive"):
+            raise WsPeerError(
+                f"binding {self.binding.name!r} has no poolable HTTP transport"
+            )
+        pool = invocation.enable_http_keepalive(config)
+        if self.failover is not None:
+            pool.attach_health(self.failover.health)
+        self.http_pool = pool
+        return pool
+
+    _UNSET = object()
+
+    def configure_http_server(
+        self,
+        max_pending_per_connection=_UNSET,
+        drain_rate: Optional[float] = None,
+        idle_timeout=_UNSET,
+    ):
+        """Tune this peer's HTTP server for persistent connections:
+        the per-connection request-queue bound (``None`` disables
+        shedding), its drain rate (requests/second), and the
+        server-side idle timeout.  Applies to connections accepted
+        after the call.  Returns the underlying
+        :class:`~repro.transport.http.HttpServer`.
+        """
+        server = getattr(self.server.deployer, "server", None)
+        if server is None:
+            raise WsPeerError(f"binding {self.binding.name!r} has no HTTP server")
+        if max_pending_per_connection is not self._UNSET:
+            server.max_pending_per_connection = max_pending_per_connection
+        if drain_rate is not None:
+            server.conn_drain_rate = drain_rate
+        if idle_timeout is not self._UNSET:
+            server.conn_idle_timeout = idle_timeout
+        return server
 
     # ------------------------------------------------------------------
     # observability

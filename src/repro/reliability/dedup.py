@@ -7,7 +7,9 @@ that makes retransmission safe for non-idempotent stateful services
 (the paper's hosted "code sources" hold state, §III).
 
 The window is bounded two ways: ``max_entries`` (FIFO eviction, a ring
-over insertion order) and an optional ``ttl`` in virtual seconds.
+over *first-insertion* order — re-remembering an id refreshes its
+retained value but never its place in the ring) and an optional
+``ttl`` in virtual seconds.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ class DedupWindow:
         self._clock = clock or (lambda: 0.0)
         #: message id -> (retained value, stored-at time)
         self._entries: "OrderedDict[str, tuple[Any, float]]" = OrderedDict()
-        self.duplicates = 0  #: hits observed via __contains__/get
+        self.duplicates = 0  #: hits observed via seen()/get()/__contains__
         self.evicted = 0
 
     # ------------------------------------------------------------------
@@ -54,11 +56,16 @@ class DedupWindow:
 
     # ------------------------------------------------------------------
     def remember(self, message_id: str, value: Any = None) -> None:
-        """Record *message_id* (optionally with a retained response)."""
+        """Record *message_id* (optionally with a retained response).
+
+        Re-remembering a live id only refreshes its retained value —
+        the entry keeps its original slot (and stored-at time) in the
+        FIFO ring, so a chatty retransmitter cannot indefinitely shield
+        its id from eviction.
+        """
         self._expire()
         if message_id in self._entries:
-            self._entries[message_id] = (value, self._now())
-            self._entries.move_to_end(message_id)
+            self._entries[message_id] = (value, self._entries[message_id][1])
             return
         while len(self._entries) >= self.max_entries:
             self._entries.popitem(last=False)
@@ -76,14 +83,21 @@ class DedupWindow:
         return hit
 
     def get(self, message_id: str) -> Any:
-        """The retained value for *message_id* (None when absent)."""
+        """The retained value for *message_id* (None when absent).
+        A present id counts as a duplicate hit."""
         self._expire()
         entry = self._entries.get(message_id)
-        return entry[0] if entry is not None else None
+        if entry is None:
+            return None
+        self.duplicates += 1
+        return entry[0]
 
     def __contains__(self, message_id: object) -> bool:
         self._expire()
-        return message_id in self._entries
+        hit = message_id in self._entries
+        if hit:
+            self.duplicates += 1
+        return hit
 
     def __len__(self) -> int:
         self._expire()

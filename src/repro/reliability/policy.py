@@ -92,8 +92,9 @@ class RetryPolicy:
         always safe.
         """
         from repro.soap.faults import ServerBusyFault, SoapFault
+        from repro.transport.base import TransportBusyError
 
-        if isinstance(error, ServerBusyFault):
+        if isinstance(error, (ServerBusyFault, TransportBusyError)):
             return True
         if self.retry_on is not None:
             return isinstance(error, self.retry_on)

@@ -195,11 +195,15 @@ class Network:
             raise NodeDownError(f"source node is down: {frame.src}")
         self.sent.incr(frame.src)
 
+        # connection-scoped frames (E11) tag their trace records so a
+        # whole connection can be filtered out of a trace
+        conn = {"conn": frame.meta["conn"]} if "conn" in frame.meta else {}
+
         # iterate a snapshot: a hook may detach itself (or another hook)
         # mid-delivery without perturbing this frame's hook sequence
         for hook in tuple(self._delivery_hooks):
             if not hook(frame):
-                self.trace.emit(self.kernel.now, "dropped", src=frame.src, dst=frame.dst, port=frame.port)
+                self.trace.emit(self.kernel.now, "dropped", src=frame.src, dst=frame.dst, port=frame.port, **conn)
                 return frame
 
         if frame.dst not in self._nodes:
@@ -211,18 +215,19 @@ class Network:
         else:
             delay = self.latency.sample(frame.src, frame.dst, frame.size)
         self.trace.emit(
-            self.kernel.now, "sent", src=frame.src, dst=frame.dst, port=frame.port, size=frame.size
+            self.kernel.now, "sent", src=frame.src, dst=frame.dst, port=frame.port, size=frame.size, **conn
         )
         self.kernel.schedule(delay, self._deliver, frame)
         return frame
 
     def _deliver(self, frame: Frame) -> None:
+        conn = {"conn": frame.meta["conn"]} if "conn" in frame.meta else {}
         node = self._nodes.get(frame.dst)
         if node is None or not node.up:
-            self.trace.emit(self.kernel.now, "lost", src=frame.src, dst=frame.dst, port=frame.port)
+            self.trace.emit(self.kernel.now, "lost", src=frame.src, dst=frame.dst, port=frame.port, **conn)
             return
         self.trace.emit(
-            self.kernel.now, "delivered", src=frame.src, dst=frame.dst, port=frame.port
+            self.kernel.now, "delivered", src=frame.src, dst=frame.dst, port=frame.port, **conn
         )
         node._deliver(frame)
 

@@ -35,6 +35,7 @@ from repro.reliability import (
 from repro.simnet.kernel import SimTimeoutError
 from repro.soap.faults import ServerBusyFault, SoapFault
 from repro.supervision.health import HealthMonitor
+from repro.transport.base import TransportBusyError
 from repro.wsa.epr import EndpointReference
 from repro.wsa.headers import new_message_id
 
@@ -53,12 +54,13 @@ def classify_error(error: Exception) -> str:
 
     Application-level SOAP faults are *final* — the service executed
     and said no; another replica would say the same.  The one
-    exception is ``Server.Busy``, which is an explicit "try another
-    endpoint" signal.  Everything else — network errors, node-down,
+    exception is ``Server.Busy`` — and its transport-level twin, an
+    HTTP 503 from a bounded connection queue — which is an explicit
+    "try another endpoint" signal.  Everything else — network errors, node-down,
     transport failures, attempt timeouts, exhausted per-endpoint
     retries, open circuit breakers — is failover-eligible.
     """
-    if isinstance(error, ServerBusyFault):
+    if isinstance(error, (ServerBusyFault, TransportBusyError)):
         return BUSY
     if isinstance(error, SoapFault):
         return FINAL

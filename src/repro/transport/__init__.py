@@ -22,11 +22,13 @@ at the endpoint address alone.
 from repro.transport.uri import Uri, UriError
 from repro.transport.base import (
     Transport,
+    TransportBusyError,
     TransportError,
     TransportRegistry,
     TransportTimeoutError,
 )
 from repro.transport.http import (
+    HeaderMap,
     HttpClient,
     HttpRequest,
     HttpResponse,
@@ -34,15 +36,23 @@ from repro.transport.http import (
     HttpTransport,
 )
 from repro.transport.httpg import CertificateAuthority, Credential, HttpgTransport
+from repro.transport.connection import (
+    ConnectionClosedError,
+    ConnectionPool,
+    HttpConnection,
+    PoolConfig,
+)
 from repro.transport.datagram import DatagramTransport
 
 __all__ = [
     "Uri",
     "UriError",
     "Transport",
+    "TransportBusyError",
     "TransportError",
     "TransportTimeoutError",
     "TransportRegistry",
+    "HeaderMap",
     "HttpRequest",
     "HttpResponse",
     "HttpServer",
@@ -51,5 +61,9 @@ __all__ = [
     "CertificateAuthority",
     "Credential",
     "HttpgTransport",
+    "ConnectionClosedError",
+    "ConnectionPool",
+    "HttpConnection",
+    "PoolConfig",
     "DatagramTransport",
 ]

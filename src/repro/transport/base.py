@@ -16,6 +16,19 @@ class TransportTimeoutError(TransportError):
     """No response arrived within the caller's (virtual-time) timeout."""
 
 
+class TransportBusyError(TransportError):
+    """The server explicitly shed the request (HTTP 503).
+
+    Carries the server's ``Retry-After`` hint so supervision can back
+    off this endpoint for the right amount of time instead of guessing
+    — the transport-level twin of the SOAP ``Server.Busy`` fault.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 # A server-side handler: (request_text, headers) -> (response_text, headers).
 ServerHandler = Callable[[str, dict[str, str]], tuple[str, dict[str, str]]]
 # Completion callback for async requests: (response_text | None, error | None).

@@ -4,15 +4,26 @@ The message model is a faithful miniature of HTTP/1.1: request line,
 status line, headers, ``Content-Length``-framed bodies, all serialised
 to real text on the wire.  Connection semantics are what matter to the
 paper — HTTP "maintains an open connection for return messages" (§III),
-which is why standard Web-service stacks ended up synchronous.  Here a
-connection is an ephemeral reply port the client holds open until the
-response frame lands.
+which is why standard Web-service stacks ended up synchronous.  Two
+connection models coexist:
+
+* the default *ephemeral* model: one throwaway reply port per request,
+  held open until the response frame lands;
+* the E11 *persistent* model (:mod:`repro.transport.connection`):
+  pooled keep-alive connections with optional pipelining and bounded
+  per-connection server queues, enabled per client via
+  ``HttpClient(pool=...)`` / ``HttpTransport.enable_pooling``.
+
+Headers live in a :class:`HeaderMap` — case-insensitive like real
+HTTP field names (RFC 9110 §5.1), preserving the first-seen casing on
+render.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+from collections.abc import Mapping, MutableMapping
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.observability import metrics as obs_metrics
 from repro.simnet.network import Frame, Network, NetworkError, Node, NodeDownError
@@ -20,6 +31,7 @@ from repro.transport.base import (
     ResponseCallback,
     ServerHandler,
     Transport,
+    TransportBusyError,
     TransportError,
     TransportTimeoutError,
 )
@@ -34,21 +46,70 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
+HeadersLike = Union[Mapping[str, str], Iterable[tuple[str, str]], None]
 
-def _render_headers(headers: dict[str, str]) -> str:
+
+class HeaderMap(MutableMapping):
+    """HTTP header fields: case-insensitive lookup, canonical render.
+
+    Field names compare case-insensitively (RFC 9110 §5.1) — a sender
+    writing ``content-length`` must hit the same entry as
+    ``Content-Length`` — while rendering keeps the casing the field was
+    first set with, so wire output is byte-stable.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, data: HeadersLike = None):
+        #: lower-cased name -> (casing as first set, value)
+        self._entries: dict[str, tuple[str, str]] = {}
+        if data:
+            items = data.items() if hasattr(data, "items") else data
+            for name, value in items:
+                self[name] = value
+
+    def __getitem__(self, name: str) -> str:
+        return self._entries[name.lower()][1]
+
+    def __setitem__(self, name: str, value: str) -> None:
+        key = name.lower()
+        held = self._entries.get(key)
+        self._entries[key] = (held[0] if held is not None else name, value)
+
+    def __delitem__(self, name: str) -> None:
+        del self._entries[name.lower()]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter([canonical for canonical, _ in self._entries.values()])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._entries
+
+    def copy(self) -> "HeaderMap":
+        return HeaderMap(self)
+
+    def __repr__(self) -> str:
+        return f"<HeaderMap {dict(self)!r}>"
+
+
+def _render_headers(headers: Mapping[str, str]) -> str:
     return "".join(f"{k}: {v}\r\n" for k, v in headers.items())
 
 
-def _parse_head(text: str) -> tuple[str, dict[str, str], str]:
+def _parse_head(text: str) -> tuple[str, HeaderMap, str]:
     """Split raw message into (start line, headers, body)."""
     head, sep, body = text.partition("\r\n\r\n")
     if not sep:
         raise TransportError("malformed HTTP message: missing header terminator")
     lines = head.split("\r\n")
     start = lines[0]
-    headers: dict[str, str] = {}
+    headers = HeaderMap()
     for line in lines[1:]:
         if not line:
             continue
@@ -76,15 +137,15 @@ class HttpRequest:
         method: str,
         path: str,
         body: str = "",
-        headers: Optional[dict[str, str]] = None,
+        headers: HeadersLike = None,
     ):
         self.method = method.upper()
         self.path = path if path.startswith("/") else "/" + path
         self.body = body
-        self.headers = dict(headers or {})
+        self.headers = HeaderMap(headers)
 
     def to_wire(self) -> str:
-        headers = dict(self.headers)
+        headers = self.headers.copy()
         headers.setdefault("Content-Length", str(len(self.body)))
         return f"{self.method} {self.path} HTTP/1.1\r\n{_render_headers(headers)}\r\n{self.body}"
 
@@ -107,12 +168,12 @@ class HttpResponse:
         self,
         status: int,
         body: str = "",
-        headers: Optional[dict[str, str]] = None,
+        headers: HeadersLike = None,
         reason: Optional[str] = None,
     ):
         self.status = status
         self.body = body
-        self.headers = dict(headers or {})
+        self.headers = HeaderMap(headers)
         self.reason = reason if reason is not None else _REASONS.get(status, "Unknown")
 
     @property
@@ -120,7 +181,7 @@ class HttpResponse:
         return 200 <= self.status < 300
 
     def to_wire(self) -> str:
-        headers = dict(self.headers)
+        headers = self.headers.copy()
         headers.setdefault("Content-Length", str(len(self.body)))
         return f"HTTP/1.1 {self.status} {self.reason}\r\n{_render_headers(headers)}\r\n{self.body}"
 
@@ -162,10 +223,24 @@ class HttpServer:
         self.interceptor: Optional[Callable[[HttpRequest], Optional[HttpResponse]]] = None
         self.started = False
         self.requests_served = 0
+        self.bad_requests = 0
+        self.dropped_replies = 0
+        # E11 persistent-connection knobs: per-connection request-queue
+        # bound (None disables shedding), its drain rate in req/s, and
+        # how long an inactive server-side connection lives
+        self.max_pending_per_connection: Optional[float] = 32.0
+        self.conn_drain_rate: float = 200.0
+        self.conn_idle_timeout: Optional[float] = 60.0
+        self._connections: dict[str, object] = {}
 
     @property
     def wire_port(self) -> str:
         return f"http:{self.port}"
+
+    @property
+    def connections(self) -> list:
+        """Open server-side persistent connections (E11)."""
+        return list(self._connections.values())
 
     def start(self) -> None:
         if self.started:
@@ -174,9 +249,12 @@ class HttpServer:
         self.started = True
 
     def stop(self) -> None:
-        if self.started:
-            self.node.close_port(self.wire_port)
-            self.started = False
+        if not self.started:
+            return
+        for conn in list(self._connections.values()):
+            conn.close(notify=True)
+        self.node.close_port(self.wire_port)
+        self.started = False
 
     def add_route(self, path: str, handler: RequestHandler) -> None:
         path = path if path.startswith("/") else "/" + path
@@ -187,15 +265,55 @@ class HttpServer:
         self.routes.pop(path, None)
 
     def _on_frame(self, frame: Frame) -> None:
+        if frame.meta.get("kind") == "connect":
+            self._on_connect(frame)
+            return
         reply_port = frame.meta.get("reply_port")
-        try:
-            request = HttpRequest.from_wire(frame.payload)
-        except TransportError as exc:
-            response = HttpResponse(400, str(exc))
-        else:
-            response = self._handle(request)
+        response = self._response_for(frame.payload)
         if reply_port:
             self.node.send(frame.src, reply_port, response.to_wire())
+        else:
+            # nowhere to answer: the reply is lost, which must be
+            # visible, not silent
+            self.dropped_replies += 1
+            obs_metrics.inc("transport.http.dropped_replies")
+
+    def _response_for(self, payload: str) -> HttpResponse:
+        """Parse and dispatch one raw request (shared with E11
+        per-connection delivery)."""
+        try:
+            request = HttpRequest.from_wire(payload)
+        except TransportError as exc:
+            self.bad_requests += 1
+            obs_metrics.inc("transport.http.bad_requests")
+            return HttpResponse(400, str(exc))
+        return self._handle(request)
+
+    def _on_connect(self, frame: Frame) -> None:
+        from repro.transport.connection import ServerConnection
+
+        conn_id = frame.meta.get("conn")
+        reply_port = frame.meta.get("reply_port")
+        if not conn_id or not reply_port:
+            return
+        conn = self._connections.get(conn_id)
+        if conn is None:  # a re-sent CONNECT re-uses the live connection
+            conn = ServerConnection(self, conn_id, frame.src, reply_port)
+            self._connections[conn_id] = conn
+            obs_metrics.inc("transport.http.conn_accepted")
+            obs_metrics.set_gauge(
+                "transport.http.server_connections", len(self._connections)
+            )
+        self.node.send(
+            frame.src, reply_port, "", kind="accept", conn=conn_id,
+            srv_port=conn.srv_port,
+        )
+
+    def _forget_connection(self, conn) -> None:
+        self._connections.pop(conn.id, None)
+        obs_metrics.set_gauge(
+            "transport.http.server_connections", len(self._connections)
+        )
 
     def _handle(self, request: HttpRequest) -> HttpResponse:
         self.requests_served += 1
@@ -219,14 +337,45 @@ class HttpServer:
 
 
 class HttpClient:
-    """Issues requests from a node; one ephemeral reply port per request."""
+    """Issues requests from a node.
+
+    By default each request opens an ephemeral reply port (the paper's
+    throwaway "open connection for return messages").  With a pool
+    enabled (:meth:`enable_pooling` or the ``pool=`` constructor
+    argument), requests ride persistent pooled connections instead —
+    same callback contract, two frame hops instead of four.
+    """
 
     _conn_ids = itertools.count(1)
 
-    def __init__(self, node: Node, default_timeout: Optional[float] = 30.0):
+    def __init__(
+        self,
+        node: Node,
+        default_timeout: Optional[float] = 30.0,
+        pool=None,
+    ):
         self.node = node
         self.network: Network = node.network
         self.default_timeout = default_timeout
+        self.pool = None
+        if pool is not None:
+            self.enable_pooling(pool)
+
+    def enable_pooling(self, config=None):
+        """Route requests over pooled persistent connections (E11).
+
+        *config* may be a :class:`~repro.transport.connection.PoolConfig`,
+        an existing :class:`~repro.transport.connection.ConnectionPool`
+        (to share one pool between clients on the same node), or None
+        for defaults.  Returns the pool.
+        """
+        from repro.transport.connection import ConnectionPool
+
+        if isinstance(config, ConnectionPool):
+            self.pool = config
+        else:
+            self.pool = ConnectionPool(self.node, config)
+        return self.pool
 
     def request_async(
         self,
@@ -237,8 +386,11 @@ class HttpClient:
         timeout: Optional[float] = None,
     ) -> None:
         """Send *request*; *callback* fires with the response or error."""
-        conn = f"http-conn:{next(self._conn_ids)}"
         timeout = timeout if timeout is not None else self.default_timeout
+        if self.pool is not None:
+            self._request_pooled(target_node, port, request, callback, timeout)
+            return
+        conn = f"http-conn:{next(self._conn_ids)}"
         done: dict = {"fired": False, "timeout_event": None}
 
         def finish(response: Optional[HttpResponse], error: Optional[Exception]) -> None:
@@ -281,6 +433,26 @@ class HttpClient:
         except (NetworkError, NodeDownError) as exc:
             finish(None, exc)
 
+    def _request_pooled(
+        self,
+        target_node: str,
+        port: int,
+        request: HttpRequest,
+        callback: Callable[[Optional[HttpResponse], Optional[Exception]], None],
+        timeout: Optional[float],
+    ) -> None:
+        def finish(response: Optional[HttpResponse], error: Optional[Exception]) -> None:
+            if error is not None:
+                obs_metrics.inc(
+                    "transport.http.timeouts"
+                    if isinstance(error, TransportTimeoutError)
+                    else "transport.http.errors"
+                )
+            callback(response, error)
+
+        obs_metrics.inc("transport.http.requests_sent")
+        self.pool.lease(target_node, port).send(request, finish, timeout=timeout)
+
     def request(
         self,
         target_node: str,
@@ -311,10 +483,24 @@ class HttpTransport(Transport):
 
     scheme = "http"
 
-    def __init__(self, node: Node, default_timeout: Optional[float] = 30.0):
+    def __init__(
+        self,
+        node: Node,
+        default_timeout: Optional[float] = 30.0,
+        pool=None,
+    ):
         self.node = node
-        self.client = HttpClient(node, default_timeout)
+        self.client = HttpClient(node, default_timeout, pool=pool)
         self._servers: dict[int, HttpServer] = {}
+
+    @property
+    def pool(self):
+        return self.client.pool
+
+    def enable_pooling(self, config=None):
+        """Persistent pooled connections for this transport's client
+        (E11); see :meth:`HttpClient.enable_pooling`."""
+        return self.client.enable_pooling(config)
 
     def server_for(self, port: int = DEFAULT_HTTP_PORT) -> HttpServer:
         """Get (lazily starting) the HTTP server on *port* of this node."""
@@ -339,6 +525,19 @@ class HttpTransport(Transport):
                 return
             if error is not None:
                 on_response(None, error)
+            elif response is not None and response.status == 503:
+                # explicit shed: surface the Retry-After hint so
+                # supervision backs off this endpoint precisely
+                try:
+                    retry_after = float(response.headers.get("Retry-After", "0"))
+                except ValueError:
+                    retry_after = 0.0
+                on_response(
+                    None,
+                    TransportBusyError(
+                        f"HTTP 503: {response.body[:200]}", retry_after=retry_after
+                    ),
+                )
             elif response is not None and not response.ok and response.status != 500:
                 # 500 carries a SOAP fault body the engine will decode;
                 # other failure codes are transport-level errors.
@@ -367,5 +566,7 @@ class HttpTransport(Transport):
         server = self._servers.get(address.port or DEFAULT_HTTP_PORT)
         if server is not None:
             server.remove_route("/" + address.path)
-            if not server.routes:
+            # an installed interceptor still answers requests with no
+            # routes left — only a fully idle server shuts down
+            if not server.routes and server.interceptor is None:
                 server.stop()

@@ -18,7 +18,13 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.simnet.network import Node
-from repro.transport.base import ResponseCallback, ServerHandler, Transport, TransportError
+from repro.transport.base import (
+    ResponseCallback,
+    ServerHandler,
+    Transport,
+    TransportBusyError,
+    TransportError,
+)
 from repro.transport.http import HttpClient, HttpRequest, HttpResponse, HttpServer
 from repro.transport.uri import Uri
 
@@ -103,14 +109,24 @@ class HttpgTransport(Transport):
         credential: Credential,
         default_timeout: Optional[float] = 30.0,
         mutual: bool = True,
+        pool=None,
     ):
         self.node = node
         self.ca = ca
         self.credential = credential
         self.mutual = mutual
-        self.client = HttpClient(node, default_timeout)
+        self.client = HttpClient(node, default_timeout, pool=pool)
         self._servers: dict[int, HttpServer] = {}
         self.auth_failures = 0
+
+    @property
+    def pool(self):
+        return self.client.pool
+
+    def enable_pooling(self, config=None):
+        """Persistent pooled connections (E11); the credential handshake
+        rides each request unchanged, so pooling composes with auth."""
+        return self.client.enable_pooling(config)
 
     def send(
         self,
@@ -133,6 +149,20 @@ class HttpgTransport(Transport):
             assert response is not None
             if response.status == 401:
                 on_response(None, AuthenticationError(response.body))
+                return
+            if response.status == 503:
+                # shed by the connection queue before the authenticating
+                # route ran, so no peer credential accompanies it
+                try:
+                    retry_after = float(response.headers.get("Retry-After", "0"))
+                except ValueError:
+                    retry_after = 0.0
+                on_response(
+                    None,
+                    TransportBusyError(
+                        f"HTTPG 503: {response.body[:200]}", retry_after=retry_after
+                    ),
+                )
                 return
             if self.mutual:
                 peer = response.headers.get(self.PEER_CRED_HEADER)
@@ -187,5 +217,7 @@ class HttpgTransport(Transport):
         server = self._servers.get(address.port or DEFAULT_HTTPG_PORT)
         if server is not None:
             server.remove_route("/" + address.path)
-            if not server.routes:
+            # mirror HttpTransport: an installed interceptor keeps the
+            # server alive even with no routes left
+            if not server.routes and server.interceptor is None:
                 server.stop()

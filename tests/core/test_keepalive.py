@@ -1,0 +1,86 @@
+"""WSPeer-level integration of E11 persistent connections.
+
+``enable_http_keepalive`` routes a peer's outbound SOAP calls over a
+shared connection pool; ``configure_http_server`` tunes the provider's
+per-connection queue; failover health verdicts evict pooled
+connections to dead endpoints.
+"""
+
+import pytest
+
+from tests.core.conftest import Counter, Echo
+
+from repro.core import WsPeerError
+from repro.transport import PoolConfig
+
+
+def deploy_and_locate(provider, consumer, net, service=None, name="Echo"):
+    provider.deploy(service or Echo(), name=name)
+    provider.publish(name)
+    return consumer.locate_one(name)
+
+
+class TestKeepAliveInvocation:
+    def test_invocations_reuse_one_connection(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        handle = deploy_and_locate(provider, consumer, net)
+        pool = consumer.enable_http_keepalive()
+        for i in range(3):
+            assert consumer.invoke(handle, "echo", {"message": f"m{i}"}) == f"m{i}"
+        assert pool.opened == 1
+        assert pool.reused == 2
+
+    def test_pool_shared_across_retries_and_stateful_calls(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        handle = deploy_and_locate(provider, consumer, net, Counter(), "Counter")
+        consumer.enable_http_keepalive(PoolConfig(idle_timeout=60.0))
+        assert consumer.invoke(handle, "increment", {"by": 2}) == 2
+        assert consumer.invoke(handle, "increment", {"by": 3}) == 5
+        assert consumer.http_pool.opened == 1
+
+    def test_keepalive_requires_poolable_binding(self, p2ps_pair):
+        _, consumer, _ = p2ps_pair
+        with pytest.raises(WsPeerError):
+            consumer.enable_http_keepalive()
+
+    def test_failover_health_evicts_pooled_connections(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        handle = deploy_and_locate(provider, consumer, net)
+        consumer.enable_http_keepalive()
+        consumer.enable_failover()
+        executor = consumer.failover
+        assert consumer.invoke(handle, "echo", {"message": "warm"}) == "warm"
+        (conn,) = consumer.http_pool.connections()
+        executor.health.record_failure(handle.endpoints[0].address, fatal=True)
+        assert consumer.http_pool.size == 0
+        assert conn.state == "closed"
+
+    def test_enable_order_is_symmetric(self, standard_pair, net):
+        # keepalive-then-failover and failover-then-keepalive must both
+        # end up with the pool watching health verdicts
+        provider, consumer, _ = standard_pair
+        handle = deploy_and_locate(provider, consumer, net)
+        consumer.enable_failover()
+        consumer.enable_http_keepalive()
+        assert consumer.invoke(handle, "echo", {"message": "x"}) == "x"
+        consumer.failover.health.record_failure(
+            handle.endpoints[0].address, fatal=True
+        )
+        assert consumer.http_pool.size == 0
+
+
+class TestServerTuning:
+    def test_configure_http_server_sets_queue_knobs(self, standard_pair, net):
+        provider, consumer, _ = standard_pair
+        deploy_and_locate(provider, consumer, net)
+        server = provider.configure_http_server(
+            max_pending_per_connection=4.0, drain_rate=10.0, idle_timeout=None
+        )
+        assert server.max_pending_per_connection == 4.0
+        assert server.conn_drain_rate == 10.0
+        assert server.conn_idle_timeout is None
+
+    def test_configure_requires_http_binding(self, p2ps_pair):
+        provider, _, _ = p2ps_pair
+        with pytest.raises(WsPeerError):
+            provider.configure_http_server(max_pending_per_connection=1.0)

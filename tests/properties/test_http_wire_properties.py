@@ -1,0 +1,120 @@
+"""Property-based tests: HTTP messages survive the wire round-trip.
+
+The E11 satellite sweep fixed exact-case header matching; these
+properties pin the whole wire contract — arbitrary header casing and
+value whitespace, multi-word status reasons, and bodies that contain
+the very delimiters the parser splits on.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport import HttpRequest, HttpResponse
+
+# RFC 7230 token characters, minus ":" (the field separator). Header
+# names never need the full set in this stack, but the parser must not
+# care which subset a peer picks.
+_name_chars = string.ascii_letters + string.digits + "-_"
+_header_names = st.text(alphabet=_name_chars, min_size=1, max_size=16)
+
+# values: printable, no CR/LF (those would terminate the field line);
+# interior whitespace must survive, edges are stripped by the parser
+_header_values = st.text(
+    alphabet=st.characters(
+        codec="ascii", exclude_characters="\r\n", min_codepoint=0x20
+    ),
+    max_size=40,
+).map(lambda s: s.strip())
+
+# bodies may contain CRLF, blank lines, and colons — everything the
+# head parser treats as structure
+_bodies = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("Cs", "Cc")),
+    max_size=200,
+) | st.sampled_from(["", "\r\n", "\r\n\r\n", "a: b\r\n\r\nc", ": "])
+
+_paths = st.text(alphabet=string.ascii_lowercase + "/", max_size=20)
+
+_reasons = st.text(
+    alphabet=string.ascii_letters + " ", max_size=30
+).map(lambda s: " ".join(s.split()))  # collapse runs; strip edges
+
+
+def _header_maps(draw_names=_header_names, draw_values=_header_values):
+    # unique per *lowercased* name: duplicate field lines merge, which
+    # is correct HTTP but would make equality assertions ambiguous
+    return st.dictionaries(
+        draw_names, draw_values, max_size=5
+    ).map(
+        lambda d: {
+            k: v
+            for i, (k, v) in enumerate(d.items())
+            if k.lower() not in [n.lower() for n in list(d)[:i]]
+        }
+    )
+
+
+class TestRequestRoundTrip:
+    @settings(max_examples=200)
+    @given(path=_paths, body=_bodies, headers=_header_maps())
+    def test_request_survives_wire(self, path, body, headers):
+        req = HttpRequest("POST", path, body, headers)
+        back = HttpRequest.from_wire(req.to_wire())
+        assert back.method == req.method
+        assert back.path == req.path
+        assert back.body == body
+        for name, value in headers.items():
+            assert back.headers[name] == value
+
+    @settings(max_examples=100)
+    @given(name=_header_names, value=_header_values, body=_bodies)
+    def test_header_lookup_ignores_case_after_roundtrip(self, name, value, body):
+        req = HttpRequest("POST", "/svc", body, {name: value})
+        back = HttpRequest.from_wire(req.to_wire())
+        assert back.headers[name.lower()] == value
+        assert back.headers[name.upper()] == value
+        assert name.swapcase() in back.headers
+
+    @settings(max_examples=100)
+    @given(body=_bodies)
+    def test_content_length_always_accurate(self, body):
+        # the simulated wire is text, so framing counts characters;
+        # the declared length must match whatever the parser measures
+        wire = HttpRequest("POST", "/svc", body).to_wire()
+        back = HttpRequest.from_wire(wire)
+        assert int(back.headers["content-length"]) == len(body)
+
+
+class TestResponseRoundTrip:
+    @settings(max_examples=200)
+    @given(
+        status=st.integers(min_value=100, max_value=599),
+        body=_bodies,
+        headers=_header_maps(),
+    )
+    def test_response_survives_wire(self, status, body, headers):
+        resp = HttpResponse(status, body, headers)
+        back = HttpResponse.from_wire(resp.to_wire())
+        assert back.status == status
+        assert back.body == body
+        for name, value in headers.items():
+            assert back.headers[name] == value
+
+    @settings(max_examples=100)
+    @given(status=st.integers(min_value=100, max_value=599), reason=_reasons)
+    def test_multi_word_reason_survives(self, status, reason):
+        # "Service Unavailable", "Not Found": the status line is split
+        # on spaces, so the reason phrase must be reassembled
+        resp = HttpResponse(status, "", {})
+        resp.reason = reason
+        back = HttpResponse.from_wire(resp.to_wire())
+        assert back.status == status
+        assert back.reason == reason
+
+    @settings(max_examples=50)
+    @given(body=_bodies)
+    def test_empty_and_delimiter_bodies(self, body):
+        back = HttpResponse.from_wire(HttpResponse(200, body).to_wire())
+        assert back.body == body

@@ -26,6 +26,21 @@ class TestRememberAndSeen:
         window.seen("b")  # miss: not counted
         assert window.duplicates == 2
 
+    def test_all_read_paths_count_duplicates(self):
+        # regression: the counter's contract is "hits observed via any
+        # read path", but only seen() used to increment it
+        window = DedupWindow()
+        window.remember("a", "<response/>")
+        assert window.seen("a")
+        assert "a" in window
+        assert window.get("a") == "<response/>"
+        assert window.duplicates == 3
+        # misses never count, whichever path probes
+        assert not window.seen("nope")
+        assert "nope" not in window
+        assert window.get("nope") is None
+        assert window.duplicates == 3
+
     def test_contains_and_iter(self):
         window = DedupWindow()
         window.remember("a")
@@ -55,14 +70,30 @@ class TestEviction:
         assert len(window) <= 3
         assert "new" in window
 
-    def test_re_remember_moves_to_back(self):
+    def test_re_remember_keeps_fifo_order(self):
+        # regression: re-remembering used to move_to_end, silently
+        # turning the documented FIFO ring into LRU — a retransmitting
+        # client could shield its id from eviction forever
         window = DedupWindow(max_entries=2)
         window.remember("a")
         window.remember("b")
-        window.remember("a", "updated")  # refresh, not insert
-        window.remember("c")  # evicts b, not a
-        assert "a" in window and "b" not in window
+        window.remember("a", "updated")  # refreshes the value only
         assert window.get("a") == "updated"
+        window.remember("c")  # evicts a (oldest first insertion), not b
+        assert "a" not in window and "b" in window and "c" in window
+
+    def test_re_remember_keeps_original_stored_at(self):
+        # FIFO consistency extends to the ttl clock: refreshing a value
+        # must not restart the entry's lifetime
+        kernel = Kernel()
+        window = DedupWindow(ttl=5.0, clock=lambda: kernel.now)
+        window.remember("a")
+        kernel.schedule(3.0, lambda: None)
+        kernel.run_until_idle()  # now = 3.0
+        window.remember("a", "refreshed")
+        kernel.schedule(3.0, lambda: None)
+        kernel.run_until_idle()  # now = 6.0 > first-insertion + ttl
+        assert not window.seen("a")
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):

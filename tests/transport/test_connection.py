@@ -1,0 +1,295 @@
+"""Tests for E11: persistent HTTP connections, pooling, pipelining,
+and bounded server-side request queues."""
+
+import pytest
+
+from repro.simnet import FixedLatency, Network, TraceLog
+from repro.supervision.failover import BUSY, classify_error
+from repro.supervision.health import HealthMonitor
+from repro.transport import (
+    ConnectionPool,
+    HttpClient,
+    HttpResponse,
+    HttpRequest,
+    HttpServer,
+    HttpTransport,
+    PoolConfig,
+    TransportBusyError,
+    TransportTimeoutError,
+    Uri,
+)
+from repro.transport.connection import CLOSED, IDLE
+
+
+@pytest.fixture
+def net():
+    network = Network(latency=FixedLatency(0.005), trace=TraceLog(enabled=True))
+    network.add_node("client")
+    network.add_node("server")
+    return network
+
+
+def echo_server(net, port=80, **knobs):
+    server = HttpServer(net.get_node("server"), port)
+    for name, value in knobs.items():
+        setattr(server, name, value)
+    server.add_route("/echo", lambda req: HttpResponse(200, req.body))
+    server.start()
+    return server
+
+
+class TestKeepAlive:
+    def test_two_requests_share_one_connection(self, net):
+        server = echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig())
+        for body in ("one", "two"):
+            response = client.request("server", 80, HttpRequest("POST", "/echo", body))
+            assert response.ok and response.body == body
+        assert client.pool.opened == 1
+        assert client.pool.reused == 1
+        assert len(server.connections) == 1
+        assert server.requests_served == 2
+
+    def test_keep_alive_costs_two_hops_after_handshake(self, net):
+        # handshake = 2 hops, then each request/response = 2 hops at
+        # 5ms each; the second request must NOT pay the handshake again
+        echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig())
+        client.request("server", 80, HttpRequest("POST", "/echo", "a"))
+        t_first = net.now
+        client.request("server", 80, HttpRequest("POST", "/echo", "b"))
+        assert net.now - t_first == pytest.approx(0.01)  # 2 hops, no connect
+
+    def test_idle_timeout_closes_connection(self, net):
+        server = echo_server(net)
+        client = HttpClient(
+            net.get_node("client"), pool=PoolConfig(idle_timeout=0.5)
+        )
+        client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        (conn,) = client.pool.connections()
+        assert conn.state == IDLE
+        net.run()  # fires the idle timer, then the close frame drains
+        assert conn.state == CLOSED
+        assert client.pool.size == 0
+        assert server.connections == []  # server side cleaned up too
+
+    def test_max_requests_per_connection_recycles(self, net):
+        echo_server(net)
+        client = HttpClient(
+            net.get_node("client"),
+            pool=PoolConfig(max_requests_per_connection=1),
+        )
+        client.request("server", 80, HttpRequest("POST", "/echo", "a"))
+        client.request("server", 80, HttpRequest("POST", "/echo", "b"))
+        assert client.pool.opened == 2
+        assert client.pool.reused == 0
+
+    def test_explicit_close_clears_server_state(self, net):
+        server = echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig())
+        client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        (conn,) = client.pool.connections()
+        conn.close()
+        net.run()
+        assert server.connections == []
+        assert client.pool.size == 0
+
+    def test_pool_bound_evicts_lru_free_connection(self, net):
+        net.add_node("server2")
+        echo_server(net)
+        server2 = HttpServer(net.get_node("server2"), 80)
+        server2.add_route("/echo", lambda req: HttpResponse(200, req.body))
+        server2.start()
+        client = HttpClient(
+            net.get_node("client"), pool=PoolConfig(max_connections=1)
+        )
+        client.request("server", 80, HttpRequest("POST", "/echo", "a"))
+        first = client.pool.connections()[0]
+        client.request("server2", 80, HttpRequest("POST", "/echo", "b"))
+        assert first.state == CLOSED  # LRU-evicted to stay in bound
+        assert client.pool.evicted == 1
+        assert client.pool.size == 1
+
+
+class TestPipelining:
+    def test_responses_delivered_in_request_order(self, net):
+        # size-dependent latency genuinely reorders frames on the wire:
+        # the small second response overtakes the large first one
+        net.latency = FixedLatency(0.005, per_byte=0.0005)
+        echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig(pipeline=True))
+        bodies = ["L" * 400, "s"]
+        delivered = []
+
+        def cb_for(i):
+            return lambda resp, err: delivered.append((i, resp, err))
+
+        for i, body in enumerate(bodies):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", body), cb_for(i)
+            )
+        (conn,) = client.pool.connections()
+        net.run()
+        assert [i for i, _, _ in delivered] == [0, 1]
+        for i, resp, err in delivered:
+            assert err is None
+            assert resp.body == bodies[i]  # every response matches its request
+        assert conn.out_of_order >= 1  # the wire really did reorder
+        assert client.pool.opened == 1  # all of it on a single connection
+
+    def test_non_pipelined_serialises_in_flight(self, net):
+        server = echo_server(net)
+        client = HttpClient(
+            net.get_node("client"),
+            pool=PoolConfig(pipeline=False, max_connections=1),
+        )
+        results = []
+        for body in ("a", "b", "c"):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", body),
+                lambda resp, err: results.append((resp, err)),
+            )
+        (conn,) = client.pool.connections()
+        assert conn.in_flight == 3  # queued locally, one on the wire at a time
+        net.run()
+        assert [r.body for r, e in results] == ["a", "b", "c"]
+        assert all(e is None for _, e in results)
+        assert server.requests_served == 3
+
+
+class TestBoundedServerQueue:
+    def test_overflow_answers_busy_with_retry_after(self, net):
+        echo_server(net, max_pending_per_connection=2.0, conn_drain_rate=1.0)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig(pipeline=True))
+        results = []
+        for i in range(5):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", f"r{i}"),
+                lambda resp, err: results.append((resp, err)),
+            )
+        net.run()
+        statuses = [resp.status for resp, _ in results]
+        assert statuses == [200, 200, 503, 503, 503]
+        for resp, err in results:
+            assert err is None  # raw client surfaces the 503 response itself
+            if resp.status == 503:
+                assert float(resp.headers["Retry-After"]) > 0
+
+    def test_transport_maps_busy_to_error_and_failover_backs_off(self, net):
+        echo_server(net, max_pending_per_connection=1.0, conn_drain_rate=1.0)
+        transport = HttpTransport(net.get_node("client"))
+        transport.enable_pooling(PoolConfig(pipeline=True))
+        results = []
+        for _ in range(3):
+            transport.send(
+                Uri.parse("http://server/echo"), "payload",
+                on_response=lambda body, err: results.append((body, err)),
+            )
+        net.run()
+        assert results[0][1] is None
+        busy_errors = [err for _, err in results[1:]]
+        for err in busy_errors:
+            assert isinstance(err, TransportBusyError)
+            assert err.retry_after > 0
+            assert classify_error(err) == BUSY
+
+    def test_unbounded_queue_never_sheds(self, net):
+        echo_server(net, max_pending_per_connection=None)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig(pipeline=True))
+        results = []
+        for i in range(20):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", f"r{i}"),
+                lambda resp, err: results.append(resp.status),
+            )
+        net.run()
+        assert results == [200] * 20
+
+
+class TestFailureHandling:
+    def test_request_timeout_aborts_connection_and_pool_recovers(self, net):
+        # no server listening: the CONNECT frame lands on no handler
+        client = HttpClient(
+            net.get_node("client"), pool=PoolConfig(connect_timeout=5.0)
+        )
+        with pytest.raises(TransportTimeoutError):
+            client.request(
+                "server", 80, HttpRequest("POST", "/echo", "x"), timeout=0.5
+            )
+        assert client.pool.size == 0
+        # the pool opens a fresh connection for the next request
+        echo_server(net)
+        response = client.request("server", 80, HttpRequest("POST", "/echo", "y"))
+        assert response.body == "y"
+        assert client.pool.opened == 2
+
+    def test_timeout_fails_later_pipelined_requests_too(self, net):
+        client = HttpClient(net.get_node("client"), pool=PoolConfig(pipeline=True))
+        results = []
+        for body in ("a", "b"):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", body),
+                lambda resp, err: results.append((resp, err)),
+                timeout=0.5,
+            )
+        net.run()
+        assert results[0][0] is None and isinstance(results[0][1], TransportTimeoutError)
+        # the poisoned connection fails the second caller instead of
+        # leaving it waiting for an unmatchable response
+        assert results[1][0] is None and results[1][1] is not None
+
+    def test_dead_health_verdict_evicts_pooled_connections(self, net):
+        echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig())
+        monitor = HealthMonitor(clock=lambda: net.now)
+        client.pool.attach_health(monitor)
+        client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        (conn,) = client.pool.connections()
+        monitor.record_failure("http://server/echo", fatal=True)
+        assert conn.state == CLOSED
+        assert client.pool.size == 0
+        assert client.pool.evicted_dead == 1
+
+    def test_unroutable_target_times_out(self, net):
+        # parity with the ephemeral client: frames to an unknown node
+        # vanish, so the caller sees its timeout
+        client = HttpClient(net.get_node("client"), pool=PoolConfig())
+        errors = []
+        client.request_async(
+            "ghost", 80, HttpRequest("POST", "/echo", "x"),
+            lambda resp, err: errors.append(err),
+            timeout=0.5,
+        )
+        net.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], TransportTimeoutError)
+
+
+class TestTraceIntegration:
+    def test_connection_frames_are_tagged_in_trace(self, net):
+        echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig())
+        client.request("server", 80, HttpRequest("POST", "/echo", "x"))
+        (conn,) = client.pool.connections()
+        tagged = [
+            r for r in net.trace.records
+            if r.kind in ("sent", "delivered") and r.detail.get("conn") == conn.id
+        ]
+        # connect + accept + request + response, each sent and delivered
+        assert len(tagged) >= 8
+        untagged = [
+            r for r in net.trace.records
+            if r.kind == "sent" and "conn" not in r.detail
+        ]
+        assert untagged == []  # every frame of this exchange was scoped
+
+
+class TestSharedPool:
+    def test_pool_shared_between_clients(self, net):
+        echo_server(net)
+        pool = ConnectionPool(net.get_node("client"), PoolConfig())
+        first = HttpClient(net.get_node("client"), pool=pool)
+        second = HttpClient(net.get_node("client"), pool=pool)
+        first.request("server", 80, HttpRequest("POST", "/echo", "a"))
+        second.request("server", 80, HttpRequest("POST", "/echo", "b"))
+        assert pool.opened == 1 and pool.reused == 1

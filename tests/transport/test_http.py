@@ -25,6 +25,12 @@ def net():
     return network
 
 
+def _metric(name):
+    from repro.observability.metrics import default_registry
+
+    return default_registry().get(name)
+
+
 class TestMessageModel:
     def test_request_wire_roundtrip(self):
         req = HttpRequest("POST", "/svc", "hello", {"X-A": "1"})
@@ -77,6 +83,66 @@ class TestMessageModel:
         body = "line1\r\n\r\nline2"
         back = HttpResponse.from_wire(HttpResponse(200, body).to_wire())
         assert back.body == body
+
+
+class TestHeaderCaseInsensitivity:
+    """Regression tests: header field names are case-insensitive
+    (RFC 9110 §5.1); exact-case matching let a lowercase
+    ``content-length:`` skip body validation entirely."""
+
+    def test_lowercase_content_length_is_validated(self):
+        wire = "POST /x HTTP/1.1\r\ncontent-length: 99\r\n\r\nshort"
+        with pytest.raises(TransportError):
+            HttpRequest.from_wire(wire)
+
+    def test_mixed_case_lookup(self):
+        req = HttpRequest.from_wire(
+            "POST /x HTTP/1.1\r\nCoNtEnT-tYpE: text/xml\r\n\r\n"
+        )
+        assert req.headers["content-type"] == "text/xml"
+        assert req.headers["Content-Type"] == "text/xml"
+
+    def test_render_preserves_first_seen_casing(self):
+        req = HttpRequest("POST", "/x", "hi", {"x-custom": "1"})
+        req.headers["X-Custom"] = "2"  # same field, different casing
+        wire = req.to_wire()
+        assert "x-custom: 2" in wire
+        assert "X-Custom" not in wire
+
+    def test_setdefault_does_not_duplicate_differently_cased_field(self):
+        # to_wire used to add a second Content-Length/Content-Type line
+        # when the caller had set a lowercase variant
+        req = HttpRequest("POST", "/x", "hi", {"content-length": "2"})
+        wire = req.to_wire()
+        assert wire.lower().count("content-length") == 1
+
+    def test_transport_send_respects_lowercase_content_type(self, net):
+        captured = {}
+        server_side = HttpTransport(net.get_node("server"))
+        server_side.listen(
+            Uri.parse("http://server/svc"),
+            lambda body, headers: (
+                captured.setdefault("headers", headers) and ("", {}) or ("", {})
+            ),
+        )
+        client_side = HttpTransport(net.get_node("client"))
+        client_side.send(
+            Uri.parse("http://server/svc"), "x",
+            headers={"content-type": "application/custom"},
+        )
+        net.run()
+        # the SPI hands the handler a plain dict keyed by the sender's
+        # casing; the default must not have been layered on top
+        sent = captured["headers"]
+        values = [v for k, v in sent.items() if k.lower() == "content-type"]
+        assert values == ["application/custom"]
+
+    def test_duplicate_header_lines_merge_last_wins(self):
+        req = HttpRequest.from_wire(
+            "POST /x HTTP/1.1\r\nX-A: one\r\nx-a: two\r\n\r\n"
+        )
+        assert req.headers["X-A"] == "two"
+        assert len([k for k in req.headers if k.lower() == "x-a"]) == 1
 
 
 class TestServerClient:
@@ -177,6 +243,35 @@ class TestServerClient:
             client.request("server", 80, HttpRequest("POST", "/echo", "x"))
         assert server.requests_served == 3
 
+    def test_malformed_request_counted_not_silently_dropped(self, net):
+        # regression: garbage on the wire was answered with a 400 but
+        # left no server-side evidence at all
+        server = self.make_server(net)
+        before = _metric("transport.http.bad_requests")
+        client_node = net.get_node("client")
+        replies = []
+        client_node.open_port("probe", lambda frame: replies.append(frame.payload))
+        client_node.send("server", "http:80", "THIS IS NOT HTTP", reply_port="probe")
+        net.run()
+        assert server.bad_requests == 1
+        assert _metric("transport.http.bad_requests") == before + 1
+        assert len(replies) == 1
+        assert HttpResponse.from_wire(replies[0]).status == 400
+        client_node.close_port("probe")
+
+    def test_reply_without_reply_port_counted_as_dropped(self, net):
+        # regression: a request frame with no reply_port produced a
+        # response that vanished without a trace
+        server = self.make_server(net)
+        before = _metric("transport.http.dropped_replies")
+        net.get_node("client").send(
+            "server", "http:80", HttpRequest("POST", "/echo", "hi").to_wire()
+        )
+        net.run()
+        assert server.requests_served == 1  # the handler did run
+        assert server.dropped_replies == 1
+        assert _metric("transport.http.dropped_replies") == before + 1
+
 
 class TestHttpTransport:
     def test_spi_round_trip(self, net):
@@ -231,6 +326,25 @@ class TestHttpTransport:
         server_side.listen(addr, lambda b, h: (b, {}))
         server_side.stop_listening(addr)
         assert not server_side.server_for(80).started
+
+    def test_stop_listening_keeps_server_while_interceptor_installed(self, net):
+        # regression: removing the last route used to stop the server
+        # even though an interceptor (e.g. a WS-Security envelope guard)
+        # was still answering every request
+        server_side = HttpTransport(net.get_node("server"))
+        addr = Uri.parse("http://server/svc")
+        server_side.listen(addr, lambda b, h: (b, {}))
+        server = server_side.server_for(80)
+        server.interceptor = lambda req: HttpResponse(200, "guarded")
+        server_side.stop_listening(addr)
+        assert server.started  # interceptor still needs the socket
+        client = HttpClient(net.get_node("client"))
+        resp = client.request("server", 80, HttpRequest("POST", "/svc", "x"))
+        assert resp.body == "guarded"
+        # once the interceptor is gone too, the server may shut down
+        server.interceptor = None
+        server_side.stop_listening(addr)
+        assert not server.started
 
 
 class TestRegistry:

@@ -139,6 +139,22 @@ class TestHttpgTransport:
         body, err = send_and_run(net, client)
         assert isinstance(err, AuthenticationError)
 
+    def test_stop_listening_keeps_server_while_interceptor_installed(self, world):
+        # regression: removing the last route stopped the server even
+        # with an interceptor still installed (same bug as HttpTransport)
+        from repro.transport.http import HttpResponse
+        from repro.transport.httpg import DEFAULT_HTTPG_PORT
+
+        net, ca = world
+        client, server = wire_pair(net, ca)
+        http_server = server._servers[DEFAULT_HTTPG_PORT]
+        http_server.interceptor = lambda req: HttpResponse(200, "guarded")
+        server.stop_listening(Uri.parse("httpg://server/svc"))
+        assert http_server.started
+        http_server.interceptor = None
+        server.stop_listening(Uri.parse("httpg://server/svc"))
+        assert not http_server.started
+
     def test_stop_listening(self, world):
         net, ca = world
         client, server = wire_pair(net, ca)
