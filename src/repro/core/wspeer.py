@@ -93,6 +93,8 @@ class WSPeer(EventSource):
         self.client = Client(self)
         #: set by :meth:`enable_failover`
         self.failover = None
+        #: set by :meth:`enable_distributed_discovery`
+        self.discovery = None
         #: set by :meth:`enable_observability`
         self.tracer = None
         #: set by :meth:`enable_http_keepalive`
@@ -305,6 +307,35 @@ class WSPeer(EventSource):
             self.http_pool.attach_health(health)
         self.failover = executor
         return executor
+
+    # ------------------------------------------------------------------
+    # distributed discovery (E12)
+    # ------------------------------------------------------------------
+    def enable_distributed_discovery(
+        self,
+        plane,
+        business_name: str = "WSPeer",
+        lease_ttl: Optional[float] = None,
+        with_gossip: bool = True,
+    ):
+        """Route this peer's locate/publish through a
+        :class:`~repro.discovery.plane.DiscoveryPlane`.
+
+        Swaps in the plane's locator and publisher (sharded + replicated
+        registries, rendezvous cache, gossip freshness) behind the same
+        ``locate``/``publish`` calls.  Works in either order with
+        :meth:`enable_failover`: whichever comes second finds the other
+        already in place, so health verdicts always reach the cache.
+        *lease_ttl* puts every publication on a registration lease.
+        Returns the peer's :class:`~repro.discovery.DiscoveryClient`,
+        also kept as ``self.discovery``.
+        """
+        return plane.attach(
+            self,
+            business_name=business_name,
+            lease_ttl=lease_ttl,
+            with_gossip=with_gossip,
+        )
 
     # ------------------------------------------------------------------
     # connection management (E11)

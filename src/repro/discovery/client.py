@@ -1,0 +1,488 @@
+"""DiscoveryClient — sharded, replicated, cached UDDI access.
+
+One client object per peer.  It owns the consistent-hash ring over the
+registry shards, a :class:`~repro.discovery.cache.RendezvousCache`, and
+(optionally) the peer's gossip agent, and it implements the plane's
+three verbs:
+
+``publish``
+    Routes to the service's replica set (primary first, failing over to
+    the next replica when the primary is unreachable), replicates the
+    resulting record to the remaining replicas, and gossips an
+    announcement whose freshness counter is the registry revision.
+
+``resolve``
+    Cache first; on a miss, queries all R replicas of the home shard,
+    merges replies by revision, read-repairs stale or missing replicas,
+    fetches WSDL, and caches the result.  Wildcard patterns scatter to
+    every shard instead (no single shard owns a pattern).
+
+``withdraw``
+    Deletes from every replica and gossips a tombstone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.discovery.cache import RendezvousCache
+from repro.discovery.gossip import GossipNode
+from repro.discovery.ring import HashRing
+from repro.observability import metrics as obs_metrics
+from repro.simnet.network import Node
+from repro.transport.base import TransportError
+from repro.transport.http import HttpClient, HttpRequest
+from repro.transport.uri import Uri
+from repro.uddi.client import UddiClient
+
+EventHook = Callable[..., None]
+
+
+class DiscoveryError(Exception):
+    """The plane could not serve a request (all replicas unreachable)."""
+
+
+class ResolvedService:
+    """One provider of a service name, fully resolved."""
+
+    __slots__ = ("name", "service_key", "endpoints", "wsdl_text", "revision", "from_cache")
+
+    def __init__(self, name, service_key, endpoints, wsdl_text, revision, from_cache):
+        self.name = name
+        self.service_key = service_key
+        self.endpoints = list(endpoints)
+        self.wsdl_text = wsdl_text
+        self.revision = revision
+        self.from_cache = from_cache
+
+    def __repr__(self) -> str:
+        via = "cache" if self.from_cache else "registry"
+        return f"<ResolvedService {self.name} rev={self.revision} via {via}>"
+
+
+class DiscoveryClient:
+    """A peer's window onto the discovery plane."""
+
+    def __init__(
+        self,
+        node: Node,
+        registry_uris: dict[str, str],
+        replication: int = 2,
+        cache: Optional[RendezvousCache] = None,
+        gossip: Optional[GossipNode] = None,
+        timeout: float = 30.0,
+        cache_lifetime: float = 30.0,
+    ):
+        self.node = node
+        self.registry_uris = dict(registry_uris)
+        self.replication = max(1, replication)
+        self.ring = HashRing(self.registry_uris)
+        self.cache = cache if cache is not None else RendezvousCache(
+            lambda: node.network.kernel.now, lifetime=cache_lifetime
+        )
+        self.gossip = gossip
+        if gossip is not None:
+            gossip.add_listener(self.cache.on_announcement)
+        self.http = HttpClient(node, timeout)
+        self._clients: dict[str, UddiClient] = {}
+        self._timeout = timeout
+        #: set by the locator facade so plane activity lands in the
+        #: discovery event stream / trace like every other locator's
+        self.on_event: Optional[EventHook] = None
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, **fields)
+
+    def _client(self, shard: str) -> UddiClient:
+        client = self._clients.get(shard)
+        if client is None:
+            client = UddiClient(self.node, self.registry_uris[shard], self._timeout)
+            self._clients[shard] = client
+        return client
+
+    def replicas_for(self, service_name: str) -> list[str]:
+        """The replica set (shard ids, primary first) owning *service_name*."""
+        return self.ring.nodes_for(service_name, self.replication)
+
+    # ------------------------------------------------------------------
+    # publish
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        business_name: str,
+        service_name: str,
+        access_point: str,
+        wsdl_url: str = "",
+        description: str = "",
+        categories: Optional[list[dict]] = None,
+        ttl: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Publish to the home shard, replicate, announce.
+
+        The first reachable replica acts as primary (so a dead shard
+        never blocks publication); the record it mints — revision
+        included — is imported verbatim by the surviving replicas.
+        """
+        replicas = self.replicas_for(service_name)
+        obs_metrics.inc("discovery.publishes")
+        record: Optional[dict[str, Any]] = None
+        acting_primary: Optional[str] = None
+        last_error: Optional[Exception] = None
+        for shard in replicas:
+            client = self._client(shard)
+            try:
+                detail = client.publish_service(
+                    business_name,
+                    service_name,
+                    access_point,
+                    wsdl_url=wsdl_url,
+                    description=description,
+                    categories=categories,
+                    ttl=ttl,
+                )
+                record = client.export_service(detail["serviceKey"])
+                acting_primary = shard
+                break
+            except TransportError as exc:
+                last_error = exc
+                obs_metrics.inc("discovery.publish_failovers")
+                continue
+        if record is None or acting_primary is None:
+            raise DiscoveryError(
+                f"no replica of {service_name!r} reachable: {last_error}"
+            )
+        for shard in replicas:
+            if shard == acting_primary:
+                continue
+            try:
+                self._client(shard).import_service(record)
+            except TransportError:
+                pass  # a dead replica catches up via read-repair later
+        if self.gossip is not None:
+            service = record["service"]
+            self.gossip.announce(
+                service_name,
+                [b["accessPoint"] for b in service.get("bindingTemplates", [])],
+                service_key=service["serviceKey"],
+                wsdl_url=wsdl_url,
+                seq=int(record.get("revision", 1)),
+            )
+        return record
+
+    def withdraw(self, service_name: str) -> int:
+        """Delete *service_name* from every replica; gossip a tombstone."""
+        removed = 0
+        for shard in self.replicas_for(service_name):
+            client = self._client(shard)
+            try:
+                for found in client.call("find_service", name_pattern=service_name):
+                    client.call("delete_service", service_key=found["serviceKey"])
+                    removed += 1
+            except TransportError:
+                continue
+        self.cache.invalidate(service_name)
+        if self.gossip is not None:
+            self.gossip.withdraw(service_name)
+        return removed
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup_records(
+        self,
+        name_pattern: str,
+        categories: Optional[list[dict]] = None,
+        max_rows: int = 0,
+    ) -> list[dict[str, Any]]:
+        """Replication records for *name_pattern*, replica-merged.
+
+        Exact names query the home shard's replica set and read-repair
+        divergent replies; wildcard patterns scatter to every shard.
+        """
+        obs_metrics.inc("discovery.lookups")
+        if "%" in name_pattern:
+            return self._scatter(name_pattern, categories, max_rows)
+        replicas = self.replicas_for(name_pattern)
+        replies: dict[str, list[dict[str, Any]]] = {}
+        last_error: Optional[Exception] = None
+        for shard in replicas:
+            try:
+                replies[shard] = self._client(shard).find_service_records(
+                    name_pattern, categories, max_rows
+                )
+            except TransportError as exc:
+                last_error = exc
+        if not replies:
+            raise DiscoveryError(
+                f"no replica of {name_pattern!r} reachable: {last_error}"
+            )
+        merged = self._merge(replies)
+        self._read_repair(name_pattern, replies, merged)
+        return list(merged.values())
+
+    def _scatter(
+        self,
+        name_pattern: str,
+        categories: Optional[list[dict]],
+        max_rows: int,
+    ) -> list[dict[str, Any]]:
+        replies: dict[str, list[dict[str, Any]]] = {}
+        for shard in self.ring.nodes:
+            try:
+                replies[shard] = self._client(shard).find_service_records(
+                    name_pattern, categories, max_rows
+                )
+            except TransportError:
+                continue
+        if not replies:
+            raise DiscoveryError(f"no registry shard reachable for {name_pattern!r}")
+        return list(self._merge(replies).values())
+
+    @staticmethod
+    def _merge(
+        replies: dict[str, list[dict[str, Any]]]
+    ) -> dict[str, dict[str, Any]]:
+        """serviceKey -> freshest record across all replying shards."""
+        merged: dict[str, dict[str, Any]] = {}
+        for records in replies.values():
+            for record in records:
+                key = record["service"]["serviceKey"]
+                held = merged.get(key)
+                if held is None or int(record.get("revision", 0)) > int(
+                    held.get("revision", 0)
+                ):
+                    merged[key] = record
+        return merged
+
+    def _read_repair(
+        self,
+        service_name: str,
+        replies: dict[str, list[dict[str, Any]]],
+        merged: dict[str, dict[str, Any]],
+    ) -> None:
+        """Write the freshest record back to stale or missing replicas."""
+        for shard, records in replies.items():
+            held = {
+                r["service"]["serviceKey"]: int(r.get("revision", 0)) for r in records
+            }
+            client = self._client(shard)
+            for key, record in merged.items():
+                if held.get(key, -1) >= int(record.get("revision", 0)):
+                    continue
+                try:
+                    client.import_service(record)
+                    obs_metrics.inc("discovery.read_repairs")
+                    self._emit(
+                        "read-repair", service=service_name, shard=shard,
+                        revision=int(record.get("revision", 0)),
+                    )
+                except TransportError:
+                    continue
+
+    # ------------------------------------------------------------------
+    # resolve (records + WSDL + cache)
+    # ------------------------------------------------------------------
+    def resolve(
+        self, service_name: str, categories: Optional[list[dict]] = None
+    ) -> list[ResolvedService]:
+        """Fully resolve *service_name*: endpoints + WSDL text.
+
+        Exact, uncategorised names are answered from the rendezvous
+        cache when possible — zero network frames on a hit.
+        """
+        cacheable = "%" not in service_name and not categories
+        if cacheable:
+            cached = self.cache.get(service_name)
+            if cached is not None:
+                self._emit("cache-hit", service=service_name, providers=len(cached))
+                return [
+                    ResolvedService(
+                        service_name, c.service_key, c.endpoints, c.wsdl_text,
+                        c.revision, True,
+                    )
+                    for c in cached
+                ]
+        resolved: list[ResolvedService] = []
+        for record in self._dedupe(self.lookup_records(service_name, categories)):
+            item = self._resolve_record(record)
+            if item is None:
+                continue
+            resolved.append(item)
+            if cacheable:
+                self.cache.put(
+                    item.name, item.service_key, item.endpoints,
+                    item.wsdl_text, item.revision,
+                )
+        return resolved
+
+    @staticmethod
+    def _dedupe(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Collapse records that describe the same provider under
+        different keys (a publish that failed over mints a new key);
+        identity is (name, endpoint set), freshest revision wins."""
+        best: dict[tuple, dict[str, Any]] = {}
+        for record in records:
+            service = record["service"]
+            identity = (
+                service["name"],
+                tuple(sorted(
+                    b["accessPoint"] for b in service.get("bindingTemplates", [])
+                )),
+            )
+            held = best.get(identity)
+            if held is None or int(record.get("revision", 0)) > int(
+                held.get("revision", 0)
+            ):
+                best[identity] = record
+        return [best[k] for k in sorted(best)]
+
+    def _resolve_record(self, record: dict[str, Any]) -> Optional[ResolvedService]:
+        service = record["service"]
+        endpoints = [
+            b["accessPoint"] for b in service.get("bindingTemplates", [])
+        ]
+        if not endpoints:
+            return None
+        wsdl_url = next(
+            (t["overviewURL"] for t in record.get("tModels", []) if t.get("overviewURL")),
+            "",
+        )
+        wsdl_text = ""
+        if wsdl_url:
+            try:
+                wsdl_text = self._fetch(wsdl_url)
+            except TransportError:
+                return None
+        return ResolvedService(
+            service["name"], service["serviceKey"], endpoints, wsdl_text,
+            int(record.get("revision", 0)), False,
+        )
+
+    def _fetch(self, url: str) -> str:
+        uri = Uri.parse(url)
+        response = self.http.request(
+            uri.host, uri.port or 80, HttpRequest("GET", "/" + uri.path)
+        )
+        if not response.ok:
+            raise TransportError(f"GET {url} -> {response.status}")
+        return response.body
+
+    # ------------------------------------------------------------------
+    # async resolve (the event-driven path benchmarks drive)
+    # ------------------------------------------------------------------
+    def resolve_async(
+        self,
+        service_name: str,
+        callback: Callable[[list[ResolvedService], Optional[Exception]], None],
+    ) -> None:
+        """Event-driven :meth:`resolve` for exact names.
+
+        A cache hit completes via ``kernel.call_soon`` (still zero
+        network frames, but never re-entrantly under the caller).
+        """
+        cached = self.cache.get(service_name)
+        if cached is not None:
+            self._emit("cache-hit", service=service_name, providers=len(cached))
+            items = [
+                ResolvedService(
+                    service_name, c.service_key, c.endpoints, c.wsdl_text,
+                    c.revision, True,
+                )
+                for c in cached
+            ]
+            self.node.network.kernel.call_soon(callback, items, None)
+            return
+        obs_metrics.inc("discovery.lookups")
+        replicas = self.replicas_for(service_name)
+        state: dict[str, Any] = {"replies": {}, "outstanding": len(replicas)}
+
+        def on_records(shard: str, records, error) -> None:
+            if error is None and records is not None:
+                state["replies"][shard] = records
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0:
+                self._finish_lookup_async(service_name, state["replies"], callback)
+
+        for shard in replicas:
+            self._client(shard).call_async(
+                "find_service_records",
+                (lambda s: lambda records, error: on_records(s, records, error))(shard),
+                name_pattern=service_name,
+                category_bag=[],
+                max_rows=0,
+            )
+
+    def _finish_lookup_async(self, service_name, replies, callback) -> None:
+        if not replies:
+            callback([], DiscoveryError(f"no replica of {service_name!r} reachable"))
+            return
+        merged = self._merge(replies)
+        # repair in the background; the caller's answer doesn't wait on it
+        for shard, records in replies.items():
+            held = {
+                r["service"]["serviceKey"]: int(r.get("revision", 0)) for r in records
+            }
+            for key, record in merged.items():
+                if held.get(key, -1) >= int(record.get("revision", 0)):
+                    continue
+                obs_metrics.inc("discovery.read_repairs")
+                self._emit(
+                    "read-repair", service=service_name, shard=shard,
+                    revision=int(record.get("revision", 0)),
+                )
+                self._client(shard).call_async(
+                    "import_service", lambda result, error: None, record=record
+                )
+        records = self._dedupe(list(merged.values()))
+        items: list[ResolvedService] = []
+        pending = {"count": 0, "done_listing": False}
+
+        def finish_one() -> None:
+            pending["count"] -= 1
+            maybe_done()
+
+        def maybe_done() -> None:
+            if pending["done_listing"] and pending["count"] == 0:
+                for item in items:
+                    self.cache.put(
+                        item.name, item.service_key, item.endpoints,
+                        item.wsdl_text, item.revision,
+                    )
+                callback(items, None)
+
+        for record in records:
+            service = record["service"]
+            endpoints = [b["accessPoint"] for b in service.get("bindingTemplates", [])]
+            if not endpoints:
+                continue
+            wsdl_url = next(
+                (t["overviewURL"] for t in record.get("tModels", [])
+                 if t.get("overviewURL")),
+                "",
+            )
+            if not wsdl_url:
+                continue
+            pending["count"] += 1
+            uri = Uri.parse(wsdl_url)
+
+            def on_wsdl(response, error, _record=record, _eps=endpoints) -> None:
+                if error is None and response.ok:
+                    items.append(
+                        ResolvedService(
+                            _record["service"]["name"],
+                            _record["service"]["serviceKey"],
+                            _eps,
+                            response.body,
+                            int(_record.get("revision", 0)),
+                            False,
+                        )
+                    )
+                finish_one()
+
+            self.http.request_async(
+                uri.host, uri.port or 80, HttpRequest("GET", "/" + uri.path), on_wsdl
+            )
+        pending["done_listing"] = True
+        if pending["count"] == 0:
+            callback([], None)

@@ -45,11 +45,13 @@ KIND_REGISTRY: dict[str, tuple[str, str]] = {
     "request-shed": ("server", "admission control answered Server.Busy"),
     "response-sent": ("server", "response left the container"),
     # -- discovery: fired by service locators -----------------------------
+    "cache-hit": ("discovery", "rendezvous cache answered without any frame"),
     "endpoint-quarantined": ("discovery", "health verdict DEAD; EPR withheld"),
     "endpoint-restored": ("discovery", "health verdict ALIVE; EPR served again"),
     "query-empty": ("discovery", "query completed with no matches"),
     "query-failed": ("discovery", "locate aborted (registry unreachable, ...)"),
     "query-issued": ("discovery", "locate started against a discovery source"),
+    "read-repair": ("discovery", "stale replica rewritten with freshest record"),
     "service-found": ("discovery", "a matching service handle was produced"),
     "service-skipped": ("discovery", "a candidate was rejected (no WSDL, ...)"),
     # -- publish: fired by service publishers -----------------------------

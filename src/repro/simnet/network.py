@@ -195,9 +195,9 @@ class Network:
             raise NodeDownError(f"source node is down: {frame.src}")
         self.sent.incr(frame.src)
 
-        # connection-scoped frames (E11) tag their trace records so a
-        # whole connection can be filtered out of a trace
-        conn = {"conn": frame.meta["conn"]} if "conn" in frame.meta else {}
+        # connection-scoped (E11) and gossip (E12) frames tag their
+        # trace records so each overlay can be filtered out of a trace
+        conn = {k: frame.meta[k] for k in ("conn", "gossip") if k in frame.meta}
 
         # iterate a snapshot: a hook may detach itself (or another hook)
         # mid-delivery without perturbing this frame's hook sequence
@@ -221,7 +221,7 @@ class Network:
         return frame
 
     def _deliver(self, frame: Frame) -> None:
-        conn = {"conn": frame.meta["conn"]} if "conn" in frame.meta else {}
+        conn = {k: frame.meta[k] for k in ("conn", "gossip") if k in frame.meta}
         node = self._nodes.get(frame.dst)
         if node is None or not node.up:
             self.trace.emit(self.kernel.now, "lost", src=frame.src, dst=frame.dst, port=frame.port, **conn)

@@ -77,12 +77,15 @@ class UddiClient:
         wsdl_url: str = "",
         description: str = "",
         categories: Optional[list[dict]] = None,
+        ttl: Optional[float] = None,
     ) -> dict[str, Any]:
         """One-shot publication of a WSDL-described service.
 
         Creates (or reuses) the business, registers the service with its
         category bag, attaches a bindingTemplate for *access_point*, and
-        records the WSDL location as a wsdlSpec tModel.  Returns the
+        records the WSDL location as a wsdlSpec tModel.  A positive
+        *ttl* puts the registration on a lease: unless re-published
+        within that many seconds it drops out of inquiries.  Returns the
         serviceDetail dict.
         """
         businesses = self.call("find_business", name_pattern=business_name)
@@ -99,13 +102,15 @@ class UddiClient:
                 description="wsdlSpec",
             )
             tmodel_keys.append(tmodel["tModelKey"])
-        service = self.call(
-            "save_service",
+        save_args: dict[str, Any] = dict(
             business_key=business_key,
             name=service_name,
             description=description,
             category_bag=categories or [],
         )
+        if ttl is not None:
+            save_args["ttl"] = ttl
+        service = self.call("save_service", **save_args)
         self.call(
             "save_binding",
             service_key=service["serviceKey"],
@@ -113,6 +118,28 @@ class UddiClient:
             tmodel_keys=tmodel_keys,
         )
         return self.call("get_service_detail", service_key=service["serviceKey"])
+
+    # -- replication conveniences (E12) --------------------------------------
+    def find_service_records(
+        self,
+        name_pattern: str = "%",
+        categories: Optional[list[dict]] = None,
+        max_rows: int = 0,
+    ) -> list[dict[str, Any]]:
+        """Inquiry returning full replication records in one round trip
+        (service + business + tModels + revision + remaining lease)."""
+        return self.call(
+            "find_service_records",
+            name_pattern=name_pattern,
+            category_bag=categories or [],
+            max_rows=max_rows,
+        )
+
+    def export_service(self, service_key: str) -> dict[str, Any]:
+        return self.call("export_service", service_key=service_key)
+
+    def import_service(self, record: dict[str, Any]) -> bool:
+        return bool(self.call("import_service", record=record))
 
     # -- inquiry conveniences ------------------------------------------------
     def find_services(

@@ -29,7 +29,13 @@ class UddiRegistryNode:
         port: int = DEFAULT_HTTP_PORT,
     ):
         self.node = node
-        self.registry = registry if registry is not None else UddiRegistry()
+        if registry is None:
+            # Namespacing keys by the hosting node id keeps independent
+            # shards collision-free; the kernel clock drives leases.
+            registry = UddiRegistry(
+                operator=node.id, clock=lambda: node.network.kernel.now
+            )
+        self.registry = registry
         self.port = port
         service = ServiceObject.from_instance(
             UDDI_SERVICE_NAME,
@@ -44,7 +50,10 @@ class UddiRegistryNode:
                 "delete_business",
                 "find_business",
                 "find_service",
+                "find_service_records",
                 "find_tmodel",
+                "export_service",
+                "import_service",
                 "get_service_detail",
                 "get_business_detail",
                 "get_tmodel_detail",

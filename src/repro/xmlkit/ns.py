@@ -27,3 +27,4 @@ UDDI = "urn:uddi-org:api_v2"
 # This reproduction's vocabularies
 P2PS = "http://repro.wspeer/p2ps"
 WSPEER = "http://repro.wspeer/core"
+DISCOVERY = "http://repro.wspeer/discovery"

@@ -1,0 +1,153 @@
+"""Gossip: freshness counters, supersession, TTL expiry, spread."""
+
+import pytest
+
+from repro.discovery.gossip import GOSSIP_PORT, GossipNode, ServiceAnnouncement
+from repro.simnet import FixedLatency, Network
+
+
+@pytest.fixture
+def net():
+    return Network(latency=FixedLatency(0.002))
+
+
+def mesh(net, n, **kwargs):
+    """n fully-linked gossip agents."""
+    agents = [GossipNode(net.add_node(f"peer-{i}"), **kwargs) for i in range(n)]
+    for a in agents:
+        a.link(*[b.node.id for b in agents if b is not a])
+    return agents
+
+
+class TestAnnouncementWire:
+    def test_round_trip(self):
+        ann = ServiceAnnouncement(
+            "Echo", "peer-0", 7, 30.0, ["http://prov:80/services/Echo"],
+            service_key="uuid:prov:svc-000001", wsdl_url="http://prov:80/x.wsdl",
+            hops=3,
+        )
+        back = ServiceAnnouncement.from_wire(ann.to_wire())
+        assert back.service == "Echo"
+        assert back.origin == "peer-0"
+        assert back.seq == 7
+        assert back.valid_time == 30.0
+        assert back.endpoints == ["http://prov:80/services/Echo"]
+        assert back.service_key == "uuid:prov:svc-000001"
+        assert back.wsdl_url == "http://prov:80/x.wsdl"
+        assert back.hops == 3
+
+    def test_withdrawal_is_empty_endpoints(self):
+        ann = ServiceAnnouncement("Echo", "peer-0", 2, endpoints=[])
+        assert ann.is_withdrawal
+        assert ServiceAnnouncement.from_wire(ann.to_wire()).is_withdrawal
+
+
+class TestFreshness:
+    def test_higher_seq_supersedes(self, net):
+        a, b, *_ = mesh(net, 3)
+        a.announce("Echo", ["http://old:80/e"])
+        net.run()
+        a.announce("Echo", ["http://new:80/e"])
+        net.run()
+        assert b.freshest_for("Echo").endpoints == ["http://new:80/e"]
+        assert b.freshest_for("Echo").seq == 2
+
+    def test_stale_seq_dropped_without_clocks(self, net):
+        a, b, *_ = mesh(net, 3)
+        # b already holds seq 5 for (Echo, peer-0)
+        b._accept(ServiceAnnouncement("Echo", "peer-0", 5, endpoints=["http://v5/e"]))
+        assert not b._accept(
+            ServiceAnnouncement("Echo", "peer-0", 3, endpoints=["http://v3/e"])
+        )
+        assert b.freshest_for("Echo").endpoints == ["http://v5/e"]
+
+    def test_equal_seq_dropped(self, net):
+        (a,) = mesh(net, 1)
+        assert a._accept(ServiceAnnouncement("Echo", "x", 1, endpoints=["e"]))
+        assert not a._accept(ServiceAnnouncement("Echo", "x", 1, endpoints=["e2"]))
+
+    def test_per_origin_counters_independent(self, net):
+        (a,) = mesh(net, 1)
+        a._accept(ServiceAnnouncement("Echo", "p1", 9, endpoints=["e1"]))
+        assert a._accept(ServiceAnnouncement("Echo", "p2", 1, endpoints=["e2"]))
+        assert len(a.entries_for("Echo")) == 2
+
+    def test_explicit_seq_keeps_counter_monotonic(self, net):
+        (a,) = mesh(net, 1)
+        a.announce("Echo", ["e"], seq=10)
+        nxt = a.announce("Echo", ["e2"])  # implicit must go beyond 10
+        assert nxt.seq == 11
+
+
+class TestExpiry:
+    def test_entries_expire_after_valid_time(self, net):
+        a, b = mesh(net, 2, valid_time=5.0)
+        a.announce("Echo", ["http://prov/e"])
+        net.run()
+        assert b.freshest_for("Echo") is not None
+        net.kernel.advance(6.0)
+        assert b.freshest_for("Echo") is None
+
+    def test_reannounce_rearms_ttl(self, net):
+        a, b = mesh(net, 2, valid_time=5.0)
+        a.announce("Echo", ["e"])
+        net.run()
+        net.kernel.advance(4.0)
+        a.announce("Echo", ["e"])
+        net.run()
+        net.kernel.advance(4.0)  # 8s after first, 4s after second
+        assert b.freshest_for("Echo") is not None
+
+
+class TestSpread:
+    def test_reaches_all_members_of_mesh(self, net):
+        agents = mesh(net, 8)
+        agents[0].announce("Echo", ["http://prov/e"])
+        net.run()
+        for agent in agents[1:]:
+            assert agent.freshest_for("Echo") is not None
+
+    def test_epidemic_terminates(self, net):
+        agents = mesh(net, 6)
+        agents[0].announce("Echo", ["e"])
+        fired = net.run()
+        assert fired < 10_000  # stale-drop rule stops re-forwarding
+
+    def test_withdrawal_spreads(self, net):
+        agents = mesh(net, 4)
+        agents[0].announce("Echo", ["e"])
+        net.run()
+        agents[0].withdraw("Echo")
+        net.run()
+        for agent in agents:
+            assert agent.freshest_for("Echo") is None
+
+    def test_gossip_frames_tagged_in_trace(self, net):
+        from repro.simnet.trace import TraceLog
+
+        net.trace = TraceLog(enabled=True)
+        a, b = mesh(net, 2)
+        a.announce("Echo", ["e"])
+        net.run()
+        tagged = [r for r in net.trace.records if r.detail.get("gossip")]
+        assert tagged, "gossip frames must carry the gossip trace tag"
+        assert all(
+            r.detail["port"] == GOSSIP_PORT for r in tagged if "port" in r.detail
+        )
+
+    def test_down_node_neither_sends_nor_wedges(self, net):
+        a, b, c = mesh(net, 3)
+        b.node.go_down()
+        a.announce("Echo", ["e"])
+        net.run()
+        assert c.freshest_for("Echo") is not None
+        assert b.freshest_for("Echo") is None
+
+    def test_listeners_fire_on_accept(self, net):
+        a, b = mesh(net, 2)
+        seen = []
+        b.add_listener(lambda ann: seen.append((ann.service, ann.seq)))
+        a.announce("Echo", ["e"])
+        a.announce("Echo", ["e2"])
+        net.run()
+        assert ("Echo", 1) in seen and ("Echo", 2) in seen

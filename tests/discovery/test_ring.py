@@ -1,0 +1,103 @@
+"""Consistent-hash ring: ownership, replica sets, stability."""
+
+import pytest
+
+from repro.discovery.ring import HashRing, stable_hash
+
+
+def shard_ids(n):
+    return [f"registry-{i}" for i in range(n)]
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("Echo") == stable_hash("Echo")
+
+    def test_spreads(self):
+        values = {stable_hash(f"svc-{i}") for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_differs_from_builtin_hash_salting(self):
+        # 64-bit range, not Python's salted hash
+        assert 0 <= stable_hash("x") < 2**64
+
+
+class TestOwnership:
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert ring.node_for("anything") == "only"
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            HashRing().node_for("x")
+
+    def test_owner_is_member(self):
+        ring = HashRing(shard_ids(5))
+        for i in range(100):
+            assert ring.node_for(f"svc-{i}") in ring
+
+    def test_every_client_agrees(self):
+        a = HashRing(shard_ids(4))
+        b = HashRing(reversed(shard_ids(4)))  # insertion order irrelevant
+        for i in range(200):
+            assert a.node_for(f"svc-{i}") == b.node_for(f"svc-{i}")
+
+    def test_distribution_roughly_even(self):
+        ring = HashRing(shard_ids(4))
+        counts = {n: 0 for n in ring.nodes}
+        for i in range(4000):
+            counts[ring.node_for(f"svc-{i}")] += 1
+        for count in counts.values():
+            assert 500 < count < 1700  # ~1000 each with vnode smoothing
+
+
+class TestReplicaSets:
+    def test_distinct_replicas(self):
+        ring = HashRing(shard_ids(5))
+        for i in range(100):
+            replicas = ring.nodes_for(f"svc-{i}", 3)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+
+    def test_primary_first(self):
+        ring = HashRing(shard_ids(5))
+        for i in range(50):
+            key = f"svc-{i}"
+            assert ring.nodes_for(key, 3)[0] == ring.node_for(key)
+
+    def test_n_clamped_to_ring_size(self):
+        ring = HashRing(shard_ids(2))
+        assert len(ring.nodes_for("x", 5)) == 2
+
+
+class TestStability:
+    def test_adding_shard_remaps_about_one_over_n(self):
+        """The consistent-hashing property: scaling out N -> N+1 moves
+        only ~1/(N+1) of the keyspace."""
+        n = 4
+        before = HashRing(shard_ids(n))
+        after = HashRing(shard_ids(n + 1))
+        keys = [f"svc-{i}" for i in range(5000)]
+        moved = sum(1 for k in keys if before.node_for(k) != after.node_for(k))
+        expected = len(keys) / (n + 1)
+        assert moved < 2 * expected  # ~1000 expected; far below the ~4000 a mod-hash moves
+        assert moved > 0
+
+    def test_removing_shard_only_remaps_its_keys(self):
+        ring = HashRing(shard_ids(4))
+        keys = [f"svc-{i}" for i in range(2000)]
+        owners = {k: ring.node_for(k) for k in keys}
+        ring.remove_node("registry-2")
+        for k in keys:
+            if owners[k] != "registry-2":
+                assert ring.node_for(k) == owners[k]
+            else:
+                assert ring.node_for(k) != "registry-2"
+
+    def test_add_remove_round_trip(self):
+        ring = HashRing(shard_ids(4))
+        keys = [f"svc-{i}" for i in range(500)]
+        owners = {k: ring.node_for(k) for k in keys}
+        ring.add_node("registry-9")
+        ring.remove_node("registry-9")
+        assert {k: ring.node_for(k) for k in keys} == owners

@@ -49,7 +49,8 @@ def publish_echo(registry, name="EchoService", categories=None):
 class TestPublish:
     def test_save_business(self, registry):
         business = registry.save_business("Cardiff", "uni")
-        assert business["businessKey"].startswith("uuid:biz-")
+        # keys are namespaced by the registry operator (E12 shard fix)
+        assert business["businessKey"].startswith("uuid:repro-registry:biz-")
         assert registry.business_count == 1
 
     def test_save_service_links_business(self, registry):

@@ -1,0 +1,275 @@
+"""E12 registry semantics: namespaced keys, leases, revisions,
+export/import replication records, metrics, and edge-case pins."""
+
+import pytest
+
+from repro.observability import metrics as obs_metrics
+from repro.uddi import UddiError, UddiRegistry
+from repro.uddi.model import match_name
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    return UddiRegistry(operator="r0", clock=clock)
+
+
+def publish_echo(registry, name="EchoService", ttl=None, access_point=None):
+    business = registry.find_business("WSPeer") or [registry.save_business("WSPeer")]
+    business_key = business[0]["businessKey"]
+    service = registry.save_service(business_key, name, ttl=ttl)
+    registry.save_binding(
+        service["serviceKey"], access_point or f"http://host/{name}"
+    )
+    return service
+
+
+class TestKeyNamespacing:
+    def test_keys_carry_operator(self, registry):
+        service = publish_echo(registry)
+        assert service["serviceKey"].startswith("uuid:r0:svc-")
+
+    def test_two_shards_never_collide(self):
+        """The regression the plane depends on: independent registries
+        used to mint identical ``uuid:svc-000001`` keys."""
+        a, b = UddiRegistry(operator="registry-0"), UddiRegistry(operator="registry-1")
+        keys = set()
+        for reg in (a, b):
+            biz = reg.save_business("WSPeer")["businessKey"]
+            for i in range(25):
+                svc = reg.save_service(biz, f"Svc{i}")
+                keys.add(svc["serviceKey"])
+                keys.add(reg.save_binding(svc["serviceKey"], f"http://h/{i}")["bindingKey"])
+            keys.add(biz)
+        assert len(keys) == 2 * (25 * 2 + 1)
+
+    def test_default_operator_unchanged(self):
+        assert UddiRegistry().operator == "repro-registry"
+
+
+class TestUpserts:
+    def test_save_service_same_name_updates_in_place(self, registry):
+        first = publish_echo(registry)
+        second = publish_echo(registry)
+        assert first["serviceKey"] == second["serviceKey"]
+        assert len(registry.find_service("EchoService")) == 1
+
+    def test_save_binding_same_access_point_dedupes(self, registry):
+        service = publish_echo(registry)
+        registry.save_binding(service["serviceKey"], "http://host/EchoService", ["uuid:tm1"])
+        detail = registry.get_service_detail(service["serviceKey"])
+        assert len(detail["bindingTemplates"]) == 1
+        assert detail["bindingTemplates"][0]["tModelKeys"] == ["uuid:tm1"]
+
+    def test_save_tmodel_same_name_updates(self, registry):
+        registry.save_tmodel("Echo-wsdlSpec", "http://old/x.wsdl")
+        registry.save_tmodel("Echo-wsdlSpec", "http://new/x.wsdl")
+        assert len(registry.find_tmodel("Echo-wsdlSpec")) == 1
+        assert registry.find_tmodel("Echo-wsdlSpec")[0]["overviewURL"] == "http://new/x.wsdl"
+
+    def test_revision_bumps_on_every_mutation(self, registry):
+        service = publish_echo(registry)
+        key = service["serviceKey"]
+        r1 = registry.revision_of(key)
+        publish_echo(registry)  # service upsert
+        r2 = registry.revision_of(key)
+        registry.save_binding(key, "http://other/e")
+        r3 = registry.revision_of(key)
+        assert r1 < r2 < r3
+
+
+class TestLeases:
+    def test_expired_lease_drops_from_inquiries(self, registry, clock):
+        publish_echo(registry, ttl=10.0)
+        assert registry.find_service("EchoService")
+        clock.now = 11.0
+        assert registry.find_service("EchoService") == []
+        assert registry.leases_expired == 1
+
+    def test_expired_service_detail_raises(self, registry, clock):
+        service = publish_echo(registry, ttl=10.0)
+        clock.now = 11.0
+        with pytest.raises(UddiError):
+            registry.get_service_detail(service["serviceKey"])
+
+    def test_republish_refreshes_lease(self, registry, clock):
+        publish_echo(registry, ttl=10.0)
+        clock.now = 8.0
+        publish_echo(registry, ttl=10.0)
+        clock.now = 16.0  # 16s after first, 8s after refresh
+        assert registry.find_service("EchoService")
+
+    def test_no_ttl_means_no_expiry(self, registry, clock):
+        publish_echo(registry)
+        clock.now = 1e9
+        assert registry.find_service("EchoService")
+
+    def test_clockless_registry_never_expires(self):
+        timeless = UddiRegistry()
+        biz = timeless.save_business("B")["businessKey"]
+        timeless.save_service(biz, "S", ttl=0.001)
+        assert timeless.find_service("S")
+
+    def test_business_service_keys_pruned(self, registry, clock):
+        publish_echo(registry, ttl=5.0)
+        clock.now = 6.0
+        registry.find_service("%")
+        business = registry.find_business("WSPeer")[0]
+        assert business["serviceKeys"] == []
+
+
+class TestExportImport:
+    def test_round_trip(self, registry):
+        other = UddiRegistry(operator="r1")
+        service = publish_echo(registry)
+        record = registry.export_service(service["serviceKey"])
+        assert other.import_service(record)
+        detail = other.get_service_detail(service["serviceKey"])
+        assert detail["name"] == "EchoService"
+        assert detail["bindingTemplates"][0]["accessPoint"] == "http://host/EchoService"
+        assert other.find_business("WSPeer")
+
+    def test_record_contains_revision_and_lease(self, registry, clock):
+        service = publish_echo(registry, ttl=20.0)
+        clock.now = 5.0
+        record = registry.export_service(service["serviceKey"])
+        assert record["revision"] >= 1
+        assert record["lease"] == pytest.approx(15.0)
+
+    def test_stale_import_ignored(self, registry):
+        other = UddiRegistry(operator="r1")
+        service = publish_echo(registry)
+        old = registry.export_service(service["serviceKey"])
+        publish_echo(registry)  # bump revision
+        new = registry.export_service(service["serviceKey"])
+        assert other.import_service(new)
+        assert not other.import_service(old), "lower revision must be ignored"
+        assert other.revision_of(service["serviceKey"]) == new["revision"]
+
+    def test_equal_revision_refreshes_lease_only(self, clock):
+        a = UddiRegistry(operator="r0", clock=clock)
+        b = UddiRegistry(operator="r1", clock=clock)
+        service = publish_echo(a, ttl=10.0)
+        record = a.export_service(service["serviceKey"])
+        b.import_service(record)
+        clock.now = 8.0
+        record2 = a.export_service(service["serviceKey"])  # same revision, less lease
+        a_lease = record2["lease"]
+        assert not b.import_service(record2)  # not applied ...
+        clock.now = 8.0 + a_lease + 1.0  # ... but b's lease was NOT re-armed beyond a's
+        assert b.find_service("EchoService") == []
+
+    def test_imported_lease_expires(self, clock):
+        a = UddiRegistry(operator="r0", clock=clock)
+        b = UddiRegistry(operator="r1", clock=clock)
+        service = publish_echo(a, ttl=10.0)
+        b.import_service(a.export_service(service["serviceKey"]))
+        clock.now = 11.0
+        assert b.find_service("EchoService") == []
+
+    def test_export_unknown_key_raises(self, registry):
+        with pytest.raises(UddiError):
+            registry.export_service("uuid:r0:svc-999999")
+
+
+class TestFindServiceRecords:
+    def test_one_round_trip_resolution(self, registry):
+        service = publish_echo(registry)
+        registry.save_tmodel("EchoService-wsdlSpec", "http://host/EchoService.wsdl")
+        registry.save_binding(
+            service["serviceKey"],
+            "http://host/EchoService",
+            [registry.find_tmodel("EchoService-wsdlSpec")[0]["tModelKey"]],
+        )
+        records = registry.find_service_records("EchoService")
+        assert len(records) == 1
+        record = records[0]
+        assert record["service"]["name"] == "EchoService"
+        assert record["business"]["name"] == "WSPeer"
+        assert record["tModels"][0]["overviewURL"] == "http://host/EchoService.wsdl"
+        assert record["revision"] >= 1
+
+    def test_respects_max_rows(self, registry):
+        for i in range(5):
+            publish_echo(registry, name=f"Svc{i}")
+        assert len(registry.find_service_records("Svc%", max_rows=2)) == 2
+
+
+class TestMetricsSurface:
+    def test_publish_and_inquiry_counters(self, registry):
+        obs_metrics.reset_default_registry()
+        publish_echo(registry)
+        registry.find_service("%")
+        metrics = obs_metrics.default_registry()
+        assert metrics.get("uddi.publishes") == 3  # business + service + binding
+        assert metrics.get("uddi.inquiries") >= 1
+
+    def test_registry_size_gauge(self, registry):
+        obs_metrics.reset_default_registry()
+        publish_echo(registry)
+        publish_echo(registry, name="Other")
+        snapshot = obs_metrics.default_registry().snapshot()
+        assert snapshot["gauges"]["uddi.services"] == 2
+
+
+class TestEdgeCasePins:
+    """Satellite (d): pin current find/match semantics as regressions."""
+
+    def test_find_service_max_rows_zero_is_unlimited(self, registry):
+        for i in range(4):
+            publish_echo(registry, name=f"Svc{i}")
+        assert len(registry.find_service("%", max_rows=0)) == 4
+        assert len(registry.find_service("%", max_rows=2)) == 2
+        assert len(registry.find_service("%", max_rows=99)) == 4
+
+    def test_find_business_max_rows_zero_is_unlimited(self, registry):
+        for i in range(3):
+            registry.save_business(f"B{i}")
+        assert len(registry.find_business("%", max_rows=0)) == 3
+        assert len(registry.find_business("%", max_rows=1)) == 1
+
+    def test_exact_match_is_case_insensitive(self, registry):
+        publish_echo(registry, name="EchoService")
+        assert registry.find_service("ECHOSERVICE")
+        assert registry.find_service("echoservice")
+
+    def test_exact_match_no_substring(self, registry):
+        publish_echo(registry, name="EchoService")
+        assert registry.find_service("Echo") == []
+        assert registry.find_service("Service") == []
+
+    def test_wildcard_boundaries(self):
+        assert match_name("%", "")  # bare wildcard matches empty
+        assert match_name("%", "anything")
+        assert match_name("a%", "a")  # trailing % may consume nothing
+        assert match_name("%a", "a")
+        assert not match_name("a%b", "ab c")  # pattern must end at name end
+        assert match_name("a%b", "ab")
+        assert not match_name("ab", "a")
+
+    def test_case_boundary_with_wildcard(self):
+        assert match_name("ECHO%", "echoService")
+        assert match_name("%SERVICE", "echoservice")
+
+    def test_exact_name_uses_index_same_result_as_scan(self, registry):
+        # the exact-name fast path must agree with a wildcard scan
+        publish_echo(registry, name="EchoService")
+        publish_echo(registry, name="Echoservice2")
+        by_index = registry.find_service("EchoService")
+        by_scan = [
+            s for s in registry.find_service("%")
+            if s["name"].lower() == "echoservice"
+        ]
+        assert by_index == by_scan
