@@ -163,6 +163,38 @@ class WSPeer(EventSource):
             capacity=capacity, drain_rate=drain_rate
         )
 
+    def configure_workers(
+        self,
+        n: int,
+        queue_limit: Optional[float] = None,
+        service_time: Optional[float] = None,
+    ):
+        """Give this peer's hosting node an *n*-wide worker pool (E13).
+
+        Request processing is modelled in virtual time as N simulated
+        workers draining one queue: a slow handler occupies one worker
+        while the other N-1 keep serving, so it no longer
+        head-of-line-blocks the whole peer.  *queue_limit* bounds the
+        number of waiting requests — overflow is answered Busy with a
+        retry-after hint (503 on the HTTP/HTTPG server paths, a traced
+        drop recovered by reliability retransmits on lossy P2PS pipes)
+        instead of queueing forever.  *service_time* optionally sets the
+        per-request processing cost in the same call (see also
+        ``node.frame_cost`` for mixed per-request costs).  Returns the
+        node, whose ``worker_stats()`` feeds the metrics registry.
+        """
+        from repro.observability import metrics as obs_metrics
+
+        node = self.node
+        node.configure_workers(n, queue_limit=queue_limit)
+        if service_time is not None:
+            node.service_time = service_time
+        self.server.container.set_worker_policy(n, queue_limit=queue_limit)
+        obs_metrics.default_registry().add_collector(
+            f"workers.{node.id}", node.worker_stats
+        )
+        return node
+
     def local_handle(self, name: str) -> ServiceHandle:
         """A handle to one of this peer's own deployed services."""
         deployed = self._deployed.get(name)

@@ -51,6 +51,7 @@ class ReliableCall:
         self._deadline: Optional[Deadline] = policy.new_deadline()
         self.attempts_made = 0
         self._finished = False
+        self._retry_event = None  # pending backoff timer, if any
 
     # ------------------------------------------------------------------
     def start(self) -> "ReliableCall":
@@ -63,6 +64,12 @@ class ReliableCall:
         if self._finished:
             return
         self._finished = True
+        # a concluded call must not leave its backoff timer armed: the
+        # cancel releases the kernel's heap slot immediately (E13), so
+        # retry-heavy workloads do not accumulate dead timers
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
         self._callback(result, error)
 
     def _remaining_budget(self) -> Optional[float]:
@@ -72,6 +79,7 @@ class ReliableCall:
 
     # ------------------------------------------------------------------
     def _run_attempt(self) -> None:
+        self._retry_event = None
         if self._finished:
             return
         if self._breaker is not None and not self._breaker.allow():
@@ -135,7 +143,7 @@ class ReliableCall:
             return
         if self._on_retry is not None:
             self._on_retry(self.attempts_made + 1, delay, error)
-        self._kernel.schedule(delay, self._run_attempt)
+        self._retry_event = self._kernel.schedule(delay, self._run_attempt)
 
 
 @dataclass

@@ -167,8 +167,19 @@ class ChurnSchedule:
             self._record("brownout", node=node_id, service_time=service_time)
 
         def stop() -> None:
-            node.service_time = previous["service_time"]
-            self._record("recover", node=node_id)
+            # defensive restore: only put the old service time back if
+            # this brownout's degradation is still in effect — another
+            # injector (an overlapping brownout, an operator tuning the
+            # node mid-run) may have changed service_time since, and the
+            # later change must win, not be silently stomped
+            if node.service_time == service_time:
+                node.service_time = previous["service_time"]
+                self._record("recover", node=node_id)
+            else:
+                self._record(
+                    "recover", node=node_id, skipped=True,
+                    found=node.service_time,
+                )
 
         self.network.kernel.schedule_at(at, start)
         self.network.kernel.schedule_at(until, stop)

@@ -1,17 +1,42 @@
-"""The discrete-event kernel: a virtual clock over a priority queue.
+"""The discrete-event kernel: a run-queue scheduler over a timer heap.
 
 Everything time-like in the reproduction — link latency, request
 timeouts, advert expiry, churn — is an event scheduled here.  The
 kernel is single-threaded and deterministic: events at equal timestamps
 fire in scheduling order (a monotonically increasing sequence number
 breaks ties), so a seeded run always produces the same trace.
+
+Internally the kernel is split into two structures (the E13
+concurrency-core refactor):
+
+* a **timer heap** holding future events, ordered by ``(time, seq)``;
+* a **run-queue** — a plain FIFO deque of events that are due *now*.
+
+Zero-delay work (``call_soon``, ``schedule(0.0, ...)``) goes straight
+onto the run-queue and never touches the heap, and when virtual time
+advances, *every* event due at the new timestamp is popped off the heap
+in one batch — so 10k peers' events landing at one instant pay one heap
+drain, not 10k interleaved push/pop cycles.  Equal-time heap pops come
+out in sequence order and run-queue appends happen in sequence order,
+so the observable firing order is identical to the pre-refactor kernel.
+
+Cancellation is real, not cosmetic: a cancelled timer decrements the
+live ``pending`` counter immediately, and once cancelled timers
+outnumber live ones the heap is compacted in place (the asyncio
+strategy) — a workload that schedules and cancels retry timers by the
+thousands keeps the heap at the size of its *live* timer set.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Optional
+
+#: compact the timer heap when more than this many cancelled timers are
+#: parked in it *and* they outnumber the live ones (see ``_note_cancel``)
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimTimeoutError(Exception):
@@ -22,7 +47,7 @@ class SimTimeoutError(Exception):
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_kernel", "_fired", "_in_heap")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -30,9 +55,16 @@ class ScheduledEvent:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._kernel: Optional["Kernel"] = None
+        self._fired = False
+        self._in_heap = False
 
     def cancel(self) -> None:
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        if self._kernel is not None:
+            self._kernel._note_cancel(self)
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -46,10 +78,13 @@ class Kernel:
     """A minimal, deterministic discrete-event simulation kernel."""
 
     def __init__(self) -> None:
-        self._queue: list[ScheduledEvent] = []
+        self._timers: list[ScheduledEvent] = []  # future events (heap)
+        self._ready: deque[ScheduledEvent] = deque()  # due-now FIFO run-queue
         self._seq = itertools.count()
         self._now = 0.0
         self._events_fired = 0
+        self._pending = 0  # live (scheduled, not fired, not cancelled)
+        self._heap_cancelled = 0  # cancelled timers still parked in the heap
 
     # ------------------------------------------------------------------
     @property
@@ -63,8 +98,15 @@ class Kernel:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled events awaiting dispatch (O(1))."""
+        return self._pending
+
+    @property
+    def heap_size(self) -> int:
+        """Entries physically in the timer heap, cancelled included —
+        the quantity the compaction policy keeps proportional to the
+        *live* timer count."""
+        return len(self._timers)
 
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
@@ -72,7 +114,13 @@ class Kernel:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         event = ScheduledEvent(self._now + delay, next(self._seq), fn, args)
-        heapq.heappush(self._queue, event)
+        event._kernel = self
+        self._pending += 1
+        if delay == 0:
+            self._ready.append(event)
+        else:
+            event._in_heap = True
+            heapq.heappush(self._timers, event)
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
@@ -80,7 +128,13 @@ class Kernel:
         if time < self._now:
             raise ValueError(f"cannot schedule in the past: {time} < {self._now}")
         event = ScheduledEvent(time, next(self._seq), fn, args)
-        heapq.heappush(self._queue, event)
+        event._kernel = self
+        self._pending += 1
+        if time == self._now:
+            self._ready.append(event)
+        else:
+            event._in_heap = True
+            heapq.heappush(self._timers, event)
         return event
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
@@ -88,19 +142,64 @@ class Kernel:
         return self.schedule(0.0, fn, *args)
 
     # ------------------------------------------------------------------
-    def _pop_next(self) -> Optional[ScheduledEvent]:
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if not event.cancelled:
-                return event
-        return None
+    def _note_cancel(self, event: ScheduledEvent) -> None:
+        self._pending -= 1
+        # run-queue events are purged lazily at pop (the deque drains
+        # every tick); heap timers are counted and compacted so a
+        # cancel-heavy workload cannot grow the heap without bound
+        if event._in_heap:
+            self._heap_cancelled += 1
+            if (
+                self._heap_cancelled > _COMPACT_MIN_CANCELLED
+                and self._heap_cancelled * 2 > len(self._timers)
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        self._timers = [e for e in self._timers if not e.cancelled]
+        heapq.heapify(self._timers)
+        self._heap_cancelled = 0
+
+    # ------------------------------------------------------------------
+    def _refill_ready(self) -> bool:
+        """Advance the clock to the next timer deadline and move the
+        whole batch of events due at that instant onto the run-queue.
+        Returns False when no live timer remains."""
+        timers = self._timers
+        while timers and timers[0].cancelled:
+            heapq.heappop(timers)
+            self._heap_cancelled -= 1
+        if not timers:
+            return False
+        batch_time = timers[0].time
+        self._now = batch_time
+        ready = self._ready
+        while timers and timers[0].time == batch_time:
+            event = heapq.heappop(timers)
+            event._in_heap = False
+            if event.cancelled:
+                self._heap_cancelled -= 1
+            else:
+                ready.append(event)
+        return True
+
+    def _next_ready(self) -> Optional[ScheduledEvent]:
+        ready = self._ready
+        while True:
+            while ready:
+                event = ready.popleft()
+                if not event.cancelled:
+                    return event
+            if not self._refill_ready():
+                return None
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False when queue is empty."""
-        event = self._pop_next()
+        event = self._next_ready()
         if event is None:
             return False
-        self._now = event.time
+        event._fired = True
+        self._pending -= 1
         self._events_fired += 1
         event.fn(*event.args)
         return True
@@ -157,9 +256,16 @@ class Kernel:
         return self._now
 
     def _peek_time(self) -> Optional[float]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        ready = self._ready
+        while ready and ready[0].cancelled:
+            ready.popleft()
+        if ready:
+            return self._now
+        timers = self._timers
+        while timers and timers[0].cancelled:
+            heapq.heappop(timers)
+            self._heap_cancelled -= 1
+        return timers[0].time if timers else None
 
     def advance(self, delta: float) -> None:
         """Advance the clock with no events (only valid past queue head)."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.observability import metrics as obs_metrics
 from repro.simnet.kernel import Kernel
 from repro.simnet.latency import FixedLatency, LatencyModel
 from repro.simnet.trace import Counter, TraceLog
@@ -49,12 +50,27 @@ FrameHandler = Callable[[Frame], None]
 DeliveryHook = Callable[[Frame], bool]  # return False to drop the frame
 
 
+#: an overflow handler answers a frame the worker queue rejected:
+#: fn(frame, retry_after_hint_seconds)
+OverflowHandler = Callable[["Frame", float], None]
+
+
 class Node:
     """A network endpoint with named ports.
 
     ``up`` reflects churn state: a down node neither sends nor receives,
     and its handlers stay registered so it can resume on restart (the
     paper's "highly transient connectivity").
+
+    Processing capacity is a **worker pool modelled in virtual time**
+    (E13): when a frame costs non-zero service time, it occupies the
+    earliest-free of N simulated workers, so a slow request occupies one
+    worker while the other N-1 keep serving.  The default pool of one
+    worker with an unbounded queue reproduces the original serial-queue
+    semantics exactly; :meth:`configure_workers` widens the pool and may
+    bound the queue, in which case overflow frames are handed to the
+    port's :class:`OverflowHandler` (bindings answer them Busy +
+    retry-after) instead of queueing forever.
     """
 
     def __init__(self, node_id: str, network: "Network"):
@@ -62,12 +78,27 @@ class Node:
         self.network = network
         self.up = True
         self._handlers: dict[str, FrameHandler] = {}
-        #: per-frame processing time; > 0 turns the node into a serial
-        #: queue (frames wait while earlier ones are being processed),
-        #: which is how server saturation becomes visible in experiments
+        #: per-frame processing time; > 0 makes frames occupy a worker
+        #: (frames wait while all workers are busy), which is how server
+        #: saturation becomes visible in experiments
         self.service_time = 0.0
-        self._busy_until = 0.0
+        #: optional per-frame cost override: fn(frame) -> seconds.  This
+        #: is what lets one node serve a *mixed* workload where slow
+        #: requests pin a worker while fast ones flow past (E13).
+        self.frame_cost: Optional[Callable[[Frame], float]] = None
         self.max_queue_delay = 0.0
+        #: per-worker busy-until times; len() is the pool width
+        self._worker_busy: list[float] = [0.0]
+        #: completed busy time per worker (utilisation accounting)
+        self._busy_accum: list[float] = [0.0]
+        #: max frames allowed to *wait* (None = unbounded)
+        self.queue_limit: Optional[float] = None
+        self._inflight = 0  # frames accepted by the pool, not yet finished
+        self.frames_overflowed = 0
+        self.frames_lost_in_service = 0
+        self._overflow_handlers: dict[str, OverflowHandler] = {}
+        self._instrumented = False  # per-node gauges on after configure_workers
+        self._stats_since = 0.0
 
     # -- ports ----------------------------------------------------------
     def open_port(self, port: str, handler: FrameHandler) -> None:
@@ -85,6 +116,74 @@ class Node:
     def ports(self) -> list[str]:
         return sorted(self._handlers)
 
+    # -- worker pool (E13) -------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Width of the simulated worker pool."""
+        return len(self._worker_busy)
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames currently *waiting* for a worker (exact: a frame only
+        waits while every worker is occupied, so accepted-minus-width is
+        the backlog)."""
+        return max(0, self._inflight - len(self._worker_busy))
+
+    def configure_workers(
+        self, n: int, queue_limit: Optional[float] = None
+    ) -> "Node":
+        """Resize the pool to *n* workers and (optionally) bound the
+        request queue at *queue_limit* waiting frames.
+
+        Resizing resets the pool's busy state (it models a fresh set of
+        workers) and turns on per-node queue/utilisation gauges in the
+        metrics registry.  Returns the node for chaining.
+        """
+        if n < 1:
+            raise ValueError(f"worker pool needs at least one worker, got {n}")
+        if queue_limit is not None and queue_limit < 0:
+            raise ValueError(f"negative queue_limit: {queue_limit}")
+        self._worker_busy = [0.0] * n
+        self._busy_accum = [0.0] * n
+        self.queue_limit = queue_limit
+        self._instrumented = True
+        self._stats_since = self.network.kernel.now
+        obs_metrics.set_gauge(f"simnet.workers.{self.id}.pool_size", n)
+        return self
+
+    def set_overflow_handler(self, port: str, handler: Optional[OverflowHandler]) -> None:
+        """Answer frames the bounded queue rejects on *port* (e.g. the
+        HTTP server's 503 + Retry-After path).  Pass None to remove."""
+        if handler is None:
+            self._overflow_handlers.pop(port, None)
+        else:
+            self._overflow_handlers[port] = handler
+
+    def worker_stats(self) -> dict[str, Any]:
+        """Pool telemetry: width, backlog, per-worker utilisation since
+        the pool was (re)configured, and loss/overflow tallies."""
+        now = self.network.kernel.now
+        elapsed = now - self._stats_since
+        utilisation = [
+            (accum / elapsed if elapsed > 0 else 0.0) for accum in self._busy_accum
+        ]
+        return {
+            "workers": len(self._worker_busy),
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "utilisation": utilisation,
+            "overflowed": self.frames_overflowed,
+            "lost_in_service": self.frames_lost_in_service,
+            "max_queue_delay": self.max_queue_delay,
+        }
+
+    def _reset_saturation(self) -> None:
+        """Forget accumulated busy/backlog state — a restarted node does
+        not inherit the queue it died with (E13 satellite: saturation
+        used to survive a down/up cycle)."""
+        self._worker_busy = [0.0] * len(self._worker_busy)
+        self.max_queue_delay = 0.0
+
     # -- traffic ----------------------------------------------------------
     def send(self, dst: str, port: str, payload: str, **meta: Any) -> Frame:
         """Send one frame; returns it (delivery is asynchronous)."""
@@ -97,23 +196,81 @@ class Node:
                 self.network.kernel.now, "no-handler", node=self.id, port=frame.port
             )
             return
-        if self.service_time <= 0:
+        cost = (
+            self.frame_cost(frame) if self.frame_cost is not None else self.service_time
+        )
+        if cost <= 0:
             self.network.stats.incr(self.id)
             handler(frame)
             return
-        # serial processing queue: this frame starts once the node is free
+        # worker-pool dispatch: the frame starts on the earliest-free of
+        # N simulated workers (lowest index breaks ties, so seeded runs
+        # stay deterministic); with one worker this degenerates to the
+        # original serial queue, arithmetic and trace included
         now = self.network.kernel.now
-        start = max(now, self._busy_until)
-        finish = start + self.service_time
-        self._busy_until = finish
+        busy = self._worker_busy
+        worker = 0
+        free_at = busy[0]
+        for i in range(1, len(busy)):
+            if busy[i] < free_at:
+                worker = i
+                free_at = busy[i]
+        start = max(now, free_at)
+        if (
+            start > now
+            and self.queue_limit is not None
+            and self._inflight - len(busy) >= self.queue_limit
+        ):
+            self._overflow(frame, now)
+            return
+        finish = start + cost
+        busy[worker] = finish
+        self._inflight += 1
         queue_delay = start - now
         self.max_queue_delay = max(self.max_queue_delay, queue_delay)
         if queue_delay > 0:
             self.network.trace.emit(now, "queued", node=self.id, delay=queue_delay)
-        self.network.kernel.schedule(finish - now, self._process, frame, handler)
+        if self._instrumented:
+            obs_metrics.set_gauge(
+                f"simnet.workers.{self.id}.queue_depth", self.queue_depth
+            )
+            obs_metrics.observe("simnet.worker.queue_delay", queue_delay)
+        self.network.kernel.schedule(finish - now, self._process, frame, handler, worker, cost)
 
-    def _process(self, frame: Frame, handler: FrameHandler) -> None:
+    def _overflow(self, frame: Frame, now: float) -> None:
+        """The bounded queue rejected *frame*: count it, trace it, and
+        let the port's overflow handler answer (Busy + retry-after via
+        the E9 admission vocabulary) — a saturated node answers cheaply
+        instead of queueing forever."""
+        self.frames_overflowed += 1
+        obs_metrics.inc("simnet.worker.overflow")
+        retry_after = max(0.0, min(self._worker_busy) - now)
+        self.network.trace.emit(
+            now, "overflow", node=self.id, port=frame.port, retry_after=retry_after
+        )
+        handler = self._overflow_handlers.get(frame.port)
+        if handler is not None:
+            handler(frame, retry_after)
+
+    def _process(
+        self, frame: Frame, handler: FrameHandler, worker: int = 0, cost: float = 0.0
+    ) -> None:
+        self._inflight -= 1
+        if worker < len(self._busy_accum):
+            self._busy_accum[worker] += cost
+        if self._instrumented:
+            obs_metrics.set_gauge(
+                f"simnet.workers.{self.id}.queue_depth", self.queue_depth
+            )
         if not self.up:
+            # the node died mid-service: the frame is gone, and that
+            # must be visible — traced and counted, never silent
+            self.frames_lost_in_service += 1
+            self.network.lost_in_service.incr(self.id)
+            obs_metrics.inc("simnet.lost_in_service")
+            self.network.trace.emit(
+                self.network.kernel.now, "lost-in-service", node=self.id, port=frame.port
+            )
             return
         self.network.stats.incr(self.id)
         handler(frame)
@@ -125,6 +282,7 @@ class Node:
 
     def go_up(self) -> None:
         self.up = True
+        self._reset_saturation()
         self.network.trace.emit(self.network.kernel.now, "node-up", node=self.id)
 
     def __repr__(self) -> str:
@@ -145,6 +303,7 @@ class Network:
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.stats = Counter()  # frames *handled* per node
         self.sent = Counter()  # frames *sent* per node
+        self.lost_in_service = Counter()  # frames lost to mid-service churn
         self._nodes: dict[str, Node] = {}
         self._delivery_hooks: list[DeliveryHook] = []
 

@@ -568,12 +568,15 @@ class ServerConnection:
         else:
             self.admission = None
         self._next_seq = 0
-        self._held: dict[int, str] = {}
+        #: seq -> raw payload, or a ``(None, retry_after)`` marker for a
+        #: request the node's worker pool shed before delivery (E13)
+        self._held: dict[int, object] = {}
         self._idle_event = None
         self.requests_handled = 0
         self.busy_answered = 0
         self.closed = False
         self.node.open_port(self.srv_port, self._on_frame)
+        self.node.set_overflow_handler(self.srv_port, self._on_overflow)
         self._arm_idle()
 
     # ------------------------------------------------------------------
@@ -588,11 +591,40 @@ class ServerConnection:
         if not isinstance(seq, int) or seq < self._next_seq or seq in self._held:
             return  # duplicate or garbage
         self._held[seq] = frame.payload
+        self._drain_in_order()
+        self._arm_idle()
+
+    def _on_overflow(self, frame: Frame, retry_after: float) -> None:
+        """The worker pool shed a pipelined request.  It still occupies
+        its slot in the sequence — answered 503 in order, so later
+        requests on the connection are not stalled waiting for it."""
+        if frame.meta.get("kind") != "request":
+            return
+        seq = frame.meta.get("seq")
+        if not isinstance(seq, int) or seq < self._next_seq or seq in self._held:
+            return
+        self._held[seq] = (None, retry_after)
+        self._drain_in_order()
+        self._arm_idle()
+
+    def _drain_in_order(self) -> None:
         while self._next_seq in self._held:
             seq_now = self._next_seq
             self._next_seq += 1
-            self._process(seq_now, self._held.pop(seq_now))
-        self._arm_idle()
+            entry = self._held.pop(seq_now)
+            if isinstance(entry, tuple):  # shed by the worker pool
+                self.busy_answered += 1
+                obs_metrics.inc("transport.http.worker_overflow")
+                self._respond(
+                    seq_now,
+                    HttpResponse(
+                        503,
+                        f"connection {self.id}: worker pool saturated",
+                        {"Retry-After": f"{entry[1]:.6f}"},
+                    ),
+                )
+            else:
+                self._process(seq_now, entry)
 
     def _process(self, seq: int, payload: str) -> None:
         if self.admission is not None:
@@ -651,6 +683,7 @@ class ServerConnection:
             self._idle_event = None
         if self.node.has_port(self.srv_port):
             self.node.close_port(self.srv_port)
+        self.node.set_overflow_handler(self.srv_port, None)
         if notify and self.node.up:
             try:
                 self.node.send(

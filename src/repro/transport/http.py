@@ -146,7 +146,9 @@ class HttpRequest:
 
     def to_wire(self) -> str:
         headers = self.headers.copy()
-        headers.setdefault("Content-Length", str(len(self.body)))
+        # the transport owns framing: whatever the caller set, the
+        # declared length must match the body or the peer rejects it
+        headers["Content-Length"] = str(len(self.body))
         return f"{self.method} {self.path} HTTP/1.1\r\n{_render_headers(headers)}\r\n{self.body}"
 
     @classmethod
@@ -182,7 +184,7 @@ class HttpResponse:
 
     def to_wire(self) -> str:
         headers = self.headers.copy()
-        headers.setdefault("Content-Length", str(len(self.body)))
+        headers["Content-Length"] = str(len(self.body))
         return f"HTTP/1.1 {self.status} {self.reason}\r\n{_render_headers(headers)}\r\n{self.body}"
 
     @classmethod
@@ -225,6 +227,9 @@ class HttpServer:
         self.requests_served = 0
         self.bad_requests = 0
         self.dropped_replies = 0
+        #: requests refused by the node's bounded worker pool (E13) and
+        #: answered 503 + Retry-After before any parse/dispatch work
+        self.overflow_answered = 0
         # E11 persistent-connection knobs: per-connection request-queue
         # bound (None disables shedding), its drain rate in req/s, and
         # how long an inactive server-side connection lives
@@ -246,6 +251,7 @@ class HttpServer:
         if self.started:
             return
         self.node.open_port(self.wire_port, self._on_frame)
+        self.node.set_overflow_handler(self.wire_port, self._on_overflow)
         self.started = True
 
     def stop(self) -> None:
@@ -254,6 +260,7 @@ class HttpServer:
         for conn in list(self._connections.values()):
             conn.close(notify=True)
         self.node.close_port(self.wire_port)
+        self.node.set_overflow_handler(self.wire_port, None)
         self.started = False
 
     def add_route(self, path: str, handler: RequestHandler) -> None:
@@ -277,6 +284,29 @@ class HttpServer:
             # visible, not silent
             self.dropped_replies += 1
             obs_metrics.inc("transport.http.dropped_replies")
+
+    def _on_overflow(self, frame: Frame, retry_after: float) -> None:
+        """The node's bounded worker pool rejected *frame*: answer 503 +
+        Retry-After without parsing or dispatching — the whole point is
+        that a saturated provider refuses cheaply (the E9 admission
+        vocabulary at the transport layer)."""
+        if frame.meta.get("kind") == "connect":
+            # control frame: no reply channel contract; the client's
+            # connect timeout (and its retry policy) handles it
+            return
+        reply_port = frame.meta.get("reply_port")
+        if not reply_port:
+            self.dropped_replies += 1
+            obs_metrics.inc("transport.http.dropped_replies")
+            return
+        self.overflow_answered += 1
+        obs_metrics.inc("transport.http.worker_overflow")
+        response = HttpResponse(
+            503,
+            f"server {self.node.id}: worker pool saturated",
+            {"Retry-After": f"{retry_after:.6f}"},
+        )
+        self.node.send(frame.src, reply_port, response.to_wire())
 
     def _response_for(self, payload: str) -> HttpResponse:
         """Parse and dispatch one raw request (shared with E11

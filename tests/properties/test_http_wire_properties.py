@@ -17,7 +17,11 @@ from repro.transport import HttpRequest, HttpResponse
 # names never need the full set in this stack, but the parser must not
 # care which subset a peer picks.
 _name_chars = string.ascii_letters + string.digits + "-_"
-_header_names = st.text(alphabet=_name_chars, min_size=1, max_size=16)
+# Content-Length is excluded: it is framing, owned by to_wire() — a
+# caller-supplied value is overwritten with the measured body length
+_header_names = st.text(alphabet=_name_chars, min_size=1, max_size=16).filter(
+    lambda name: name.lower() != "content-length"
+)
 
 # values: printable, no CR/LF (those would terminate the field line);
 # interior whitespace must survive, edges are stripped by the parser

@@ -1,0 +1,207 @@
+"""Tests for the per-node virtual-time worker pool (E13).
+
+The pool replaces the single serial service queue: N simulated workers
+each hold a busy-until time, an arriving frame takes the earliest-free
+worker (lowest index breaks ties, keeping seeded runs deterministic),
+and an optional queue bound hands overflow frames to the port's
+overflow handler instead of queueing forever.
+"""
+
+import pytest
+
+from repro.simnet import FixedLatency, Network, TraceLog
+from repro.simnet.churn import ChurnSchedule
+
+
+def build(service_time=0.01, trace=True):
+    net = Network(latency=FixedLatency(0.001), trace=TraceLog(enabled=trace))
+    server = net.add_node("server")
+    server.service_time = service_time
+    client = net.add_node("client")
+    handled = []
+    server.open_port("in", lambda frame: handled.append((frame.payload, net.now)))
+    return net, server, client, handled
+
+
+class TestPoolDispatch:
+    def test_two_workers_serve_two_frames_concurrently(self):
+        net, server, client, handled = build()
+        server.configure_workers(2)
+        client.send("server", "in", "a")
+        client.send("server", "in", "b")
+        net.run()
+        # both arrive at 0.001 and finish one service time later —
+        # no serialisation, each on its own worker
+        assert [t for _, t in handled] == [pytest.approx(0.011)] * 2
+
+    def test_slow_frame_pins_one_worker_while_fast_flow_past(self):
+        net, server, client, handled = build()
+        server.configure_workers(2)
+        server.frame_cost = lambda frame: 0.1 if frame.payload == "slow" else 0.001
+        client.send("server", "in", "slow")
+        for i in range(3):
+            client.send("server", "in", f"fast{i}")
+        net.run()
+        done = dict(handled)
+        assert done["slow"] == pytest.approx(0.101)
+        # the fast frames pipeline through the second worker
+        assert done["fast0"] == pytest.approx(0.002)
+        assert done["fast1"] == pytest.approx(0.003)
+        assert done["fast2"] == pytest.approx(0.004)
+
+    def test_fifo_fairness_no_starvation(self):
+        # with a pool of 2 and four equal-cost frames, completion order
+        # follows arrival order — nobody is starved past a later arrival
+        net, server, client, handled = build()
+        server.configure_workers(2)
+        for i in range(4):
+            client.send("server", "in", f"f{i}")
+        net.run()
+        assert [p for p, _ in handled] == ["f0", "f1", "f2", "f3"]
+        assert [t for _, t in handled] == [
+            pytest.approx(0.011),
+            pytest.approx(0.011),
+            pytest.approx(0.021),
+            pytest.approx(0.021),
+        ]
+
+    def test_single_worker_reproduces_serial_queue(self):
+        # workers=1 + unbounded queue is the backward-compat invariant:
+        # identical times and trace to the pre-E13 serial queue
+        net, server, client, handled = build()
+        server.configure_workers(1)
+        for _ in range(3):
+            client.send("server", "in", "x")
+        net.run()
+        assert [t for _, t in handled] == [
+            pytest.approx(0.011),
+            pytest.approx(0.021),
+            pytest.approx(0.031),
+        ]
+        assert net.trace.count("queued") == 2
+
+    def test_queue_depth_tracks_backlog(self):
+        net, server, client, handled = build()
+        server.configure_workers(2)
+        for _ in range(5):
+            client.send("server", "in", "x")
+        net.kernel.run(until=0.0015)  # all delivered, none finished
+        assert server.queue_depth == 3
+        net.run()
+        assert server.queue_depth == 0
+
+    def test_worker_stats_utilisation(self):
+        net, server, client, handled = build(service_time=0.1)
+        server.configure_workers(2)
+        client.send("server", "in", "a")
+        client.send("server", "in", "b")
+        net.run()
+        stats = server.worker_stats()
+        assert stats["workers"] == 2
+        assert stats["queue_depth"] == 0
+        # each worker was busy 0.1s of the 0.101s elapsed
+        assert stats["utilisation"][0] == pytest.approx(0.1 / 0.101)
+        assert stats["utilisation"][1] == pytest.approx(0.1 / 0.101)
+
+    def test_deterministic_across_repeats(self):
+        def run_once():
+            net, server, client, handled = build()
+            server.configure_workers(3)
+            server.frame_cost = lambda f: 0.02 if f.payload.startswith("s") else 0.003
+            for i in range(12):
+                client.send("server", "in", ("s" if i % 4 == 0 else "f") + str(i))
+            net.run()
+            return handled, net.trace.records
+
+        h1, t1 = run_once()
+        h2, t2 = run_once()
+        assert h1 == h2
+        assert t1 == t2
+
+
+class TestOverflow:
+    def test_bounded_queue_invokes_overflow_handler(self):
+        net, server, client, handled = build()
+        server.configure_workers(1, queue_limit=1)
+        shed = []
+        server.set_overflow_handler("in", lambda frame, ra: shed.append((frame.payload, ra)))
+        for i in range(4):
+            client.send("server", "in", f"f{i}")
+        net.run()
+        # worker takes f0, queue holds f1; f2 and f3 overflow
+        assert [p for p, _ in handled] == ["f0", "f1"]
+        assert [p for p, _ in shed] == ["f2", "f3"]
+        assert server.frames_overflowed == 2
+        assert net.trace.count("overflow") == 2
+
+    def test_overflow_retry_after_hints_first_free_worker(self):
+        net, server, client, handled = build(service_time=0.05)
+        server.configure_workers(1, queue_limit=0)
+        shed = []
+        server.set_overflow_handler("in", lambda frame, ra: shed.append(ra))
+        client.send("server", "in", "busy-maker")
+        client.send("server", "in", "rejected")
+        net.run()
+        # both arrive at 0.001; the worker frees at 0.051, so the hint
+        # is the remaining 50ms of the in-flight frame
+        assert shed == [pytest.approx(0.05)]
+
+    def test_unbounded_queue_never_overflows(self):
+        net, server, client, handled = build()
+        server.configure_workers(1)  # queue_limit None
+        for _ in range(20):
+            client.send("server", "in", "x")
+        net.run()
+        assert server.frames_overflowed == 0
+        assert len(handled) == 20
+
+
+class TestChurnInteractions:
+    def test_death_mid_service_is_traced_and_counted(self):
+        net, server, client, handled = build()
+        client.send("server", "in", "doomed")
+        net.kernel.schedule(0.005, server.go_down)
+        net.run()
+        assert handled == []
+        assert server.frames_lost_in_service == 1
+        assert net.lost_in_service.get("server") == 1
+        assert net.trace.count("lost-in-service") == 1
+
+    def test_restart_resets_saturation(self):
+        # regression: a node that died saturated used to resume with its
+        # old busy-until horizon, so the first post-restart frame waited
+        # out a queue that no longer existed
+        net, server, client, handled = build(service_time=0.1)
+        for _ in range(5):
+            client.send("server", "in", "pile-up")  # busy horizon: 0.501
+        net.kernel.schedule(0.05, server.go_down)
+        net.kernel.schedule(0.2, server.go_up)
+        # a fresh frame arriving at 0.251 — after restart, well inside
+        # the dead queue's old horizon.  Pre-fix it waited until 0.501.
+        net.kernel.schedule_at(0.25, client.send, "server", "in", "fresh")
+        net.run()
+        fresh = [t for p, t in handled if p == "fresh"]
+        assert fresh == [pytest.approx(0.25 + 0.001 + 0.1)]
+
+    def test_brownout_restore_skipped_when_service_time_changed(self):
+        # regression: an overlapping tuning change mid-brownout must not
+        # be stomped by the brownout's scheduled restore
+        net, server, client, handled = build(service_time=0.0)
+        churn = ChurnSchedule(net)
+        churn.brownout("server", at=1.0, until=2.0, service_time=0.5)
+        # an operator retunes the node while the brownout is active
+        net.kernel.schedule_at(1.5, lambda: setattr(server, "service_time", 0.25))
+        net.run()
+        assert server.service_time == 0.25  # later change wins
+        recover = churn.records("recover")[0]
+        assert recover.detail.get("skipped") is True
+        assert recover.detail.get("found") == 0.25
+
+    def test_brownout_restores_when_unchanged(self):
+        net, server, client, handled = build(service_time=0.002)
+        churn = ChurnSchedule(net)
+        churn.brownout("server", at=1.0, until=2.0, service_time=0.5)
+        net.run()
+        assert server.service_time == 0.002
+        recover = churn.records("recover")[0]
+        assert "skipped" not in recover.detail

@@ -293,3 +293,60 @@ class TestSharedPool:
         first.request("server", 80, HttpRequest("POST", "/echo", "a"))
         second.request("server", 80, HttpRequest("POST", "/echo", "b"))
         assert pool.opened == 1 and pool.reused == 1
+
+
+class TestWorkerPoolShed:
+    """E13: the node's bounded worker pool sheds pipelined requests.
+
+    A shed request still occupies its slot in the connection's sequence
+    — it must be answered 503 *in order*, or every later request on the
+    connection would stall behind the hole forever.
+    """
+
+    def test_shed_request_answered_in_order(self, net):
+        server_node = net.get_node("server")
+        server_node.service_time = 0.05
+        server_node.configure_workers(1, queue_limit=0)
+        echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig(pipeline=True))
+        results = []
+
+        def cb_for(i):
+            return lambda resp, err: results.append((i, resp, err))
+
+        for i in range(3):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", f"r{i}"), cb_for(i)
+            )
+        (conn,) = client.pool.connections()
+        net.kernel.run(until=1.0)  # stop before the idle timeout
+        # responses arrive in request order: first served, rest shed
+        assert [i for i, _, _ in results] == [0, 1, 2]
+        assert [resp.status for _, resp, _ in results] == [200, 503, 503]
+        assert all(err is None for _, _, err in results)
+        for _, resp, _ in results[1:]:
+            assert float(resp.headers["Retry-After"]) > 0
+        assert conn.state != CLOSED  # shed responses do not poison the conn
+        assert server_node.frames_overflowed == 2
+
+    def test_connection_survives_shed_and_serves_again(self, net):
+        server_node = net.get_node("server")
+        server_node.service_time = 0.05
+        server_node.configure_workers(1, queue_limit=0)
+        server = echo_server(net)
+        client = HttpClient(net.get_node("client"), pool=PoolConfig(pipeline=True))
+        first = []
+        for i in range(2):
+            client.request_async(
+                "server", 80, HttpRequest("POST", "/echo", f"r{i}"),
+                lambda resp, err, i=i: first.append((i, resp)),
+            )
+        net.kernel.run(until=1.0)  # stop before the idle timeout
+        assert [resp.status for _, resp in first] == [200, 503]
+        # the pool is idle again: a follow-up request on the same
+        # connection succeeds
+        response = client.request("server", 80, HttpRequest("POST", "/echo", "again"))
+        assert response.ok and response.body == "again"
+        assert client.pool.opened == 1
+        (sconn,) = server.connections
+        assert sconn.busy_answered == 1
