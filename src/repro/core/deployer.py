@@ -30,9 +30,9 @@ from repro.p2ps.advertisements import ServiceAdvertisement
 from repro.p2ps.peer import Peer
 from repro.p2ps.pipes import PipeError, ResolutionError
 from repro.reliability import DedupWindow, ack_requested, build_ack
-from repro.simnet.network import Node
+from repro.simnet.network import NetworkError, Node
 from repro.soap.envelope import SoapEnvelope
-from repro.soap.faults import is_busy_fault_element
+from repro.soap.faults import is_transient_fault_element
 from repro.transport.http import DEFAULT_HTTP_PORT, HttpRequest, HttpResponse, HttpServer
 from repro.wsa.epr import EndpointReference
 from repro.wsa.headers import MessageAddressingProperties
@@ -297,15 +297,18 @@ class P2psServiceDeployer(ServiceDeployer):
             wire = response.to_wire()
             if maps.message_id and not (
                 response.body_content is not None
-                and is_busy_fault_element(response.body_content)
+                and is_transient_fault_element(response.body_content)
             ):
-                # busy answers are load-state, not results: a
-                # retransmission must get a fresh admission decision,
-                # not a cached "busy"
+                # busy/lag answers are provider-state, not results: a
+                # retransmission must get a fresh admission (or
+                # catch-up) decision, not a cached fault
                 self._remember(maps.message_id, wire)
             try:
                 self.peer.send_down_pipe(out_pipe, wire)
-            except PipeError as exc:
+            except (PipeError, NetworkError) as exc:
+                # NetworkError covers the node dying mid-dispatch (a
+                # crash injected while processing): the reply is lost
+                # on the wire, visibly
                 self.fire_server(
                     "reply-undeliverable", service=deployed.name, reason=str(exc)
                 )

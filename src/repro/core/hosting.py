@@ -59,6 +59,11 @@ class DeployedService:
         #: stateful services under client-side retry policies.
         self.dedup = DedupWindow(max_entries=256)
         self.duplicates_suppressed = 0
+        #: set by :class:`~repro.replication.group.ReplicationGroup`
+        #: when this deployment joins a replication group (E15); the
+        #: container then guards dispatch (lag/divergence) and ships a
+        #: versioned delta after every state-changing execution
+        self.replication = None
         self._wsdl_locations: dict[str, str] = {}
 
     @property
@@ -87,6 +92,35 @@ class DeployedService:
             registry=self.registry,
             **kwargs,
         )
+
+    # -- session-state API (E15) ---------------------------------------
+    def _member(self):
+        if self.replication is None:
+            raise DeploymentError(
+                f"service {self.name!r} is not replicated; call "
+                "WSPeer.enable_replication first"
+            )
+        return self.replication
+
+    def get_state(self, session: Optional[str] = None) -> dict:
+        """The replicated state of one session (default session when
+        *session* is omitted)."""
+        from repro.replication.state import DEFAULT_SESSION
+
+        return self._member().store.get_state(session or DEFAULT_SESSION)
+
+    def apply_delta(self, delta) -> str:
+        """Apply a :class:`~repro.replication.state.StateDelta` to this
+        member in-process; returns the store verdict (``applied`` /
+        ``duplicate`` / ``buffered`` / ``diverged``)."""
+        return self._member().apply_delta_local(delta)
+
+    def snapshot(self, session: Optional[str] = None):
+        """A :class:`~repro.replication.state.StateSnapshot` of one
+        session at this member's high-water mark."""
+        from repro.replication.state import DEFAULT_SESSION
+
+        return self._member().store.snapshot(session or DEFAULT_SESSION)
 
     def __repr__(self) -> str:
         return f"<DeployedService {self.name} endpoints={len(self.endpoints)}>"
@@ -293,15 +327,34 @@ class LightweightContainer(EventSource):
                             retry_after=retry_after,
                         )
                     else:
-                        deployed.requests_processed += 1
-                        obs_metrics.inc("server.dispatched")
-                        context = MessageContext(request, service_name, operation)
-                        response = deployed.chain.run(
-                            context,
-                            lambda ctx: deployed.dispatcher.dispatch(ctx.request),
+                        # a replication member refuses sessions it
+                        # cannot serve safely (delta-stream gap or
+                        # divergence) with a failover-eligible fault —
+                        # never remembered in the dedup window, so the
+                        # redirected retransmission gets a fresh answer
+                        guard = (
+                            deployed.replication.guard_request(request, operation)
+                            if deployed.replication is not None
+                            else None
                         )
-                        if message_id is not None:
-                            deployed.dedup.remember(message_id, response.to_wire())
+                        if guard is not None:
+                            response = guard
+                        else:
+                            deployed.requests_processed += 1
+                            obs_metrics.inc("server.dispatched")
+                            context = MessageContext(request, service_name, operation)
+                            response = deployed.chain.run(
+                                context,
+                                lambda ctx: deployed.dispatcher.dispatch(ctx.request),
+                            )
+                            if message_id is not None:
+                                deployed.dedup.remember(
+                                    message_id, response.to_wire()
+                                )
+                            if deployed.replication is not None:
+                                deployed.replication.after_execute(
+                                    request, response, message_id, operation
+                                )
         if response.is_fault:
             obs_metrics.inc("server.faults")
         self.fire_server(

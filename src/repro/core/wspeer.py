@@ -99,6 +99,8 @@ class WSPeer(EventSource):
         self.tracer = None
         #: set by :meth:`enable_http_keepalive`
         self.http_pool = None
+        #: set by :meth:`enable_replication`
+        self.replication = None
 
         self.server.register_deployer(binding.make_deployer(self))
         self.server.register_publisher(binding.make_publisher(self, self.server.deployer))
@@ -339,6 +341,48 @@ class WSPeer(EventSource):
             self.http_pool.attach_health(health)
         self.failover = executor
         return executor
+
+    # ------------------------------------------------------------------
+    # replication (E15)
+    # ------------------------------------------------------------------
+    def enable_replication(
+        self,
+        name: str,
+        replicas,
+        r: int = 2,
+        config=None,
+        anti_entropy: bool = True,
+    ):
+        """Replicate the deployed stateful service *name* across *r* of
+        the *replicas* peers (each must hold its own deployment of the
+        same service).
+
+        The one-line migration for a stateful provider: every
+        state-changing execution on any member ships a versioned delta
+        to the others over the ordinary transports; a client with
+        :meth:`enable_failover` redirects a dead-endpoint call to the
+        most-caught-up live member, and the shipped
+        ``(MessageID, response)`` pairs keep the redirected
+        retransmission at-most-once.  When this peer (or any member
+        peer) has a failover executor, it is attached to the group's
+        handoff directory automatically.  Returns the
+        :class:`~repro.replication.ReplicationGroup`, also kept as
+        ``self.replication``.
+        """
+        from repro.replication import ReplicationGroup
+
+        group = ReplicationGroup.establish(
+            self, name, replicas, r=r, config=config
+        )
+        if anti_entropy:
+            group.start_anti_entropy()
+        for member in group.members:
+            if member.peer.failover is not None:
+                member.peer.failover.attach_replication(group)
+        if self.failover is not None:
+            self.failover.attach_replication(group)
+        self.replication = group
+        return group
 
     # ------------------------------------------------------------------
     # distributed discovery (E12)

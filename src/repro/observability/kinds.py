@@ -34,16 +34,25 @@ KIND_REGISTRY: dict[str, tuple[str, str]] = {
     "request-sent": ("client", "request/response invocation attempt sent"),
     "response-received": ("client", "response decoded; invocation succeeded"),
     "retransmit": ("client", "same MessageID re-sent after timeout/backoff"),
+    "session-handoff": ("client", "stateful call redirected to a caught-up replica"),
     # -- server: fired by the container and provider-side deployers -------
     "ack-sent": ("server", "receipt ack sent down the requester's ack pipe"),
     "ack-undeliverable": ("server", "receipt ack could not be delivered"),
+    "delta-applied": ("server", "shipped state delta folded into the replica"),
+    "delta-buffered": ("server", "out-of-order delta held until the gap fills"),
+    "delta-ship-failed": ("server", "delta fan-out to one member gave up"),
+    "delta-shipped": ("server", "state delta fanned out to a group member"),
     "duplicate-suppressed": ("server", "retransmitted MessageID answered from dedup"),
     "malformed-request": ("server", "unparseable request dropped at the boundary"),
     "reply-undeliverable": ("server", "response could not reach the ReplyTo pipe"),
     "request-intercepted": ("server", "application interceptor answered directly"),
+    "replica-lagging": ("server", "member refused a session it is behind on"),
     "request-received": ("server", "request entered the container"),
     "request-shed": ("server", "admission control answered Server.Busy"),
     "response-sent": ("server", "response left the container"),
+    "session-resynced": ("server", "anti-entropy pull re-converged a session"),
+    "snapshot-installed": ("server", "full session snapshot adopted (dominance)"),
+    "state-diverged": ("server", "equal-seq deltas with different digests"),
     # -- discovery: fired by service locators -----------------------------
     "cache-hit": ("discovery", "rendezvous cache answered without any frame"),
     "endpoint-quarantined": ("discovery", "health verdict DEAD; EPR withheld"),

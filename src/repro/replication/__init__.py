@@ -1,0 +1,46 @@
+"""Replicated stateful services (E15).
+
+The paper deliberately exposes *live stateful objects* as services;
+this package makes that safe under churn: every mutation a member
+executes becomes a versioned :class:`~repro.replication.state.StateDelta`
+shipped to the other members, handoff planning redirects a failed call
+to the most-caught-up live replica, and the shipped
+``(MessageID, response)`` pairs seed replica dedup windows so the
+redirected retransmission replays instead of re-executing —
+at-most-once preserved across failover.
+
+Entry point: :meth:`repro.core.wspeer.WSPeer.enable_replication`.
+"""
+
+from repro.replication.errors import (
+    ReplicaLagError,
+    ReplicationError,
+    StateDivergedError,
+)
+from repro.replication.group import ReplicationGroup
+from repro.replication.member import ReplicationConfig, ReplicationMember
+from repro.replication.state import (
+    DEFAULT_SESSION,
+    SessionLog,
+    StateDelta,
+    StateSnapshot,
+    diff_state,
+    state_digest,
+)
+from repro.replication.store import ReplicaStore
+
+__all__ = [
+    "DEFAULT_SESSION",
+    "ReplicaLagError",
+    "ReplicaStore",
+    "ReplicationConfig",
+    "ReplicationError",
+    "ReplicationGroup",
+    "ReplicationMember",
+    "SessionLog",
+    "StateDelta",
+    "StateSnapshot",
+    "StateDivergedError",
+    "diff_state",
+    "state_digest",
+]

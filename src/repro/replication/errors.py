@@ -1,0 +1,48 @@
+"""Replication-layer error types (E15).
+
+Two of these matter to the client-side failover loop and are therefore
+classified by :func:`repro.supervision.failover.classify_error`:
+
+- :class:`ReplicaLagError` is *retryable* — the replica is alive but
+  has not yet applied every delta for the session; another, more
+  caught-up member (or the same one a moment later) can serve the call.
+- :class:`StateDivergedError` is *fatal* — two members executed the
+  same sequence number to different states.  Failing over cannot help;
+  the conflict needs resolution (anti-entropy dominance or operator
+  action), so the call must surface the error.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WsPeerError
+
+
+class ReplicationError(WsPeerError):
+    """Base class for replication-layer errors."""
+
+
+class ReplicaLagError(ReplicationError):
+    """The member is behind on this session's delta stream.
+
+    Retryable: the state exists elsewhere (or will arrive here); the
+    member just cannot serve the session *yet* without risking a lost
+    update.  Carries how many sequence numbers it is behind, which the
+    caller may use as a backoff hint.
+    """
+
+    def __init__(self, message: str, session: str = "", behind_by: int = 0):
+        super().__init__(message)
+        self.session = session
+        self.behind_by = behind_by
+
+
+class StateDivergedError(ReplicationError):
+    """Two members hold different states for the same sequence number.
+
+    Fatal to the in-flight call: every replica would be equally suspect,
+    so failing over would silently pick a side of the conflict.
+    """
+
+    def __init__(self, message: str, session: str = ""):
+        super().__init__(message)
+        self.session = session

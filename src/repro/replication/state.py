@@ -1,0 +1,205 @@
+"""Versioned session state: deltas, snapshots, and the per-session log.
+
+The unit of replication is the *session* — one independently versioned
+slice of a stateful service's data (a shopping cart, a counter, a
+conversation).  Services that do not partition their state get the
+single default session ``"_"``.
+
+Every mutation the primary executes produces a :class:`StateDelta`:
+the changed/removed keys, a monotonically increasing per-session
+sequence number, and a digest of the *resulting* full session state so
+appliers can detect divergence immediately rather than at the next
+read.  Deltas also carry the originating request's ``wsa:MessageID``
+and the retained response wire, which is what lets a replica answer a
+handoff retransmission from its dedup window instead of re-executing
+(at-most-once across failover, E9 × E7).
+
+The :class:`SessionLog` keeps a snapshot plus the delta suffix since
+it, compacting the log back into the snapshot once it grows past
+``compact_after`` entries — so a freshly nominated replica can be
+brought up with one snapshot install instead of replaying history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: the session key used by services that do not partition their state
+DEFAULT_SESSION = "_"
+
+
+def state_digest(state: dict[str, Any]) -> str:
+    """A short stable digest of a session-state dict.
+
+    Key order never matters; values must be JSON-representable (the
+    same constraint the SOAP encoding layer already imposes on
+    operation arguments).
+    """
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def diff_state(
+    old: dict[str, Any], new: dict[str, Any]
+) -> tuple[dict[str, Any], tuple[str, ...]]:
+    """(changed-or-added keys, removed keys) taking *old* to *new*."""
+    changes = {k: v for k, v in new.items() if k not in old or old[k] != v}
+    removed = tuple(sorted(k for k in old if k not in new))
+    return changes, removed
+
+
+@dataclass(frozen=True)
+class StateDelta:
+    """One versioned mutation of one session's state."""
+
+    session: str
+    seq: int
+    changes: dict[str, Any]
+    removed: tuple[str, ...] = ()
+    #: digest of the full session state *after* applying this delta
+    digest: str = ""
+    #: identity + retained response of the mutation that produced this
+    #: delta — applied into the replica's dedup window so a failover
+    #: retransmission replays instead of re-executing
+    message_id: Optional[str] = None
+    response_wire: Optional[str] = None
+    operation: str = ""
+
+    def apply_to(self, state: dict[str, Any]) -> dict[str, Any]:
+        """Merge this delta into *state* in place (and return it)."""
+        state.update(self.changes)
+        for key in self.removed:
+            state.pop(key, None)
+        return state
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "session": self.session,
+                "seq": self.seq,
+                "changes": self.changes,
+                "removed": list(self.removed),
+                "digest": self.digest,
+                "message_id": self.message_id,
+                "response_wire": self.response_wire,
+                "operation": self.operation,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "StateDelta":
+        raw = json.loads(payload)
+        return cls(
+            session=raw["session"],
+            seq=int(raw["seq"]),
+            changes=dict(raw.get("changes", {})),
+            removed=tuple(raw.get("removed", ())),
+            digest=raw.get("digest", ""),
+            message_id=raw.get("message_id"),
+            response_wire=raw.get("response_wire"),
+            operation=raw.get("operation", ""),
+        )
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """The full state of one session at one sequence number."""
+
+    session: str
+    seq: int
+    state: dict[str, Any]
+    digest: str = ""
+    #: recent (message_id, response_wire) pairs, newest last — installed
+    #: into the receiving member's dedup window alongside the state
+    replies: tuple[tuple[str, str], ...] = ()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "session": self.session,
+                "seq": self.seq,
+                "state": self.state,
+                "digest": self.digest,
+                "replies": [list(pair) for pair in self.replies],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "StateSnapshot":
+        raw = json.loads(payload)
+        return cls(
+            session=raw["session"],
+            seq=int(raw["seq"]),
+            state=dict(raw.get("state", {})),
+            digest=raw.get("digest", ""),
+            replies=tuple(
+                (str(m), str(w)) for m, w in raw.get("replies", ())
+            ),
+        )
+
+    @property
+    def wire_bytes(self) -> int:
+        return len(self.to_json().encode("utf-8"))
+
+
+@dataclass
+class SessionLog:
+    """Snapshot + delta suffix for one session, with compaction.
+
+    ``snapshot.seq`` is the floor: deltas with ``seq <= snapshot.seq``
+    have been folded in and can no longer be served individually —
+    :meth:`deltas_since` returns ``None`` for requests below the floor,
+    signalling "install the snapshot instead".
+    """
+
+    session: str
+    compact_after: int = 32
+    snapshot: StateSnapshot = field(default=None)  # type: ignore[assignment]
+    deltas: list[StateDelta] = field(default_factory=list)
+    compactions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.snapshot is None:
+            self.snapshot = StateSnapshot(
+                self.session, 0, {}, digest=state_digest({})
+            )
+
+    @property
+    def seq(self) -> int:
+        """The highest sequence number the log covers."""
+        return self.deltas[-1].seq if self.deltas else self.snapshot.seq
+
+    def append(self, delta: StateDelta, full_state: dict[str, Any]) -> None:
+        """Record *delta*; compact once the suffix outgrows the bound.
+
+        *full_state* is the post-delta session state (the appender
+        already has it — recomputing by replay would be quadratic).
+        """
+        if delta.seq != self.seq + 1:
+            raise ValueError(
+                f"log for {self.session!r} at seq {self.seq} cannot "
+                f"append delta seq {delta.seq}"
+            )
+        self.deltas.append(delta)
+        if len(self.deltas) > self.compact_after:
+            self.snapshot = StateSnapshot(
+                self.session,
+                delta.seq,
+                dict(full_state),
+                digest=delta.digest or state_digest(full_state),
+            )
+            self.deltas.clear()
+            self.compactions += 1
+
+    def deltas_since(self, seq: int) -> Optional[list[StateDelta]]:
+        """The deltas taking a follower from *seq* to the head, oldest
+        first — or ``None`` when compaction has discarded that range
+        (the follower must install the snapshot)."""
+        if seq < self.snapshot.seq:
+            return None
+        return [d for d in self.deltas if d.seq > seq]

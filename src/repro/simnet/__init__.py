@@ -13,6 +13,7 @@ through a :class:`Network`, so every experiment in ``benchmarks/`` runs
 on virtual time and is exactly reproducible from its seed.
 """
 
+from repro.simnet.crash import CrashAction, CrashHarness, EventTrigger
 from repro.simnet.kernel import Kernel, ScheduledEvent, SimTimeoutError
 from repro.simnet.network import Frame, Network, NetworkError, Node, NodeDownError
 from repro.simnet.latency import FixedLatency, LatencyModel, SeededLatency, UniformLatency
@@ -21,6 +22,9 @@ from repro.simnet.churn import ChurnRecord, ChurnSchedule
 from repro.simnet.trace import Counter, TraceLog, summarize
 
 __all__ = [
+    "CrashAction",
+    "CrashHarness",
+    "EventTrigger",
     "Kernel",
     "ScheduledEvent",
     "SimTimeoutError",

@@ -27,6 +27,7 @@ class DropInjector:
         self._only = set(only_nodes) if only_nodes is not None else None
         self._network = network
         self.dropped = 0
+        self.attached = True
         network.add_delivery_hook(self._hook)
 
     def _hook(self, frame: Frame) -> bool:
@@ -38,9 +39,16 @@ class DropInjector:
         return True
 
     def detach(self) -> None:
-        """Stop dropping frames.  Safe to call redundantly, and safe to
-        call from inside another delivery hook mid-iteration — the
-        network walks a snapshot of its hook list per frame."""
+        """Stop dropping frames.  Idempotent: calling twice (or calling
+        after another schedule already detached this injector) is a
+        no-op — it never raises and never removes a hook it does not
+        own from the chain.  Also safe to call from inside another
+        delivery hook mid-iteration: the network walks a snapshot of
+        its hook list per frame, so the in-flight frame still sees the
+        snapshotted hooks and later frames do not."""
+        if not self.attached:
+            return
+        self.attached = False
         self._network.remove_delivery_hook(self._hook)
 
 
@@ -54,6 +62,7 @@ class PartitionInjector:
                 self._membership[node_id] = idx
         self._network = network
         self.blocked = 0
+        self.healed = False
         network.add_delivery_hook(self._hook)
 
     def _hook(self, frame: Frame) -> bool:
@@ -66,7 +75,12 @@ class PartitionInjector:
 
     def heal(self) -> None:
         """Remove the partition.  Idempotent: healing twice (or healing
-        a partition another schedule already removed) is a no-op."""
+        a partition another schedule already removed) is a no-op that
+        never raises and never corrupts the hook chain — the injector
+        only ever removes its own hook, once."""
+        if self.healed:
+            return
+        self.healed = True
         self._network.remove_delivery_hook(self._hook)
 
 
@@ -96,7 +110,13 @@ class ChurnInjector:
     def fail_fraction(
         self, candidates: Sequence[str], fraction: float, at: float
     ) -> list[str]:
-        """Down a random *fraction* of *candidates* at time *at*; returns them."""
+        """Down a random *fraction* of *candidates* at time *at*; returns them.
+
+        Deterministic: the victim set is drawn from this injector's own
+        seeded generator, so the same seed, the same candidate order,
+        and the same sequence of calls always pick the same victims —
+        a churn scenario replays byte-identically across runs.
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
         k = int(round(len(candidates) * fraction))

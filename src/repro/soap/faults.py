@@ -73,6 +73,8 @@ class SoapFault(Exception):
             detail = detail_wrapper.children[0].copy()
         if code is FaultCode.SERVER and subcode == ServerBusyFault.SUBCODE:
             return ServerBusyFault.from_parts(message, actor, detail)
+        if code is FaultCode.SERVER and subcode == ReplicaLagFault.SUBCODE:
+            return ReplicaLagFault.from_parts(message, actor, detail)
         return cls(code, message, actor, detail, subcode=subcode)
 
     @staticmethod
@@ -128,6 +130,67 @@ class ServerBusyFault(SoapFault):
         return f"<ServerBusyFault retry_after={self.retry_after:g}s>"
 
 
+class ReplicaLagFault(SoapFault):
+    """``Server.ReplicaLag``: this replica is behind on the session.
+
+    Answered by a replication member that knows it has a gap in the
+    session's delta stream — serving the call would risk a lost update,
+    and executing it would fork the sequence numbering.  Like
+    ``Server.Busy`` the member did *not* execute, so the fault is
+    always safe to retry; unlike Busy it is a *failover* signal first
+    (another member holds the missing history) and a backoff signal
+    second.  Carries how many deltas behind and a retry-after hint in
+    the detail, so both survive the wire round-trip.
+    """
+
+    SUBCODE = "ReplicaLag"
+    _DETAIL = QName(ns.WSPEER, "ReplicaLag", "wsp")
+
+    def __init__(
+        self,
+        message: str = "replica is behind on this session",
+        behind_by: int = 0,
+        retry_after: float = 0.0,
+        actor: str = "",
+    ):
+        detail = Element(self._DETAIL, nsdecls={"wsp": ns.WSPEER})
+        detail.add("BehindBy", str(max(0, int(behind_by))))
+        detail.add("RetryAfter", f"{max(0.0, retry_after):g}")
+        super().__init__(
+            FaultCode.SERVER, message, actor, detail, subcode=self.SUBCODE
+        )
+        self.behind_by = max(0, int(behind_by))
+        self.retry_after = max(0.0, retry_after)
+
+    @classmethod
+    def from_parts(
+        cls, message: str, actor: str, detail: Optional[Element]
+    ) -> "ReplicaLagFault":
+        behind_by = 0
+        retry_after = 0.0
+        if detail is not None and detail.name.local == "ReplicaLag":
+            try:
+                behind_by = int(detail.find_text("BehindBy", "0"))
+            except (TypeError, ValueError):
+                behind_by = 0
+            try:
+                retry_after = float(detail.find_text("RetryAfter", "0"))
+            except (TypeError, ValueError):
+                retry_after = 0.0
+        return cls(
+            message or "replica is behind on this session",
+            behind_by,
+            retry_after,
+            actor,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicaLagFault behind_by={self.behind_by} "
+            f"retry_after={self.retry_after:g}s>"
+        )
+
+
 def is_busy_fault_element(elem: Element) -> bool:
     """True when *elem* is a Fault whose code is ``Server.Busy``.
 
@@ -140,3 +203,22 @@ def is_busy_fault_element(elem: Element) -> bool:
     code_text = elem.find_text("faultcode", "")
     _, _, local = code_text.rpartition(":")
     return local == f"{FaultCode.SERVER.value}.{ServerBusyFault.SUBCODE}"
+
+
+def is_transient_fault_element(elem: Element) -> bool:
+    """True for faults describing *provider state*, not call results:
+    ``Server.Busy`` and ``Server.ReplicaLag``.
+
+    Neither executed the operation, so neither may ever be retained as
+    the canonical response for a MessageID — a retransmission (or a
+    failover handoff reusing the same MessageID) must get a fresh
+    decision, not a replay of "busy"/"behind".
+    """
+    if not SoapFault.is_fault_element(elem):
+        return False
+    code_text = elem.find_text("faultcode", "")
+    _, _, local = code_text.rpartition(":")
+    return local in (
+        f"{FaultCode.SERVER.value}.{ServerBusyFault.SUBCODE}",
+        f"{FaultCode.SERVER.value}.{ReplicaLagFault.SUBCODE}",
+    )

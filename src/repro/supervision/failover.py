@@ -32,8 +32,9 @@ from repro.reliability import (
     DeadlineExceededError,
     ReliabilityPolicy,
 )
+from repro.replication.errors import ReplicaLagError, StateDivergedError
 from repro.simnet.kernel import SimTimeoutError
-from repro.soap.faults import ServerBusyFault, SoapFault
+from repro.soap.faults import ReplicaLagFault, ServerBusyFault, SoapFault
 from repro.supervision.health import HealthMonitor
 from repro.transport.base import TransportBusyError
 from repro.wsa.epr import EndpointReference
@@ -62,6 +63,14 @@ def classify_error(error: Exception) -> str:
     """
     if isinstance(error, (ServerBusyFault, TransportBusyError)):
         return BUSY
+    if isinstance(error, (ReplicaLagFault, ReplicaLagError)):
+        # the replica did not execute — the session's history lives on
+        # a more caught-up member, so move the call there (E15)
+        return FAILOVER
+    if isinstance(error, StateDivergedError):
+        # every member is equally suspect; redirecting would silently
+        # pick a side of the conflict
+        return FINAL
     if isinstance(error, SoapFault):
         return FINAL
     return FAILOVER
@@ -113,6 +122,9 @@ class FailoverExecutor(EventSource):
         self.config = config if config is not None else FailoverConfig()
         self._invokers: dict[str, Any] = {}
         self.failovers = 0  # endpoint switches across all calls
+        #: replication directory (E15); see :meth:`attach_replication`
+        self._replication = None
+        self.handoffs = 0  # stateful-session redirects to a replica
 
     def _now(self) -> float:
         return self._kernel_ref.now
@@ -123,6 +135,18 @@ class FailoverExecutor(EventSource):
         with the ``invoke_async(handle, operation, args, callback,
         timeout, policy=, endpoint=, message_id=)`` contract)."""
         self._invokers[scheme.lower()] = invocation
+
+    def attach_replication(self, directory) -> None:
+        """Consult *directory* when planning (replica-aware failover).
+
+        *directory* is any object with ``caught_up(address) ->
+        Optional[int]`` — typically a
+        :class:`~repro.replication.group.ReplicationGroup`.  Among
+        endpoints of equal health standing, planning then prefers the
+        member holding the most applied state, so a redirected stateful
+        session lands where its history already lives.
+        """
+        self._replication = directory
 
     @property
     def schemes(self) -> list[str]:
@@ -150,9 +174,35 @@ class FailoverExecutor(EventSource):
             candidates.append(endpoint)
         return candidates
 
+    def _plan_queue(
+        self, candidates: list[EndpointReference]
+    ) -> list[EndpointReference]:
+        """Health-ranked order, refined by replication caught-up scores.
+
+        The stable sort preserves the health ranking among endpoints of
+        the same liveness class; within a class, members holding more
+        applied state come first and non-member endpoints keep their
+        health-ranked position (score ``-1`` sorts after any member).
+        """
+        queue = self.health.rank(candidates)
+        if self._replication is None:
+            return queue
+        scores = {
+            e.address: self._replication.caught_up(e.address) for e in queue
+        }
+        if not any(score is not None for score in scores.values()):
+            return queue
+        queue.sort(
+            key=lambda e: (
+                self.health.is_dead(e.address),
+                -(scores[e.address] if scores[e.address] is not None else -1),
+            )
+        )
+        return queue
+
     def plan(self, handle: ServiceHandle, operation: str) -> list[EndpointReference]:
         """The ranked attempt order the next call would use."""
-        return self.health.rank(self.candidate_endpoints(handle, operation))
+        return self._plan_queue(self.candidate_endpoints(handle, operation))
 
     # -- invocation --------------------------------------------------------
     def invoke_async(
@@ -182,7 +232,7 @@ class FailoverExecutor(EventSource):
         started = self._now()
         state = {
             "round": 0,
-            "queue": self.health.rank(candidates),
+            "queue": self._plan_queue(candidates),
             "attempted": 0,
             "last_endpoint": None,
             "last_error": None,
@@ -239,7 +289,7 @@ class FailoverExecutor(EventSource):
                     return
                 # next round: re-rank what we know now, after a breather
                 def start_round() -> None:
-                    state["queue"] = self.health.rank(candidates)
+                    state["queue"] = self._plan_queue(candidates)
                     next_endpoint()
 
                 if self.config.round_backoff > 0:
@@ -266,6 +316,26 @@ class FailoverExecutor(EventSource):
                     message_id=message_id,
                     reason=str(state["last_error"]),
                 )
+                caught_up = (
+                    self._replication.caught_up(endpoint.address)
+                    if self._replication is not None
+                    else None
+                )
+                if caught_up is not None:
+                    # a stateful session is moving to a replication
+                    # member: annotate the span tree and count the
+                    # handoff (the same MessageID keeps it at-most-once)
+                    self.handoffs += 1
+                    obs_metrics.inc("replication.handoffs")
+                    self.fire_client(
+                        "session-handoff",
+                        service=handle.name,
+                        operation=operation,
+                        from_endpoint=previous,
+                        to_endpoint=endpoint.address,
+                        message_id=message_id,
+                        caught_up=caught_up,
+                    )
             state["last_endpoint"] = endpoint.address
             state["attempted"] += 1
             attempt_timeout = timeout
@@ -297,6 +367,14 @@ class FailoverExecutor(EventSource):
                 if verdict == BUSY:
                     self.health.record_busy(
                         endpoint.address, retry_after=error.retry_after
+                    )
+                elif isinstance(error, (ReplicaLagFault, ReplicaLagError)):
+                    # the member answered — it is alive, just behind;
+                    # treat like a shed, not a failure, so its health
+                    # score survives the redirect
+                    self.health.record_busy(
+                        endpoint.address,
+                        retry_after=getattr(error, "retry_after", 0.0),
                     )
                 elif isinstance(error, CircuitOpenError):
                     # the breaker already holds the failure history; do

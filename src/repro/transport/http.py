@@ -278,7 +278,15 @@ class HttpServer:
         reply_port = frame.meta.get("reply_port")
         response = self._response_for(frame.payload)
         if reply_port:
-            self.node.send(frame.src, reply_port, response.to_wire())
+            try:
+                self.node.send(frame.src, reply_port, response.to_wire())
+            except (NetworkError, NodeDownError):
+                # the serving node died while processing (e.g. a crash
+                # injected mid-dispatch): the executed response is lost
+                # on the wire, which must be visible, not an unhandled
+                # kernel exception
+                self.dropped_replies += 1
+                obs_metrics.inc("transport.http.dropped_replies")
         else:
             # nowhere to answer: the reply is lost, which must be
             # visible, not silent
@@ -306,7 +314,11 @@ class HttpServer:
             f"server {self.node.id}: worker pool saturated",
             {"Retry-After": f"{retry_after:.6f}"},
         )
-        self.node.send(frame.src, reply_port, response.to_wire())
+        try:
+            self.node.send(frame.src, reply_port, response.to_wire())
+        except (NetworkError, NodeDownError):
+            self.dropped_replies += 1
+            obs_metrics.inc("transport.http.dropped_replies")
 
     def _response_for(self, payload: str) -> HttpResponse:
         """Parse and dispatch one raw request (shared with E11

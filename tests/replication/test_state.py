@@ -1,0 +1,120 @@
+"""Unit tests for the versioned-state primitives (E15)."""
+
+import pytest
+
+from repro.replication.state import (
+    SessionLog,
+    StateDelta,
+    StateSnapshot,
+    diff_state,
+    state_digest,
+)
+
+
+class TestDigest:
+    def test_stable_across_key_order(self):
+        assert state_digest({"a": 1, "b": 2}) == state_digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert state_digest({"a": 1}) != state_digest({"a": 2})
+
+    def test_key_sensitive(self):
+        assert state_digest({"a": 1}) != state_digest({"b": 1})
+
+    def test_empty_state_has_a_digest(self):
+        assert state_digest({})
+
+
+class TestDiff:
+    def test_added_and_changed_keys(self):
+        changes, removed = diff_state({"a": 1, "b": 2}, {"a": 1, "b": 3, "c": 4})
+        assert changes == {"b": 3, "c": 4}
+        assert removed == ()
+
+    def test_removed_keys_sorted(self):
+        changes, removed = diff_state({"z": 1, "a": 2, "m": 3}, {"m": 3})
+        assert changes == {}
+        assert removed == ("a", "z")
+
+    def test_no_change(self):
+        assert diff_state({"a": 1}, {"a": 1}) == ({}, ())
+
+
+class TestDelta:
+    def test_json_round_trip(self):
+        delta = StateDelta(
+            session="cart-1",
+            seq=7,
+            changes={"items": ["apple"], "total": 3},
+            removed=("stale",),
+            digest="abc123",
+            message_id="uuid:42",
+            response_wire="<env/>",
+            operation="add_item",
+        )
+        back = StateDelta.from_json(delta.to_json())
+        assert back == delta
+
+    def test_apply_to_merges_and_removes(self):
+        delta = StateDelta("s", 1, {"a": 2}, removed=("b",))
+        state = {"a": 1, "b": 9, "c": 3}
+        delta.apply_to(state)
+        assert state == {"a": 2, "c": 3}
+
+    def test_optional_identity_defaults(self):
+        back = StateDelta.from_json(StateDelta("s", 1, {"x": 1}).to_json())
+        assert back.message_id is None
+        assert back.response_wire is None
+
+
+class TestSnapshot:
+    def test_json_round_trip_with_replies(self):
+        snap = StateSnapshot(
+            "s", 4, {"v": 10}, digest="d", replies=(("uuid:1", "<a/>"),)
+        )
+        back = StateSnapshot.from_json(snap.to_json())
+        assert back == snap
+
+    def test_wire_bytes_positive(self):
+        assert StateSnapshot("s", 0, {}).wire_bytes > 0
+
+
+class TestSessionLog:
+    def _delta(self, seq, value):
+        return StateDelta(
+            "s", seq, {"v": value}, digest=state_digest({"v": value})
+        )
+
+    def test_append_requires_contiguous_seq(self):
+        log = SessionLog("s")
+        log.append(self._delta(1, 1), {"v": 1})
+        with pytest.raises(ValueError):
+            log.append(self._delta(3, 3), {"v": 3})
+
+    def test_deltas_since_returns_suffix(self):
+        log = SessionLog("s")
+        for i in range(1, 5):
+            log.append(self._delta(i, i), {"v": i})
+        suffix = log.deltas_since(2)
+        assert [d.seq for d in suffix] == [3, 4]
+        assert log.deltas_since(4) == []
+
+    def test_compaction_folds_into_snapshot(self):
+        log = SessionLog("s", compact_after=3)
+        for i in range(1, 5):  # the 4th append exceeds compact_after=3
+            log.append(self._delta(i, i), {"v": i})
+        assert log.compactions == 1
+        assert log.snapshot.seq == 4
+        assert log.snapshot.state == {"v": 4}
+        assert log.deltas == []
+        assert log.seq == 4
+
+    def test_deltas_since_none_past_compaction_floor(self):
+        log = SessionLog("s", compact_after=2)
+        for i in range(1, 4):
+            log.append(self._delta(i, i), {"v": i})
+        assert log.snapshot.seq == 3
+        # a follower at seq 1 predates the floor: needs the snapshot
+        assert log.deltas_since(1) is None
+        # a follower exactly at the floor can continue on deltas
+        assert log.deltas_since(3) == []
