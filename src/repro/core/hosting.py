@@ -22,6 +22,12 @@ from typing import Any, Callable, Optional
 from repro.core.errors import DeploymentError
 from repro.core.events import EventSource
 from repro.observability import metrics as obs_metrics
+from repro.observability.tracecontext import (
+    activate as trace_activate,
+    event_fields as trace_event_fields,
+    extract as trace_extract,
+    propagation_enabled as trace_propagation_enabled,
+)
 from repro.reliability import DedupWindow
 from repro.soap.encoding import StructRegistry
 from repro.soap.envelope import SoapEnvelope
@@ -256,6 +262,17 @@ class LightweightContainer(EventSource):
             request.body_content.name.local if request.body_content is not None else ""
         )
         message_id = self._request_message_id(request)
+        # E17: continue the caller's trace.  The server span becomes the
+        # ambient context for the whole (synchronous) processing window,
+        # so anything the handler sends from inside it — replication
+        # delta ships above all — is stamped as a child of this span and
+        # the client's tree links up across nodes.
+        server_trace = None
+        if trace_propagation_enabled():
+            incoming_trace = trace_extract(request)
+            if incoming_trace is not None:
+                server_trace = incoming_trace.child()
+        trace_fields = trace_event_fields(server_trace)
         obs_metrics.inc("server.requests")
         self.fire_server(
             "request-received",
@@ -263,7 +280,34 @@ class LightweightContainer(EventSource):
             operation=operation,
             envelope=request,
             message_id=message_id,
+            **trace_fields,
         )
+        with trace_activate(server_trace):
+            response = self._dispatch_request(
+                service_name, operation, message_id, request
+            )
+        if response.is_fault:
+            obs_metrics.inc("server.faults")
+        self.fire_server(
+            "response-sent",
+            service=service_name,
+            operation=operation,
+            fault=response.is_fault,
+            envelope=response,
+            message_id=message_id,
+            **trace_fields,
+        )
+        return response
+
+    def _dispatch_request(
+        self,
+        service_name: str,
+        operation: str,
+        message_id: Optional[str],
+        request: SoapEnvelope,
+    ) -> SoapEnvelope:
+        """Steps 2–3 of :meth:`process_request`: interceptor, dedup,
+        admission, replication guard, handler chain + dispatcher."""
         response: Optional[SoapEnvelope] = None
         if self.interceptor is not None:
             response = self.interceptor(service_name, request)
@@ -355,14 +399,4 @@ class LightweightContainer(EventSource):
                                 deployed.replication.after_execute(
                                     request, response, message_id, operation
                                 )
-        if response.is_fault:
-            obs_metrics.inc("server.faults")
-        self.fire_server(
-            "response-sent",
-            service=service_name,
-            operation=operation,
-            fault=response.is_fault,
-            envelope=response,
-            message_id=message_id,
-        )
         return response

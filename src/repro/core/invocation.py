@@ -48,6 +48,10 @@ from repro.reliability import (
     is_ack,
     mark_ack_requested,
 )
+from repro.observability.tracecontext import (
+    begin_send as trace_begin_send,
+    event_fields as trace_event_fields,
+)
 from repro.simnet.kernel import SimTimeoutError
 from repro.simnet.network import Node
 from repro.soap.encoding import StructRegistry
@@ -293,6 +297,12 @@ class HttpInvocation(Invocation):
         maps = MessageAddressingProperties.for_request(endpoint, operation)
         if message_id is not None:
             maps.message_id = message_id
+        # The trace context is captured when the wire is built, so every
+        # retransmit of this attempt carries the same span identity; a
+        # fresh request-sent (failover hop) mints a sibling span.
+        trace_ctx = trace_begin_send()
+        if trace_ctx is not None:
+            maps.trace_context = trace_ctx.encoded()
         wire = request_templates.render(
             maps, handle.namespace, operation, args, target=endpoint
         )
@@ -309,6 +319,7 @@ class HttpInvocation(Invocation):
             operation=operation,
             endpoint=endpoint.address,
             message_id=maps.message_id,
+            **trace_event_fields(trace_ctx),
         )
 
         def finish(result: Any, error: Optional[Exception]) -> None:
@@ -490,6 +501,9 @@ class P2psInvocation(Invocation):
             reply_to=reply_epr,
             message_id=message_id if message_id is not None else new_message_id(),
         )
+        trace_ctx = trace_begin_send()
+        if trace_ctx is not None:
+            maps.trace_context = trace_ctx.encoded()
         wire = request_templates.render(
             maps, handle.namespace, operation, args, target=endpoint
         )
@@ -607,6 +621,7 @@ class P2psInvocation(Invocation):
             operation=operation,
             endpoint=endpoint.address,
             message_id=maps.message_id,
+            **trace_event_fields(trace_ctx),
         )
         # step 5: send SOAP down the remote pipe
         send_attempt()
@@ -651,6 +666,9 @@ class P2psInvocation(Invocation):
             action=action_for_pipe(target_advert),
             message_id=new_message_id(),
         )
+        trace_ctx = trace_begin_send()
+        if trace_ctx is not None:
+            maps.trace_context = trace_ctx.encoded()
         wire = request_templates.render(
             maps, handle.namespace, operation, all_args, target=endpoint
         )
@@ -664,6 +682,7 @@ class P2psInvocation(Invocation):
         self.fire_client(
             "oneway-sent", service=handle.name, operation=operation,
             endpoint=endpoint.address, message_id=maps.message_id,
+            **trace_event_fields(trace_ctx),
         )
         self.peer.send_down_pipe(out_pipe, wire)
         return None
@@ -705,6 +724,9 @@ class P2psInvocation(Invocation):
             reply_to=epr_from_pipe(ack_advert),
             message_id=message_id,
         )
+        trace_ctx = trace_begin_send()
+        if trace_ctx is not None:
+            maps.trace_context = trace_ctx.encoded()
         maps.apply_to(envelope, target=endpoint)
         mark_ack_requested(envelope)
         wire = envelope.to_wire()
@@ -803,6 +825,7 @@ class P2psInvocation(Invocation):
         self.fire_client(
             "oneway-sent", service=handle.name, operation=operation,
             endpoint=endpoint.address, message_id=message_id, ack_requested=True,
+            **trace_event_fields(trace_ctx),
         )
         send_attempt()
         return status

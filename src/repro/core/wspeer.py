@@ -101,6 +101,12 @@ class WSPeer(EventSource):
         self.http_pool = None
         #: set by :meth:`enable_replication`
         self.replication = None
+        #: set by :meth:`enable_flight_recorder`
+        self.flight = None
+        #: set by :meth:`enable_slo`
+        self.slo = None
+        #: set by :meth:`enable_cluster_metrics`
+        self.cluster_metrics = None
 
         self.server.register_deployer(binding.make_deployer(self))
         self.server.register_publisher(binding.make_publisher(self, self.server.deployer))
@@ -468,7 +474,8 @@ class WSPeer(EventSource):
     # observability
     # ------------------------------------------------------------------
     def enable_observability(
-        self, tracer=None, codec: bool = False, max_spans: int = 1024
+        self, tracer=None, codec: bool = False, max_spans: int = 1024,
+        propagate: bool = True,
     ):
         """Attach a span tracer at this peer's root.
 
@@ -477,16 +484,78 @@ class WSPeer(EventSource):
         *tracer* to share one store across several peers (client and
         providers), so one tree shows both sides of each exchange;
         ``codec=True`` additionally installs the tracer as the codec
-        fast-path recorder.  Returns the tracer, also kept as
+        fast-path recorder.  *propagate* (default on) switches on
+        wire trace-context propagation — outbound calls carry a
+        ``repro:TraceContext`` header and servers continue the caller's
+        trace, so one trace id spans client → primary → replicas
+        across nodes.  The switch is process-wide (the sim runs many
+        peers in one process); tests flip it back via
+        ``tracecontext.reset()``.  Returns the tracer, also kept as
         ``self.tracer``.
         """
         from repro.observability import SpanTracer
+        from repro.observability.tracecontext import set_propagation
 
         if tracer is None:
             tracer = SpanTracer(max_spans=max_spans)
         tracer.install(self, codec=codec)
         self.tracer = tracer
+        if propagate:
+            set_propagation(True)
         return tracer
+
+    def enable_flight_recorder(self, recorder=None, capacity: int = 512):
+        """Attach an always-on flight recorder at this peer's root.
+
+        Keeps a bounded ring of recent events and freezes post-mortem
+        dumps on catastrophic kinds (node kills, state divergence,
+        breaker opens).  Pass an existing *recorder* to share one ring
+        across peers.  Returns the recorder, kept as ``self.flight``.
+        """
+        from repro.observability.flight import FlightRecorder
+
+        if recorder is None:
+            recorder = FlightRecorder(capacity=capacity)
+        recorder.install(self)
+        self.flight = recorder
+        return recorder
+
+    def enable_slo(self, policy=None, engine=None):
+        """Attach an SLO engine at this peer's root.
+
+        Client-side invocation events become per-service burn-rate
+        health (``engine.report()`` / ``GetSloStatus``).  Returns the
+        engine, kept as ``self.slo``.
+        """
+        from repro.observability.slo import SloEngine
+
+        if engine is None:
+            engine = SloEngine(policy=policy)
+        engine.install(self)
+        self.slo = engine
+        return engine
+
+    def enable_cluster_metrics(
+        self, registry=None, gossip=None, interval: Optional[float] = None,
+    ):
+        """Participate in cluster metric aggregation.
+
+        Digests of *registry* (default: the process registry) ride the
+        gossip overlay when *gossip* is given — pass *interval* to
+        publish periodically on the peer's clock kernel — and the
+        introspection service serves the merged view via
+        ``GetClusterMetrics`` / ``GetMetricsDigest``.  Returns the
+        agent, kept as ``self.cluster_metrics``.
+        """
+        from repro.observability.cluster import ClusterMetricsAgent
+
+        agent = ClusterMetricsAgent(
+            self, registry=registry, gossip=gossip, clock=self._clock,
+        )
+        self.cluster_metrics = agent
+        if interval is not None and gossip is not None:
+            agent.start(gossip.node.network.kernel, interval)
+        return agent
 
     def host_introspection(self, name: str = "Introspection", tracer=None):
         """Deploy the peer's self-description service.
@@ -502,7 +571,9 @@ class WSPeer(EventSource):
         from repro.observability import INTROSPECTION_NS, IntrospectionService
         from repro.observability.introspection import OPERATIONS
 
-        service = IntrospectionService(self, tracer if tracer is not None else self.tracer)
+        service = IntrospectionService(
+            self, tracer if tracer is not None else self.tracer
+        )
         return self.deploy(
             service,
             name=name,

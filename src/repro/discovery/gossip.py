@@ -118,6 +118,52 @@ class ServiceAnnouncement:
 AnnouncementListener = Callable[[ServiceAnnouncement], None]
 
 
+class MetricDigest:
+    """A piggybacked metrics summary riding the gossip overlay (E17).
+
+    The payload is opaque text (JSON, by convention of
+    :mod:`repro.observability.cluster`) — gossip only guarantees the
+    epidemic mechanics: per-origin monotonic ``seq`` freshness, hop
+    budget, stale-drop termination.  One digest per origin is current
+    at a time; a fresher one supersedes it everywhere.
+    """
+
+    def __init__(self, origin: str, seq: int, payload: str,
+                 hops: int = DEFAULT_HOPS):
+        self.origin = origin
+        self.seq = int(seq)
+        self.payload = payload
+        self.hops = int(hops)
+
+    def to_element(self) -> Element:
+        root = Element(
+            _q("MetricDigest"),
+            attributes={"seq": str(self.seq), "hops": str(self.hops)},
+            nsdecls={"disco": DISCOVERY_NS},
+        )
+        root.add(_q("Origin"), text=self.origin)
+        root.add(_q("Payload"), text=self.payload)
+        return root
+
+    def to_wire(self) -> str:
+        return serialize(self.to_element())
+
+    @classmethod
+    def from_element(cls, elem: Element) -> "MetricDigest":
+        return cls(
+            elem.find_text("Origin"),
+            int(elem.get("seq") or 0),
+            elem.find_text("Payload"),
+            int(elem.get("hops") or 0),
+        )
+
+    def __repr__(self) -> str:
+        return f"<MetricDigest {self.origin} seq={self.seq}>"
+
+
+DigestListener = Callable[[MetricDigest], None]
+
+
 class GossipNode:
     """The gossip agent on one network node.
 
@@ -145,6 +191,9 @@ class GossipNode:
         #: (service, origin) -> (announcement, absolute expiry)
         self._store: dict[tuple[str, str], tuple[ServiceAnnouncement, float]] = {}
         self._listeners: list[AnnouncementListener] = []
+        self._digest_seq = 0  # our own digest freshness counter
+        self._digest_seqs: dict[str, int] = {}  # origin -> freshest seen
+        self._digest_listeners: list[DigestListener] = []
         node.open_port(GOSSIP_PORT, self._on_frame)
 
     def _now(self) -> float:
@@ -162,6 +211,9 @@ class GossipNode:
 
     def add_listener(self, listener: AnnouncementListener) -> None:
         self._listeners.append(listener)
+
+    def add_digest_listener(self, listener: DigestListener) -> None:
+        self._digest_listeners.append(listener)
 
     # -- announcing ----------------------------------------------------
     def announce(
@@ -200,13 +252,35 @@ class GossipNode:
         """Tombstone: an announcement with no endpoints."""
         return self.announce(service, [], valid_time=self.valid_time)
 
+    def announce_digest(self, payload: str,
+                        seq: Optional[int] = None) -> MetricDigest:
+        """Gossip a fresh metrics digest from this origin."""
+        if seq is None:
+            seq = self._digest_seq + 1
+        self._digest_seq = max(seq, self._digest_seq)
+        digest = MetricDigest(self.origin, seq, payload, self.hops)
+        self._accept_digest(digest)
+        self._forward_digest(digest, exclude=None)
+        return digest
+
     # -- receiving -----------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
         try:
-            announcement = ServiceAnnouncement.from_wire(frame.payload)
+            root = parse(frame.payload)
         except Exception:
             obs_metrics.inc("discovery.gossip.malformed")
             return
+        if root.name.local == "MetricDigest":
+            digest = MetricDigest.from_element(root)
+            if not digest.origin:
+                obs_metrics.inc("discovery.gossip.malformed")
+                return
+            if not self._accept_digest(digest):
+                return
+            if digest.hops > 0:
+                self._forward_digest(digest, exclude=frame.src)
+            return
+        announcement = ServiceAnnouncement.from_element(root)
         if not announcement.service or not announcement.origin:
             obs_metrics.inc("discovery.gossip.malformed")
             return
@@ -272,6 +346,40 @@ class GossipNode:
                 obs_metrics.inc("discovery.gossip.sent")
             except (NodeDownError, NetworkError):
                 break  # we are down; nothing more goes out this round
+
+    def _accept_digest(self, digest: MetricDigest) -> bool:
+        """Per-origin freshness rule for digests."""
+        if digest.seq <= self._digest_seqs.get(digest.origin, 0):
+            obs_metrics.inc("discovery.gossip.digest_stale")
+            return False
+        self._digest_seqs[digest.origin] = digest.seq
+        obs_metrics.inc("discovery.gossip.digest_accepted")
+        for listener in list(self._digest_listeners):
+            listener(digest)
+        return True
+
+    def _forward_digest(self, digest: MetricDigest, exclude: Optional[str]) -> None:
+        if not self.peers or not self.node.up:
+            return
+        forwarded = MetricDigest(
+            digest.origin, digest.seq, digest.payload, digest.hops - 1)
+        wire = forwarded.to_wire()
+        start = stable_hash(
+            f"{self.node.id}|digest|{digest.origin}|{digest.seq}"
+        ) % len(self.peers)
+        sent = 0
+        for i in range(len(self.peers)):
+            if sent >= self.fanout:
+                break
+            peer = self.peers[(start + i) % len(self.peers)]
+            if peer == exclude or peer == digest.origin:
+                continue
+            try:
+                self.node.send(peer, GOSSIP_PORT, wire, gossip="digest")
+                sent += 1
+                obs_metrics.inc("discovery.gossip.digest_sent")
+            except (NodeDownError, NetworkError):
+                break
 
     # -- reading -------------------------------------------------------
     def entries_for(self, service: str) -> list[ServiceAnnouncement]:

@@ -11,7 +11,21 @@ Three pieces, each usable alone:
   server-side processing all land in one tree);
 - :mod:`~repro.observability.introspection` — the dogfooded service a
   peer hosts about itself (``GetMetrics`` / ``GetTrace`` /
-  ``ListServices``).
+  ``ListServices`` plus the E17 cluster operations).
+
+The E17 cluster plane adds four more, still each usable alone:
+
+- :mod:`~repro.observability.tracecontext` — the wire-propagated
+  ``repro:TraceContext`` header (W3C-traceparent-shaped) that makes one
+  trace id span client → primary → replicas across nodes;
+- :mod:`~repro.observability.flight` — the always-on flight recorder:
+  a bounded ring of recent events frozen into post-mortem dumps on
+  kills / divergence / breaker opens;
+- :mod:`~repro.observability.slo` — per-service availability/latency
+  objectives judged by multi-window burn rates;
+- :mod:`~repro.observability.cluster` — counter/histogram digests
+  merged across nodes, fed by gossip piggyback and introspection
+  scrapes.
 
 Shared plumbing: :mod:`~repro.observability.stats` (pure-python
 quantiles — this package never imports numpy), the event-kind registry
@@ -19,6 +33,13 @@ quantiles — this package never imports numpy), the event-kind registry
 recorder hook (:mod:`~repro.observability.recorder`).
 """
 
+from repro.observability.cluster import (
+    ClusterMetricsAgent,
+    ClusterMetricsStore,
+    digest_registry,
+    merge_digests,
+)
+from repro.observability.flight import DUMP_TRIGGERS, FlightRecorder
 from repro.observability.introspection import INTROSPECTION_NS, IntrospectionService
 from repro.observability.kinds import FAMILIES, KIND_REGISTRY, KNOWN_KINDS, family_of, is_known
 from repro.observability.metrics import (
@@ -36,10 +57,33 @@ from repro.observability.recorder import (
     current_recorder,
     set_recorder,
 )
+from repro.observability.slo import SloEngine, SloPolicy
 from repro.observability.spans import Span, SpanTracer
 from repro.observability.stats import percentile, quantile, quantile_sorted, summarize
+from repro.observability.tracecontext import (
+    TRACE_HEADER,
+    TRACE_NS,
+    TraceContext,
+    current_context,
+    propagation_enabled,
+    set_propagation,
+)
 
 __all__ = [
+    "ClusterMetricsAgent",
+    "ClusterMetricsStore",
+    "digest_registry",
+    "merge_digests",
+    "DUMP_TRIGGERS",
+    "FlightRecorder",
+    "SloEngine",
+    "SloPolicy",
+    "TRACE_HEADER",
+    "TRACE_NS",
+    "TraceContext",
+    "current_context",
+    "propagation_enabled",
+    "set_propagation",
     "INTROSPECTION_NS",
     "IntrospectionService",
     "FAMILIES",

@@ -14,7 +14,23 @@ read them without a struct registry):
   plain-text snapshot;
 - ``GetTrace(message_id)`` — the stitched span tree for one logical
   invocation as JSON (the JSONL exporter's record shape);
+- ``GetDistributedTrace(trace_id)`` — every invocation tagged with one
+  wire trace id, stitched across nodes (E17);
+- ``GetFlightRecord()`` — the flight recorder's latest post-mortem
+  dump, or a live snapshot when nothing has triggered (E17);
+- ``GetMetricsDigest()`` — the local registry as a mergeable digest,
+  the scrape half of cluster aggregation (E17);
+- ``GetClusterMetrics()`` — the merged cluster view: gossiped +
+  scraped digests folded together (E17);
+- ``GetSloStatus()`` — per-service burn rates and health (E17);
 - ``ListServices()`` — the peer's deployed services as JSON.
+
+Error results share one documented shape::
+
+    {"error": {"code": "<machine-readable>", "message": "<human>"},
+     ...request echo fields...}
+
+so a caller can always dispatch on ``payload["error"]["code"]``.
 
 Hosting the tracer's data over the traced machinery is intentional:
 if the span tree for a failover hop cannot itself be fetched through
@@ -33,7 +49,15 @@ from repro.observability.spans import SpanTracer
 INTROSPECTION_NS = "urn:repro:introspection"
 
 #: the operations exposed through the container (deploy ``include=`` list)
-OPERATIONS = ("GetMetrics", "GetTrace", "ListServices")
+OPERATIONS = ("GetMetrics", "GetTrace", "GetDistributedTrace",
+              "GetFlightRecord", "GetMetricsDigest", "GetClusterMetrics",
+              "GetSloStatus", "ListServices")
+
+
+def _error(code: str, message: str, **echo: Any) -> str:
+    """The documented error shape: a structured object, never a bare
+    string, so callers dispatch on ``payload["error"]["code"]``."""
+    return json.dumps({"error": {"code": code, "message": message}, **echo})
 
 
 class IntrospectionService:
@@ -44,10 +68,16 @@ class IntrospectionService:
         peer: Any = None,
         tracer: Optional[SpanTracer] = None,
         metrics: Optional[obs_metrics.MetricsRegistry] = None,
+        flight: Any = None,
+        cluster: Any = None,
+        slo: Any = None,
     ):
         self._peer = peer
         self._tracer = tracer
         self._metrics = metrics
+        self._flight = flight
+        self._cluster = cluster
+        self._slo = slo
 
     # -- helpers (underscored: invisible to the RPC surface) ---------------
     def _registry(self) -> obs_metrics.MetricsRegistry:
@@ -57,20 +87,79 @@ class IntrospectionService:
             return self._tracer.metrics
         return obs_metrics.default_registry()
 
+    def _facility(self, held: Any, peer_attr: str) -> Any:
+        """An explicitly-wired facility, else the hosting peer's —
+        lazily, so enabling after hosting still works."""
+        if held is not None:
+            return held
+        return getattr(self._peer, peer_attr, None)
+
     # -- operations --------------------------------------------------------
     def GetMetrics(self) -> str:
         """The hosting peer's metrics snapshot, plain text."""
         return self._registry().render_text()
 
     def GetTrace(self, message_id: str) -> str:
-        """The span tree for *message_id* as JSON ('{"error": ...}' when
-        no tracer is wired or the ring has evicted the trace)."""
+        """The span tree for *message_id* as JSON, or the documented
+        error object when no tracer is wired (``no-tracer``) or the
+        ring has evicted / never held the trace (``trace-not-found``)."""
         if self._tracer is None:
-            return json.dumps({"error": "no tracer attached", "message_id": message_id})
+            return _error("no-tracer", "no tracer attached to this peer",
+                          message_id=message_id)
         tree = self._tracer.trace_dict(message_id)
         if tree is None:
-            return json.dumps({"error": "no trace", "message_id": message_id})
+            return _error("trace-not-found",
+                          "no trace for that MessageID (unknown or evicted)",
+                          message_id=message_id)
         return json.dumps({"message_id": message_id, **tree}, default=str)
+
+    def GetDistributedTrace(self, trace_id: str) -> str:
+        """Every invocation carrying *trace_id*, stitched into one
+        cross-node causal tree."""
+        if self._tracer is None:
+            return _error("no-tracer", "no tracer attached to this peer",
+                          trace_id=trace_id)
+        stitched = self._tracer.distributed_trace(trace_id)
+        if not stitched["invocations"]:
+            return _error("trace-not-found",
+                          "no invocations tagged with that trace id",
+                          trace_id=trace_id)
+        return json.dumps(stitched, default=str)
+
+    def GetFlightRecord(self) -> str:
+        """The latest flight-recorder dump (live snapshot if none)."""
+        flight = self._facility(self._flight, "flight")
+        if flight is None:
+            return _error("no-flight-recorder",
+                          "no flight recorder attached to this peer")
+        return flight.to_json()
+
+    def GetMetricsDigest(self) -> str:
+        """The local registry as a mergeable digest (the scrape path)."""
+        cluster = self._facility(self._cluster, "cluster_metrics")
+        if cluster is not None:
+            return json.dumps(cluster.local_digest(), default=str)
+        # no agent: still scrapeable — an anonymous seq-0 digest of the
+        # registry this service renders
+        from repro.observability.cluster import digest_registry
+        origin = getattr(self._peer, "name", None) or "local"
+        return json.dumps(digest_registry(self._registry(), origin, 0),
+                          default=str)
+
+    def GetClusterMetrics(self) -> str:
+        """The merged cluster view (gossiped + scraped digests)."""
+        cluster = self._facility(self._cluster, "cluster_metrics")
+        if cluster is None:
+            return _error("no-cluster-agent",
+                          "no cluster metrics agent on this peer")
+        return cluster.to_json()
+
+    def GetSloStatus(self) -> str:
+        """Per-service burn rates and health annotations."""
+        slo = self._facility(self._slo, "slo")
+        if slo is None:
+            return _error("no-slo-engine", "no SLO engine on this peer")
+        return slo.status_json()
 
     def ListServices(self) -> str:
         """The hosting peer's deployed services as JSON."""

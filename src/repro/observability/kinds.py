@@ -16,8 +16,10 @@ gap is visible.
 
 from __future__ import annotations
 
-#: family name -> the ``fire_*`` helper that emits it
-FAMILIES = ("client", "server", "discovery", "publish", "deployment")
+#: family name -> the ``fire_*`` helper that emits it ("harness" kinds
+#: come from the crash harness's duck-typed events, not a fire_* helper)
+FAMILIES = ("client", "server", "discovery", "publish", "deployment",
+            "harness")
 
 #: kind -> (family, meaning).  Keep alphabetical within each block.
 KIND_REGISTRY: dict[str, tuple[str, str]] = {
@@ -76,6 +78,11 @@ KIND_REGISTRY: dict[str, tuple[str, str]] = {
     "pipes-closed": ("deployment", "P2PS operation pipes closed"),
     "pipes-opened": ("deployment", "P2PS operation pipes created + advertised"),
     "undeployed": ("deployment", "service removed from the container"),
+    # -- harness: fault-injection actions from the simnet crash harness ----
+    "frame-drop-armed": ("harness", "next matching frame will be discarded"),
+    "kill-triggered": ("harness", "event trigger matched; kill is firing"),
+    "node-killed": ("harness", "node taken down by the crash harness"),
+    "node-restarted": ("harness", "killed node brought back up"),
 }
 
 #: the flat set used by fast membership checks

@@ -46,6 +46,10 @@ _span_ids = itertools.count(1)
 MAX_CHILDREN = 128
 MAX_ANNOTATIONS = 64
 
+#: JSONL exporter record schema: bump when the record shape changes
+#: (v2 added ``schema``/``ts`` themselves plus the E17 trace tags)
+SPAN_SCHEMA = "repro.span/2"
+
 # root statuses
 IN_FLIGHT = "in-flight"
 OK = "ok"
@@ -75,11 +79,12 @@ class Span:
     def duration(self) -> Optional[float]:
         return None if self.end is None else self.end - self.start
 
-    def annotate(self, time: float, kind: str, detail: dict[str, Any]) -> None:
+    def annotate(self, time: float, kind: str, detail: dict[str, Any]) -> bool:
         if len(self.annotations) < MAX_ANNOTATIONS:
             self.annotations.append((time, kind, detail))
-        else:
-            self.tags["annotations_dropped"] = self.tags.get("annotations_dropped", 0) + 1
+            return True
+        self.tags["annotations_dropped"] = self.tags.get("annotations_dropped", 0) + 1
+        return False
 
     def add_child(self, child: "Span") -> bool:
         if len(self.children) < MAX_CHILDREN:
@@ -161,7 +166,17 @@ class SpanTracer:
         self._spans: "OrderedDict[str, Span]" = OrderedDict()
         self._state: dict[str, dict[str, Any]] = {}  # per-root bookkeeping
         self._open_attempt_by_host: dict[str, Span] = {}
+        #: trace_id -> message_ids of the roots in that trace (E17);
+        #: maintained against ring eviction, so a live trace id always
+        #: names live roots
+        self._by_trace: dict[str, list[str]] = {}
         self.evicted = 0
+        #: truncation accounting: children/annotations the per-span caps
+        #: refused, totalled across every span (satellite of E17 — the
+        #: per-span ``*_dropped`` tags exist but were invisible in
+        #: aggregate)
+        self.spans_dropped = 0
+        self.annotations_dropped = 0
         self.events_seen = 0
         self.unknown_kinds: dict[str, int] = {}
         self.codec_counts: dict[str, int] = {}
@@ -218,6 +233,19 @@ class SpanTracer:
             counter.inc()
 
     # -- span bookkeeping --------------------------------------------------
+    def _adopt(self, parent: Span, child: Span) -> None:
+        """``parent.add_child`` with tracer-level truncation accounting."""
+        if not parent.add_child(child):
+            self.spans_dropped += 1
+            self.metrics.inc("tracing.spans_dropped")
+
+    def _annotate(self, span: Span, time: float, kind: str,
+                  detail: dict[str, Any]) -> None:
+        """``span.annotate`` with tracer-level truncation accounting."""
+        if not span.annotate(time, kind, detail):
+            self.annotations_dropped += 1
+            self.metrics.inc("tracing.annotations_dropped")
+
     def _root(self, message_id: str, event: PeerEvent,
               peer: Optional[str]) -> tuple[Span, dict[str, Any]]:
         """The logical span for *message_id*, created on first sight."""
@@ -237,8 +265,18 @@ class SpanTracer:
         if peer:
             root.tags["client"] = peer
         while len(self._spans) >= self.max_spans:
-            evicted_id, _ = self._spans.popitem(last=False)
+            evicted_id, evicted_root = self._spans.popitem(last=False)
             self._state.pop(evicted_id, None)
+            evicted_trace = evicted_root.tags.get("trace_id")
+            if evicted_trace is not None:
+                mids = self._by_trace.get(evicted_trace)
+                if mids is not None:
+                    try:
+                        mids.remove(evicted_id)
+                    except ValueError:
+                        pass
+                    if not mids:
+                        del self._by_trace[evicted_trace]
             self.evicted += 1
             self.metrics.inc("tracing.spans_evicted")
         self._spans[message_id] = root
@@ -260,8 +298,14 @@ class SpanTracer:
             tags["endpoint"] = endpoint
         if peer:
             tags["peer"] = peer
+        span_id = event.detail.get("span_id")
+        if span_id:
+            tags["span_id"] = span_id
+            parent_span = event.detail.get("parent_span_id")
+            if parent_span:
+                tags["parent_span_id"] = parent_span
         attempt = Span(f"attempt#{attempt_no}", "attempt", event.time, tags)
-        root.add_child(attempt)
+        self._adopt(root, attempt)
         state["attempt"] = attempt
         host = _endpoint_host(endpoint)
         if host:
@@ -294,6 +338,15 @@ class SpanTracer:
 
         root, state = self._root(message_id, event, peer)
         detail = event.detail
+        # E17: the first event carrying wire trace-context tags the root
+        # and indexes it by trace — the hook distributed_trace() links on
+        trace_id = detail.get("trace_id")
+        if trace_id and "trace_id" not in root.tags:
+            root.tags["trace_id"] = trace_id
+            parent_span = detail.get("parent_span_id")
+            if parent_span:
+                root.tags["parent_span_id"] = parent_span
+            self._by_trace.setdefault(trace_id, []).append(message_id)
 
         if kind in ("request-sent", "oneway-sent"):
             # a repeat request-sent with the same MessageID is a failover
@@ -310,7 +363,7 @@ class SpanTracer:
         elif kind == "retransmit":
             self._new_attempt(root, state, event, peer, number=detail.get("attempt"))
         elif kind == "failover":
-            root.annotate(event.time, kind, {
+            self._annotate(root, event.time, kind, {
                 "from": detail.get("from_endpoint"),
                 "to": detail.get("to_endpoint"),
                 "reason": detail.get("reason"),
@@ -337,12 +390,17 @@ class SpanTracer:
             root.tags["error"] = detail.get("reason")
             root.tags["rounds"] = detail.get("rounds")
         elif kind == "request-received":
+            server_tags: dict[str, Any] = {"peer": peer} if peer else {}
+            if detail.get("span_id"):
+                server_tags["span_id"] = detail["span_id"]
+                if detail.get("parent_span_id"):
+                    server_tags["parent_span_id"] = detail["parent_span_id"]
             server = Span(
                 f"server:{detail.get('service', '')}.{detail.get('operation', '')}",
                 "server", event.time,
-                tags={"peer": peer} if peer else {},
+                tags=server_tags,
             )
-            root.add_child(server)
+            self._adopt(root, server)
             state["servers"][peer] = server
         elif kind == "response-sent":
             server = state["servers"].get(peer)
@@ -355,13 +413,13 @@ class SpanTracer:
             server = state["servers"].get(peer)
             if server is not None and server.end is None:
                 server.tags["duplicate"] = True
-                server.annotate(event.time, kind, {"peer": peer})
+                self._annotate(server, event.time, kind, {"peer": peer})
             else:
                 replay = Span("server:dedup-replay", "server", event.time,
                               tags={"peer": peer, "duplicate": True} if peer
                               else {"duplicate": True})
                 replay.close(event.time, OK)
-                root.add_child(replay)
+                self._adopt(root, replay)
         elif kind == "request-shed":
             server = state["servers"].get(peer)
             tags: dict[str, Any] = {"retry_after": detail.get("retry_after")}
@@ -373,10 +431,10 @@ class SpanTracer:
             else:
                 shed = Span("server:shed", "server", event.time, tags)
                 shed.close(event.time, "busy")
-                root.add_child(shed)
-            root.annotate(event.time, kind, tags)
+                self._adopt(root, shed)
+            self._annotate(root, event.time, kind, tags)
         else:
-            root.annotate(event.time, kind, dict(detail))
+            self._annotate(root, event.time, kind, dict(detail))
 
     # -- simnet bridge -----------------------------------------------------
     def simnet_sink(self) -> Callable[[float, str, dict[str, Any]], None]:
@@ -391,7 +449,7 @@ class SpanTracer:
                     continue
                 attempt = self._open_attempt_by_host.get(host)
                 if attempt is not None and attempt.end is None:
-                    attempt.annotate(time, "frame-" + kind, dict(detail))
+                    self._annotate(attempt, time, "frame-" + kind, dict(detail))
                     return
 
         return sink
@@ -414,11 +472,63 @@ class SpanTracer:
     def message_ids(self) -> list[str]:
         return list(self._spans)
 
+    def trace_ids(self) -> list[str]:
+        """Distinct wire trace ids seen, oldest first."""
+        return [t for t, mids in self._by_trace.items()
+                if any(m in self._spans for m in mids)]
+
+    def roots_for_trace(self, trace_id: str) -> list[tuple[str, Span]]:
+        """(message_id, root span) pairs tagged with *trace_id*."""
+        return [(m, self._spans[m])
+                for m in self._by_trace.get(trace_id, ())
+                if m in self._spans]
+
+    def distributed_trace(self, trace_id: str) -> dict[str, Any]:
+        """Stitch every invocation tagged with *trace_id* into one causal tree.
+
+        Each invocation root whose wire parent_span_id resolves to a span
+        *inside another invocation* of the same trace is nested under that
+        invocation as a "call"; unresolved roots stay top-level.  The result
+        spans every node (client + server peers) the trace touched.
+        """
+        members = self.roots_for_trace(trace_id)
+        records: dict[str, dict[str, Any]] = {}
+        span_owner: dict[str, str] = {}  # wire span_id -> owning message_id
+        nodes: set[str] = set()
+        for mid, root in members:
+            records[mid] = {"message_id": mid, "span": root.to_dict(),
+                            "calls": []}
+            stack = [root]
+            while stack:
+                span = stack.pop()
+                sid = span.tags.get("span_id")
+                if sid:
+                    span_owner.setdefault(sid, mid)
+                owner = span.tags.get("peer") or span.tags.get("client")
+                if owner:
+                    nodes.add(owner)
+                stack.extend(span.children)
+        roots: list[dict[str, Any]] = []
+        for mid, root in members:
+            parent_sid = root.tags.get("parent_span_id")
+            owner = span_owner.get(parent_sid) if parent_sid else None
+            if owner is not None and owner != mid:
+                records[owner]["calls"].append(records[mid])
+            else:
+                roots.append(records[mid])
+        return {
+            "trace_id": trace_id,
+            "invocations": len(members),
+            "nodes": sorted(nodes),
+            "roots": roots,
+        }
+
     # -- exporters ---------------------------------------------------------
     def to_jsonl(self) -> str:
         """One JSON object per logical span, oldest first."""
         return "\n".join(
-            json.dumps({"message_id": mid, **span.to_dict()}, default=str)
+            json.dumps({"schema": SPAN_SCHEMA, "ts": span.start,
+                        "message_id": mid, **span.to_dict()}, default=str)
             for mid, span in self._spans.items()
         )
 

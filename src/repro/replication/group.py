@@ -26,6 +26,10 @@ from typing import Any, Optional
 
 from repro.core.handle import ServiceHandle
 from repro.observability import metrics as obs_metrics
+from repro.observability.tracecontext import (
+    current_context as trace_current_context,
+    event_fields as trace_event_fields,
+)
 from repro.replication.member import ReplicationConfig, ReplicationMember
 from repro.replication.state import StateDelta, StateSnapshot
 
@@ -155,6 +159,11 @@ class ReplicationGroup:
         self.ships_sent += 1
         origin.deltas_shipped += 1
         obs_metrics.inc("replication.deltas_shipped")
+        # Ships run synchronously inside the primary's request-processing
+        # window, so the ambient context here is the server span of the
+        # call that produced the delta — the ship's own invocation picks
+        # it up the same way; tagging the event makes the fan-out visible
+        # in the (distributed) span tree without re-parsing wires.
         origin.fire_server(
             "delta-shipped",
             service=self.service_name,
@@ -162,6 +171,7 @@ class ReplicationGroup:
             seq=delta.seq,
             target=target.node_id,
             message_id=delta.message_id,
+            **trace_event_fields(trace_current_context()),
         )
 
         def on_done(result: Any, error: Optional[Exception]) -> None:

@@ -35,6 +35,32 @@ class CrashAction:
     detail: str = ""
 
 
+#: harness action -> the event ``kind`` broadcast for it (registered in
+#: :mod:`repro.observability.kinds` under the "harness" family)
+KIND_BY_ACTION = {
+    "kill": "node-killed",
+    "restart": "node-restarted",
+    "trigger": "kill-triggered",
+    "arm-drop": "frame-drop-armed",
+}
+
+
+@dataclass
+class HarnessEvent:
+    """Duck-typed event the harness broadcasts for each recorded action.
+
+    Shaped like the core tree's ``PeerEvent`` (``kind`` / ``time`` /
+    ``source`` / ``detail``) without importing it — the harness stays
+    below the engine in the layering.  ``detail`` values are primitives
+    only, so flight recorders can store them verbatim.
+    """
+
+    kind: str
+    time: float
+    source: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
 class EventTrigger:
     """A duck-typed listener that runs an action on a matching event.
 
@@ -120,10 +146,28 @@ class CrashHarness:
         self.log: list[CrashAction] = []
         self._triggers: list[EventTrigger] = []
         self._drops: list[_OneShotDrop] = []
+        self._listeners: list[Any] = []
+
+    # -- listeners -----------------------------------------------------
+    def add_listener(self, listener: Any) -> None:
+        """Attach a duck-typed listener (``message_received(event)``);
+        it receives a :class:`HarnessEvent` per recorded action."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     def _record(self, action: str, node: str, detail: str = "") -> None:
         self.log.append(CrashAction(self.kernel.now, action, node, detail))
+        if self._listeners:
+            event = HarnessEvent(
+                KIND_BY_ACTION.get(action, action), self.kernel.now, node,
+                {"node": node, "action": action, "label": detail},
+            )
+            for listener in list(self._listeners):
+                listener.message_received(event)
 
     def kill(self, node_id: str, restart_after: Optional[float] = None) -> None:
         """Down *node_id* right now; optionally schedule its restart."""

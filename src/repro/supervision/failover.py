@@ -27,6 +27,11 @@ from repro.core.errors import InvocationError
 from repro.core.events import EventSource
 from repro.core.handle import ServiceHandle
 from repro.observability import metrics as obs_metrics
+from repro.observability.tracecontext import (
+    activate as trace_activate,
+    begin_send as trace_begin_send,
+    event_fields as trace_event_fields,
+)
 from repro.reliability import (
     CircuitOpenError,
     DeadlineExceededError,
@@ -229,6 +234,13 @@ class FailoverExecutor(EventSource):
         # every round retransmits the same identity, so provider dedup
         # keeps execution at-most-once across failover.
         message_id = new_message_id()
+        # One trace span for the whole logical call, captured *now* while
+        # the caller's ambient context (if any) is still active: attempts
+        # run from async completion callbacks, so each re-activates this
+        # context and mints a sibling attempt span under it — one trace
+        # across every endpoint and round, exactly like the MessageID.
+        call_trace = trace_begin_send()
+        trace_fields = trace_event_fields(call_trace)
         started = self._now()
         state = {
             "round": 0,
@@ -253,6 +265,7 @@ class FailoverExecutor(EventSource):
                     rounds=state["round"] + 1,
                     message_id=message_id,
                     reason=str(error),
+                    **trace_fields,
                 )
             callback(result, error)
 
@@ -315,6 +328,7 @@ class FailoverExecutor(EventSource):
                     to_endpoint=endpoint.address,
                     message_id=message_id,
                     reason=str(state["last_error"]),
+                    **trace_fields,
                 )
                 caught_up = (
                     self._replication.caught_up(endpoint.address)
@@ -335,6 +349,7 @@ class FailoverExecutor(EventSource):
                         to_endpoint=endpoint.address,
                         message_id=message_id,
                         caught_up=caught_up,
+                        **trace_fields,
                     )
             state["last_endpoint"] = endpoint.address
             state["attempted"] += 1
@@ -386,16 +401,17 @@ class FailoverExecutor(EventSource):
                 next_endpoint()
 
             try:
-                invoker.invoke_async(
-                    handle,
-                    operation,
-                    args,
-                    on_done,
-                    attempt_timeout,
-                    policy=policy,
-                    endpoint=endpoint,
-                    message_id=message_id,
-                )
+                with trace_activate(call_trace):
+                    invoker.invoke_async(
+                        handle,
+                        operation,
+                        args,
+                        on_done,
+                        attempt_timeout,
+                        policy=policy,
+                        endpoint=endpoint,
+                        message_id=message_id,
+                    )
             except Exception as exc:  # noqa: BLE001 - invoker boundary
                 on_done(None, exc)
 

@@ -18,6 +18,11 @@ from typing import Any, Optional
 
 from repro.caching import ArtifactCache, fastpath_enabled
 from repro.observability.recorder import current_recorder
+from repro.observability.tracecontext import (
+    TRACE_HEADER,
+    header_element as trace_header_element,
+    raw_context_of as trace_context_of,  # noqa: F401 - re-exported
+)
 from repro.soap.encoding import XSI_NIL, XSI_TYPE, primitive_text, primitive_xsi_type
 from repro.soap.envelope import EnvelopeTemplate, SoapEnvelope
 from repro.wsa.epr import EndpointReference, WsaError
@@ -56,6 +61,7 @@ class MessageAddressingProperties:
         relates_to: Optional[str] = None,
         source: Optional[EndpointReference] = None,
         fault_to: Optional[EndpointReference] = None,
+        trace_context: Optional[str] = None,
     ):
         if not to:
             raise WsaError("wsa:To is mandatory")
@@ -68,6 +74,9 @@ class MessageAddressingProperties:
         self.relates_to = relates_to
         self.source = source
         self.fault_to = fault_to
+        #: the encoded ``rt:TraceContext`` header value (E17); set by
+        #: invocation nodes when propagation is enabled
+        self.trace_context = trace_context
 
     # ------------------------------------------------------------------
     @classmethod
@@ -119,6 +128,8 @@ class MessageAddressingProperties:
             envelope.add_header(
                 Element(_RELATES_TO, text=self.relates_to, nsdecls={"wsa": ns.WSA})
             )
+        if self.trace_context:
+            envelope.add_header(trace_header_element(self.trace_context))
         if self.reply_to is not None:
             envelope.add_header(self.reply_to.to_element(_REPLY_TO))
         if self.source is not None:
@@ -146,6 +157,7 @@ class MessageAddressingProperties:
 
         message_id_block = envelope.find_header(_MESSAGE_ID)
         relates_block = envelope.find_header(_RELATES_TO)
+        trace_block = envelope.find_header(TRACE_HEADER)
         return cls(
             to=to_block.text,
             action=action_block.text,
@@ -154,6 +166,7 @@ class MessageAddressingProperties:
             relates_to=relates_block.text if relates_block is not None else None,
             source=epr_of(_FROM),
             fault_to=epr_of(_FAULT_TO),
+            trace_context=trace_block.text if trace_block is not None else None,
         )
 
     def __repr__(self) -> str:
@@ -311,6 +324,7 @@ class RequestTemplateCache:
             maps.to,
             maps.action,
             maps.message_id is not None,
+            maps.trace_context is not None,
             tuple(arg_shape),
             target_print,
             reply_shape,
@@ -358,6 +372,7 @@ class RequestTemplateCache:
             action=maps.action,
             reply_to=proto_reply,
             message_id=plant(("mid",)) if maps.message_id is not None else None,
+            trace_context=plant(("tc",)) if maps.trace_context is not None else None,
         )
         proto_maps.apply_to(envelope, target=target)
         return EnvelopeTemplate.from_wire(envelope.to_wire(), sentinels)
@@ -372,6 +387,10 @@ class RequestTemplateCache:
             if not maps.message_id:
                 return None
             values[("mid",)] = escape_text(maps.message_id)
+        if maps.trace_context is not None:
+            if not maps.trace_context:
+                return None
+            values[("tc",)] = escape_text(maps.trace_context)
         for name, value in args.items():
             if value is None:
                 continue

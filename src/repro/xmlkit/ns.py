@@ -28,3 +28,4 @@ UDDI = "urn:uddi-org:api_v2"
 P2PS = "http://repro.wspeer/p2ps"
 WSPEER = "http://repro.wspeer/core"
 DISCOVERY = "http://repro.wspeer/discovery"
+TRACE = "urn:repro:trace"

@@ -30,14 +30,17 @@ class TestDirect:
     def test_get_trace_without_tracer_reports_error(self):
         service = IntrospectionService()
         payload = json.loads(service.GetTrace("urn:uuid:x"))
-        assert payload["error"] == "no tracer attached"
+        assert payload["error"]["code"] == "no-tracer"
+        assert payload["error"]["message"]
         assert payload["message_id"] == "urn:uuid:x"
 
     def test_get_trace_unknown_mid_reports_error(self):
         tracer = SpanTracer(metrics=MetricsRegistry())
         service = IntrospectionService(tracer=tracer)
         payload = json.loads(service.GetTrace("urn:uuid:gone"))
-        assert payload["error"] == "no trace"
+        assert payload["error"]["code"] == "trace-not-found"
+        assert payload["error"]["message"]
+        assert payload["message_id"] == "urn:uuid:gone"
 
     def test_list_services_without_peer_is_empty(self):
         assert json.loads(IntrospectionService().ListServices()) == {"services": []}

@@ -160,3 +160,66 @@ class TestLiveScenarios:
         ex.invoke(handle, "echo", {"message": "hop"}, timeout=1.0)
         assert recorder.of_kind("failover")
         assert_all_documented(recorder)
+
+
+class TestStaticSweep:
+    """AST scan: every kind fired anywhere under src/ is registered.
+
+    The live scenarios above only cover paths they exercise; this sweep
+    reads every ``fire_*(...)`` call's literal first argument (and the
+    crash harness's action->kind map) so a new emission site cannot
+    slip an undocumented kind past CI.  Dynamic kinds are allowed only
+    for the breaker's ``circuit-{state}`` family, whose concrete forms
+    are registered individually.
+    """
+
+    def _fired_kinds(self):
+        import ast
+        import pathlib
+
+        import repro
+
+        src = pathlib.Path(repro.__file__).parent
+        literal, dynamic = set(), []
+        fire_names = {
+            "fire_client", "fire_server", "fire_discovery",
+            "fire_publish", "fire_deployment",
+        }
+        for path in sorted(src.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call) or not node.args:
+                    continue
+                func = node.func
+                name = getattr(func, "attr", None) or getattr(func, "id", None)
+                if name not in fire_names:
+                    continue
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    literal.add(first.value)
+                else:
+                    dynamic.append((str(path), ast.unparse(first)))
+        return literal, dynamic
+
+    def test_every_statically_fired_kind_is_registered(self):
+        literal, _ = self._fired_kinds()
+        assert literal, "the sweep found no fire_* call sites at all"
+        undocumented = sorted(literal - KNOWN_KINDS)
+        assert not undocumented, (
+            f"kinds fired in src/ but missing from KIND_REGISTRY: {undocumented}"
+        )
+
+    def test_dynamic_kinds_are_only_the_breaker_family(self):
+        _, dynamic = self._fired_kinds()
+        for path, expr in dynamic:
+            assert "circuit-" in expr, (
+                f"{path} fires a dynamic kind {expr!r}; register its "
+                f"concrete forms or make it a literal"
+            )
+
+    def test_harness_kind_map_is_registered(self):
+        from repro.simnet.crash import KIND_BY_ACTION
+
+        for action, kind in KIND_BY_ACTION.items():
+            assert kind in KNOWN_KINDS, f"{action} -> {kind} unregistered"
+            assert family_of(kind) == "harness"

@@ -1,0 +1,97 @@
+"""Ring-truncation accounting (E17 satellite): drops are counted.
+
+The per-span children/annotation caps have always silently capped; a
+storm that evicts data must now leave an audit trail — tracer-level
+``spans_dropped`` / ``annotations_dropped`` counters, the exported
+``tracing.*`` metrics, and the per-span ``*_dropped`` tags.
+"""
+
+import json
+
+from repro.core.events import ClientMessageEvent
+from repro.observability import MetricsRegistry, SpanTracer
+from repro.observability.spans import (
+    MAX_ANNOTATIONS,
+    MAX_CHILDREN,
+    SPAN_SCHEMA,
+)
+
+MID = "urn:uuid:storm"
+
+
+def _tracer():
+    return SpanTracer(metrics=MetricsRegistry())
+
+
+def _event(kind, t, **detail):
+    detail.setdefault("message_id", MID)
+    detail.setdefault("service", "Svc")
+    detail.setdefault("operation", "op")
+    return ClientMessageEvent(kind, t, "cons", detail)
+
+
+class TestDropAccounting:
+    def test_child_cap_counts_spans_dropped(self):
+        tracer = _tracer()
+        n = MAX_CHILDREN + 12
+        for i in range(n):
+            tracer.observe(_event("request-sent", float(i)), peer="cons")
+        root = tracer.trace(MID)
+        assert len(root.children) == MAX_CHILDREN
+        assert tracer.spans_dropped == 12
+        assert tracer.metrics.get("tracing.spans_dropped") == 12
+        assert root.tags["children_dropped"] == 12
+
+    def test_annotation_cap_counts_annotations_dropped(self):
+        tracer = _tracer()
+        tracer.observe(_event("request-sent", 0.0), peer="cons")
+        # circuit-* has no dedicated branch, so each event annotates
+        # the root — the storm that exhausts the annotation cap
+        n = MAX_ANNOTATIONS + 7
+        for i in range(n):
+            tracer.observe(_event("circuit-open", 1.0 + i, failures=i),
+                           peer="cons")
+        root = tracer.trace(MID)
+        assert len(root.annotations) == MAX_ANNOTATIONS
+        assert tracer.annotations_dropped == 7
+        assert tracer.metrics.get("tracing.annotations_dropped") == 7
+        assert root.tags["annotations_dropped"] == 7
+
+    def test_quiet_trace_drops_nothing(self, http_world, tracer):
+        consumer, _, handle = http_world
+        consumer.invoke(handle, "echo", {"message": "x"})
+        assert tracer.spans_dropped == 0
+        assert tracer.annotations_dropped == 0
+        assert tracer.metrics.get("tracing.spans_dropped") == 0
+
+
+class TestJsonlSchema:
+    def test_records_carry_schema_and_timestamp(self, http_world, tracer,
+                                                tmp_path):
+        consumer, _, handle = http_world
+        consumer.invoke(handle, "echo", {"message": "x"})
+        path = tmp_path / "spans.jsonl"
+        tracer.export_jsonl(str(path))
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["schema"] == SPAN_SCHEMA
+            assert isinstance(record["ts"], float)
+            assert record["ts"] == record["start"]
+
+    def test_export_parse_round_trip(self, http_world, tracer, tmp_path):
+        consumer, _, handle = http_world
+        consumer.invoke(handle, "echo", {"message": "one"})
+        consumer.invoke(handle, "echo", {"message": "two"})
+        path = tmp_path / "spans.jsonl"
+        written = tracer.export_jsonl(str(path))
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert len(records) == written == 2
+        # parsed records reconstruct the store's view
+        for record in records:
+            original = tracer.trace_dict(record["message_id"])
+            assert record["status"] == original["status"]
+            assert record["tags"] == original["tags"]
+            assert len(record["children"]) == len(original["children"])
+        # oldest-first ordering survives the round trip
+        assert records[0]["ts"] <= records[1]["ts"]
