@@ -34,6 +34,7 @@ from _workloads import emit_json, fmt_ms, print_table
 from repro.observability import metrics as obs_metrics
 from repro.simnet import FixedLatency, Kernel, Network, SeededLatency, TraceLog
 from repro.transport import HttpClient, HttpRequest, HttpResponse, HttpServer
+from repro.simnet.wiretap import payload_text
 
 SMOKE = bool(os.environ.get("E13_SMOKE"))
 N_CLIENTS = 8 if SMOKE else 16
@@ -49,7 +50,7 @@ SLOW_EVERY = 10  # every 10th request is slow (10% of the workload)
 
 def mixed_cost(frame):
     """Per-frame service cost: request frames tagged slow pin a worker."""
-    return SLOW_COST if "sleepy" in frame.payload else FAST_COST
+    return SLOW_COST if "sleepy" in payload_text(frame) else FAST_COST
 
 
 def build_world(workers, latency=None, trace=False):

@@ -34,6 +34,7 @@ from repro.core.binding import StandardBinding
 from repro.replication import ReplicationConfig
 from repro.simnet import ChurnSchedule, CrashHarness, FixedLatency, Network
 from repro.uddi import UddiRegistryNode
+from repro.simnet.wiretap import payload_text
 
 SMOKE = bool(os.environ.get("E15_SMOKE"))
 N_PROVIDERS = 3
@@ -218,7 +219,7 @@ def _arm(world, harness, point):
         # the under-shipped replica must not serve the session
         behind = world.group.members[1]
         harness.drop_next(
-            lambda f: f.dst == behind.node_id and "apply_delta" in f.payload,
+            lambda f: f.dst == behind.node_id and "apply_delta" in payload_text(f),
             count=1,
             label="lose one delta ship",
         )

@@ -57,6 +57,7 @@ from repro.observability.tracecontext import (
 )
 from repro.simnet import CrashHarness, FixedLatency, Network
 from repro.uddi import UddiRegistryNode
+from repro.simnet.wiretap import payload_text
 
 SMOKE = bool(os.environ.get("E17_SMOKE"))
 BATCH_CALLS = 25                    # invokes per timed batch
@@ -370,7 +371,7 @@ def _arm(world, harness, point):
     elif point == "during_ship":
         behind = world.group.members[1]
         harness.drop_next(
-            lambda f: f.dst == behind.node_id and "apply_delta" in f.payload,
+            lambda f: f.dst == behind.node_id and "apply_delta" in payload_text(f),
             count=1,
             label="lose one delta ship",
         )

@@ -31,6 +31,7 @@ from repro.p2ps.peer import Peer
 from repro.p2ps.pipes import PipeError, ResolutionError
 from repro.reliability import DedupWindow, ack_requested, build_ack
 from repro.simnet.network import NetworkError, Node
+from repro.soap.attachments import MULTIPART_CONTENT_TYPE
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.faults import is_transient_fault_element
 from repro.transport.http import DEFAULT_HTTP_PORT, HttpRequest, HttpResponse, HttpServer
@@ -90,10 +91,13 @@ class HttpServiceDeployer(ServiceDeployer):
             self.fire_deployment("http-server-launched", node=self.node.id, port=self.port)
 
         def soap_route(request: HttpRequest) -> HttpResponse:
-            envelope = SoapEnvelope.from_wire(request.body)
+            envelope = SoapEnvelope.from_wire_message(request.body)
             response = self.container.process_request(name, envelope)
             status = 500 if response.is_fault else 200
-            return HttpResponse(status, response.to_wire())
+            wire = response.to_wire_message()
+            if isinstance(wire, bytes):
+                return HttpResponse(status, wire, {"Content-Type": MULTIPART_CONTENT_TYPE})
+            return HttpResponse(status, wire)
 
         def wsdl_route(request: HttpRequest) -> HttpResponse:
             return HttpResponse(
@@ -195,7 +199,7 @@ class P2psServiceDeployer(ServiceDeployer):
     # ------------------------------------------------------------------
     # provider-side flows (Fig. 6)
     # ------------------------------------------------------------------
-    def _remember(self, message_id: str, wire: Optional[str]) -> None:
+    def _remember(self, message_id: str, wire) -> None:
         """Retain *wire* for duplicate suppression, honouring the
         (test-adjustable) ``RESPONSE_CACHE_LIMIT``."""
         self._response_cache.max_entries = self.RESPONSE_CACHE_LIMIT
@@ -220,12 +224,13 @@ class P2psServiceDeployer(ServiceDeployer):
         )
 
     def _make_invoke_listener(self, deployed: DeployedService):
-        def on_request(payload: str, meta: dict) -> None:
+        def on_request(payload, meta: dict) -> None:
             # 1. Retrieve SOAP request from pipe.  Garbage from hostile
             # or broken peers must never crash the provider: it is
-            # dropped with a server event.
+            # dropped with a server event.  The payload may be text or
+            # a multipart byte wire carrying attachments (E16).
             try:
-                request = SoapEnvelope.from_wire(payload)
+                request = SoapEnvelope.from_wire_message(payload)
             except Exception as exc:  # noqa: BLE001 - wire boundary
                 self.fire_server(
                     "malformed-request", service=deployed.name, reason=str(exc)
@@ -294,7 +299,9 @@ class P2psServiceDeployer(ServiceDeployer):
                 relates_to=maps.message_id,
             )
             reply_maps.apply_to(response)
-            wire = response.to_wire()
+            # responses with attachments ride the same dedup cache as
+            # text: the retained multipart bytes replay byte-identically
+            wire = response.to_wire_message()
             if maps.message_id and not (
                 response.body_content is not None
                 and is_transient_fault_element(response.body_content)
@@ -316,11 +323,11 @@ class P2psServiceDeployer(ServiceDeployer):
         return on_request
 
     def _make_definition_listener(self, deployed: DeployedService):
-        def on_definition_request(payload: str, meta: dict) -> None:
+        def on_definition_request(payload, meta: dict) -> None:
             # definition pipe protocol: a SOAP request whose ReplyTo names
             # the pipe to stream the WSDL text back down
             try:
-                request = SoapEnvelope.from_wire(payload)
+                request = SoapEnvelope.from_wire_message(payload)
                 maps = MessageAddressingProperties.extract_from(request)
             except Exception:
                 return
@@ -367,11 +374,14 @@ class HttpgServiceDeployer(ServiceDeployer):
         name = deployed.name
         deployed.transport = SOAP_HTTPG_TRANSPORT
 
-        def soap_handler(body: str, headers: dict) -> tuple[str, dict]:
-            envelope = SoapEnvelope.from_wire(body)
+        def soap_handler(body, headers: dict) -> tuple:
+            envelope = SoapEnvelope.from_wire_message(body)
             response = self.container.process_request(name, envelope)
             out_headers = {"X-Status": "500"} if response.is_fault else {}
-            return response.to_wire(), out_headers
+            wire = response.to_wire_message()
+            if isinstance(wire, bytes):
+                out_headers["Content-Type"] = MULTIPART_CONTENT_TYPE
+            return wire, out_headers
 
         def wsdl_handler(body: str, headers: dict) -> tuple[str, dict]:
             return deployed.wsdl().to_wire(), {"Content-Type": "text/xml"}

@@ -334,7 +334,9 @@ class LightweightContainer(EventSource):
                 if retained is not None:
                     deployed.duplicates_suppressed += 1
                     obs_metrics.inc("server.duplicates_suppressed")
-                    response = SoapEnvelope.from_wire(retained)
+                    # retained wires may be multipart bytes (E16): the
+                    # replayed response keeps its attachments intact
+                    response = SoapEnvelope.from_wire_message(retained)
                     self.fire_server(
                         "duplicate-suppressed",
                         service=service_name,
@@ -393,7 +395,7 @@ class LightweightContainer(EventSource):
                             )
                             if message_id is not None:
                                 deployed.dedup.remember(
-                                    message_id, response.to_wire()
+                                    message_id, response.to_wire_message()
                                 )
                             if deployed.replication is not None:
                                 deployed.replication.after_execute(

@@ -54,6 +54,7 @@ from repro.observability.tracecontext import (
 )
 from repro.simnet.kernel import SimTimeoutError
 from repro.simnet.network import Node
+from repro.soap.attachments import MULTIPART_CONTENT_TYPE
 from repro.soap.encoding import StructRegistry
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.rpc import build_rpc_request, extract_rpc_result
@@ -309,8 +310,11 @@ class HttpInvocation(Invocation):
         if wire is None:
             envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
             maps.apply_to(envelope, target=endpoint)
-            wire = envelope.to_wire()
+            # attachments (E16) make this a multipart byte wire
+            wire = envelope.to_wire_message()
         headers = {"SOAPAction": maps.action}
+        if isinstance(wire, bytes):
+            headers["Content-Type"] = MULTIPART_CONTENT_TYPE
         obs_metrics.inc("client.requests")
         started = self._now()
         self.fire_client(
@@ -339,8 +343,8 @@ class HttpInvocation(Invocation):
             )
             callback(result, None)
 
-        def decode(body: Optional[str]) -> Any:
-            response = SoapEnvelope.from_wire(body or "")
+        def decode(body) -> Any:
+            response = SoapEnvelope.from_wire_message(body or "")
             return extract_rpc_result(response, self.registry)
 
         if policy is None:
@@ -510,7 +514,7 @@ class P2psInvocation(Invocation):
         if wire is None:
             envelope = build_rpc_request(handle.namespace, operation, args, self.registry)
             maps.apply_to(envelope, target=endpoint)
-            wire = envelope.to_wire()
+            wire = envelope.to_wire_message()
 
         max_attempts = policy.retry.max_attempts if policy is not None else 1
         deadline = policy.new_deadline() if policy is not None else None
@@ -546,9 +550,9 @@ class P2psInvocation(Invocation):
             callback(result, error)
 
         # step 4: add myself as a listener to the pipe
-        def on_reply(payload: str, meta: dict) -> None:
+        def on_reply(payload, meta: dict) -> None:
             try:
-                response = SoapEnvelope.from_wire(payload)
+                response = SoapEnvelope.from_wire_message(payload)
                 result = extract_rpc_result(response, self.registry)
             except Exception as exc:
                 finish(None, exc)
@@ -677,7 +681,7 @@ class P2psInvocation(Invocation):
                 handle.namespace, operation, all_args, self.registry
             )
             maps.apply_to(envelope, target=endpoint)
-            wire = envelope.to_wire()
+            wire = envelope.to_wire_message()
         obs_metrics.inc("client.oneway_sent")
         self.fire_client(
             "oneway-sent", service=handle.name, operation=operation,
@@ -729,7 +733,7 @@ class P2psInvocation(Invocation):
             maps.trace_context = trace_ctx.encoded()
         maps.apply_to(envelope, target=endpoint)
         mark_ack_requested(envelope)
-        wire = envelope.to_wire()
+        wire = envelope.to_wire_message()
 
         attempt_timeout = timeout if timeout is not None else 1.0
         deadline = policy.new_deadline()
@@ -766,9 +770,9 @@ class P2psInvocation(Invocation):
                 )
             status._conclude()
 
-        def on_ack(payload: str, meta: dict) -> None:
+        def on_ack(payload, meta: dict) -> None:
             try:
-                frame = SoapEnvelope.from_wire(payload)
+                frame = SoapEnvelope.from_wire_message(payload)
             except Exception:  # noqa: BLE001 - wire boundary
                 return
             if is_ack(frame) and ack_relates_to(frame) == message_id:

@@ -444,6 +444,42 @@ class WSPeer(EventSource):
         self.http_pool = pool
         return pool
 
+    def enable_streaming(
+        self,
+        chunk_threshold: int = 256 * 1024,
+        chunk_size: int = 64 * 1024,
+        window: int = 8,
+        pool_config=None,
+    ):
+        """Stream large messages as chunked frames (E16).
+
+        Turns on persistent pooled connections (if not already on) and
+        sets the chunking knobs on both directions: outbound requests
+        larger than *chunk_threshold* bytes leave as credit-windowed
+        ``chunk`` frames of *chunk_size* bytes, and this peer's HTTP
+        server answers oversized responses the same way.  In-flight
+        memory per stream is bounded by ``window × chunk_size``, and
+        streamed exchanges do not head-of-line-block pipelined small
+        calls.  Returns the connection pool.
+        """
+        import dataclasses
+
+        pool = self.http_pool
+        if pool is None:
+            pool = self.enable_http_keepalive(pool_config)
+        pool.config = dataclasses.replace(
+            pool.config,
+            chunk_threshold=chunk_threshold,
+            chunk_size=chunk_size,
+            stream_window=window,
+        )
+        server = getattr(self.server.deployer, "server", None)
+        if server is not None:
+            server.chunk_threshold = chunk_threshold
+            server.chunk_size = chunk_size
+            server.stream_window = window
+        return pool
+
     _UNSET = object()
 
     def configure_http_server(

@@ -261,7 +261,7 @@ class ReplicationMember(EventSource):
                 session,
                 self.adapter.get(session),
                 message_id=message_id,
-                response_wire=response.to_wire(),
+                response_wire=response.to_wire_message(),
                 operation=operation,
             )
         except StateDivergedError:

@@ -22,10 +22,11 @@ brought up with one snapshot install instead of replaying history.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 #: the session key used by services that do not partition their state
 DEFAULT_SESSION = "_"
@@ -40,6 +41,25 @@ def state_digest(state: dict[str, Any]) -> str:
     """
     payload = json.dumps(state, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def encode_wire(wire: Union[str, bytes, None]):
+    """JSON-representable form of a retained response wire.
+
+    E16 responses with attachments are multipart ``bytes``; they ride
+    the delta/snapshot JSON as a base64-tagged dict so the replica's
+    dedup window replays the exact bytes.  Text wires pass unchanged.
+    """
+    if isinstance(wire, (bytes, bytearray, memoryview)):
+        return {"b64": base64.b64encode(bytes(wire)).decode("ascii")}
+    return wire
+
+
+def decode_wire(raw) -> Union[str, bytes, None]:
+    """Inverse of :func:`encode_wire`."""
+    if isinstance(raw, dict) and "b64" in raw:
+        return base64.b64decode(raw["b64"].encode("ascii"))
+    return raw
 
 
 def diff_state(
@@ -65,7 +85,7 @@ class StateDelta:
     #: delta — applied into the replica's dedup window so a failover
     #: retransmission replays instead of re-executing
     message_id: Optional[str] = None
-    response_wire: Optional[str] = None
+    response_wire: Union[str, bytes, None] = None
     operation: str = ""
 
     def apply_to(self, state: dict[str, Any]) -> dict[str, Any]:
@@ -84,7 +104,7 @@ class StateDelta:
                 "removed": list(self.removed),
                 "digest": self.digest,
                 "message_id": self.message_id,
-                "response_wire": self.response_wire,
+                "response_wire": encode_wire(self.response_wire),
                 "operation": self.operation,
             },
             sort_keys=True,
@@ -100,7 +120,7 @@ class StateDelta:
             removed=tuple(raw.get("removed", ())),
             digest=raw.get("digest", ""),
             message_id=raw.get("message_id"),
-            response_wire=raw.get("response_wire"),
+            response_wire=decode_wire(raw.get("response_wire")),
             operation=raw.get("operation", ""),
         )
 
@@ -114,8 +134,9 @@ class StateSnapshot:
     state: dict[str, Any]
     digest: str = ""
     #: recent (message_id, response_wire) pairs, newest last — installed
-    #: into the receiving member's dedup window alongside the state
-    replies: tuple[tuple[str, str], ...] = ()
+    #: into the receiving member's dedup window alongside the state;
+    #: wires are text or multipart bytes (E16)
+    replies: tuple[tuple[str, Union[str, bytes]], ...] = ()
 
     def to_json(self) -> str:
         return json.dumps(
@@ -124,7 +145,7 @@ class StateSnapshot:
                 "seq": self.seq,
                 "state": self.state,
                 "digest": self.digest,
-                "replies": [list(pair) for pair in self.replies],
+                "replies": [[m, encode_wire(w)] for m, w in self.replies],
             },
             sort_keys=True,
         )
@@ -138,7 +159,7 @@ class StateSnapshot:
             state=dict(raw.get("state", {})),
             digest=raw.get("digest", ""),
             replies=tuple(
-                (str(m), str(w)) for m, w in raw.get("replies", ())
+                (str(m), decode_wire(w)) for m, w in raw.get("replies", ())
             ),
         )
 

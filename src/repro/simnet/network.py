@@ -8,8 +8,10 @@ with latency sampled from the network's :class:`LatencyModel`; loss,
 partitions and churn are injected by the hooks in
 :mod:`repro.simnet.faults`.
 
-Frames carry *text* payloads — the actual serialised XML documents of
-the protocol stack — so the simulated wire carries genuine bytes.
+Frames carry the actual serialised wire — text for legacy XML frames,
+raw ``bytes`` for the E16 byte-true HTTP wire and chunk-streamed
+payload slices — so the simulated network moves genuine bytes and
+``Frame.size`` is a genuine byte count for latency sampling.
 """
 
 from __future__ import annotations
@@ -38,7 +40,9 @@ class Frame:
     src: str
     dst: str
     port: str
-    payload: str
+    #: serialised wire content: ``str`` for legacy text frames, raw
+    #: ``bytes`` for byte-true HTTP wires and chunk slices (E16)
+    payload: "str | bytes"
     meta: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -185,7 +189,7 @@ class Node:
         self.max_queue_delay = 0.0
 
     # -- traffic ----------------------------------------------------------
-    def send(self, dst: str, port: str, payload: str, **meta: Any) -> Frame:
+    def send(self, dst: str, port: str, payload: "str | bytes", **meta: Any) -> Frame:
         """Send one frame; returns it (delivery is asynchronous)."""
         return self.network.send(Frame(self.id, dst, port, payload, meta))
 

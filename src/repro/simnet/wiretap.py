@@ -17,6 +17,19 @@ from typing import Optional
 from repro.simnet.network import Frame, Network
 
 
+def payload_text(frame_or_payload) -> str:
+    """A text view of a frame's payload, whatever its wire type.
+
+    E16 frames carry ``bytes``; older flows carry ``str``.  Predicates
+    that grep the wire (crash-harness triggers, frame-cost policies)
+    should match through this instead of assuming text.
+    """
+    payload = getattr(frame_or_payload, "payload", frame_or_payload)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return bytes(payload).decode("utf-8", "replace")
+    return payload
+
+
 @dataclass
 class TapRecord:
     time: float
@@ -30,6 +43,12 @@ class TapRecord:
 def classify(frame: Frame) -> str:
     """One-line, human-readable description of a frame's payload."""
     payload = frame.payload
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        # E16 byte wires: chunk frames are opaque slices; whole byte
+        # messages get classified from a best-effort text view
+        if frame.meta.get("kind") == "chunk":
+            return f"chunk {frame.meta.get('idx')} ({len(payload)}B) on {frame.port}"
+        payload = bytes(payload).decode("utf-8", "replace")
     if payload.startswith(("POST ", "GET ", "PUT ", "DELETE ")):
         request_line = payload.split("\r\n", 1)[0]
         parts = request_line.split(" ")

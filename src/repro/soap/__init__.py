@@ -15,6 +15,10 @@ engine)".  This package is the Axis stand-in, built from scratch:
 ``handlers``
     The request/response handler-chain pipeline (Axis's architecture),
     including the mustUnderstand check.
+``attachments``
+    SOAP-with-Attachments-style binary parts (E16): raw ``bytes``
+    carried in a multipart-lite container next to the envelope and
+    referenced by ``cid:`` href — no base64, no XML escaping.
 ``rpc``
     Server-side RPC dispatcher: body → method call → response body.
 ``stubs``
@@ -23,6 +27,14 @@ engine)".  This package is the Axis stand-in, built from scratch:
     the source-codegen comparator used by experiment E5.
 """
 
+from repro.soap.attachments import (
+    Attachment,
+    AttachmentError,
+    MULTIPART_CONTENT_TYPE,
+    MultipartFeedParser,
+    attachment_scope,
+    is_multipart,
+)
 from repro.soap.faults import FaultCode, SoapFault
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.encoding import (
@@ -44,6 +56,12 @@ __all__ = [
     "SoapEnvelope",
     "SoapFault",
     "FaultCode",
+    "Attachment",
+    "AttachmentError",
+    "MULTIPART_CONTENT_TYPE",
+    "MultipartFeedParser",
+    "attachment_scope",
+    "is_multipart",
     "EncodingError",
     "StructRegistry",
     "encode_value",

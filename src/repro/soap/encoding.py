@@ -28,11 +28,13 @@ import base64
 import dataclasses
 from typing import Any, Optional
 
+from repro.soap.attachments import Attachment, cid_of, resolve_attachment
 from repro.xmlkit import Element, QName, ns
 
 XSI_TYPE = QName(ns.XSI, "type", "xsi")
 XSI_NIL = QName(ns.XSI, "nil", "xsi")
 SOAPENC_ARRAY = QName(ns.SOAP_ENC, "Array", "soapenc")
+HREF = QName("", "href")
 
 
 class EncodingError(ValueError):
@@ -118,6 +120,12 @@ def _encode_into(elem: Element, value: Any, registry: StructRegistry) -> None:
         elem.set(XSI_TYPE, _xsd("string"))
         elem.text = value
         return
+    if isinstance(value, Attachment):
+        # SOAP-with-Attachments style (E16): the element is an empty
+        # href reference; the raw bytes travel as a multipart part and
+        # never pass through base64 or XML escaping.
+        elem.set(HREF, value.href)
+        return
     if isinstance(value, bytes):
         elem.set(XSI_TYPE, _xsd("base64Binary"))
         elem.text = base64.b64encode(value).decode("ascii")
@@ -162,6 +170,12 @@ def decode_value(
     registry = registry or _EMPTY_REGISTRY
     if elem.get(XSI_NIL) in ("true", "1"):
         return None
+
+    href = elem.get(HREF)
+    if href is not None:
+        content_id = cid_of(href)
+        if content_id is not None:
+            return resolve_attachment(content_id)
 
     type_text = elem.get(XSI_TYPE)
     if type_text is None:

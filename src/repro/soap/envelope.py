@@ -5,6 +5,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.caching import ArtifactCache, fastpath_enabled
+from repro.soap.attachments import (
+    Attachment,
+    is_multipart,
+    message_from_wire,
+    message_to_wire,
+)
 from repro.soap.faults import SoapFault
 from repro.xmlkit import Element, QName, ns, parse, serialize
 from repro.xmlkit.serializer import escape_text
@@ -27,15 +33,21 @@ class SoapEnvelope:
     ``headers`` is the ordered list of header block elements;
     ``body_content`` is the single body child (RPC operation element or
     Fault).  An empty body is legal for pure-header messages.
+    ``attachments`` (E16) are raw binary parts carried next to the
+    envelope and referenced from the body by ``cid:`` href; an envelope
+    with attachments serialises to a multipart byte wire via
+    :meth:`to_wire_message`.
     """
 
     def __init__(
         self,
         body_content: Optional[Element] = None,
         headers: Optional[list[Element]] = None,
+        attachments: Optional[list[Attachment]] = None,
     ):
         self.headers: list[Element] = list(headers or [])
         self.body_content = body_content
+        self.attachments: list[Attachment] = list(attachments or [])
 
     # ------------------------------------------------------------------
     # header conveniences
@@ -118,9 +130,29 @@ class SoapEnvelope:
         content = children[0].copy_with_scope() if children else None
         return cls(body_content=content, headers=headers)
 
+    def to_wire_message(self):
+        """The full wire representation: plain XML text when there are
+        no attachments, multipart ``bytes`` when there are."""
+        if not self.attachments:
+            return self.to_wire()
+        return message_to_wire(self.to_wire(), self.attachments)
+
     @classmethod
     def from_wire(cls, text: str) -> "SoapEnvelope":
         return cls.from_element(parse(text))
+
+    @classmethod
+    def from_wire_message(cls, wire) -> "SoapEnvelope":
+        """Decode either wire shape: XML text (``str`` or UTF-8
+        ``bytes``) or a multipart attachment container (``bytes``)."""
+        if isinstance(wire, (bytes, bytearray, memoryview)):
+            if is_multipart(wire):
+                envelope_text, attachments = message_from_wire(wire)
+                envelope = cls.from_wire(envelope_text)
+                envelope.attachments = attachments
+                return envelope
+            wire = bytes(wire).decode("utf-8")
+        return cls.from_wire(wire)
 
     def __repr__(self) -> str:
         op = self.body_content.name.local if self.body_content is not None else "(empty)"

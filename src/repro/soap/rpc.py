@@ -13,6 +13,7 @@ from __future__ import annotations
 import inspect
 from typing import Any, Callable, Optional
 
+from repro.soap.attachments import attachment_scope, collect_attachments
 from repro.soap.encoding import StructRegistry, decode_value, encode_value
 from repro.soap.envelope import SoapEnvelope
 from repro.soap.faults import FaultCode, SoapFault
@@ -117,7 +118,8 @@ class RpcDispatcher:
                 FaultCode.CLIENT,
                 f"service {self.service.name!r} has no operation {op_name!r}",
             )
-        args, kwargs = self._decode_args(operation, body)
+        with attachment_scope(request.attachments):
+            args, kwargs = self._decode_args(operation, body)
         try:
             result = operation.callable(*args, **kwargs)
         except SoapFault:
@@ -147,7 +149,9 @@ class RpcDispatcher:
             nsdecls={"tns": self.service.namespace},
         )
         wrapper.append(encode_value(QName("", "return"), result, self.registry))
-        return SoapEnvelope(body_content=wrapper)
+        return SoapEnvelope(
+            body_content=wrapper, attachments=collect_attachments(result)
+        )
 
 
 def build_rpc_request(
@@ -160,7 +164,9 @@ def build_rpc_request(
     wrapper = Element(QName(namespace, op_name, "tns"), nsdecls={"tns": namespace})
     for name, value in args.items():
         wrapper.append(encode_value(QName("", name), value, registry))
-    return SoapEnvelope(body_content=wrapper)
+    return SoapEnvelope(
+        body_content=wrapper, attachments=collect_attachments(args)
+    )
 
 
 def extract_rpc_result(
@@ -177,4 +183,5 @@ def extract_rpc_result(
     ret = body.find("return")
     if ret is None:
         return None
-    return decode_value(ret, registry)
+    with attachment_scope(response.attachments):
+        return decode_value(ret, registry)

@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import abc
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.transport.uri import Uri
+
+#: a message payload on either side of a transport: decoded text for
+#: XML envelopes, raw bytes for E16 multipart/binary wires
+WirePayload = Union[str, bytes]
 
 
 class TransportError(Exception):
@@ -29,10 +33,11 @@ class TransportBusyError(TransportError):
         self.retry_after = retry_after
 
 
-# A server-side handler: (request_text, headers) -> (response_text, headers).
-ServerHandler = Callable[[str, dict[str, str]], tuple[str, dict[str, str]]]
-# Completion callback for async requests: (response_text | None, error | None).
-ResponseCallback = Callable[[Optional[str], Optional[Exception]], None]
+# A server-side handler: (request_body, headers) -> (response_body, headers).
+# Bodies are text for XML envelopes, bytes for E16 binary/multipart wires.
+ServerHandler = Callable[[WirePayload, dict[str, str]], tuple[WirePayload, dict[str, str]]]
+# Completion callback for async requests: (response_body | None, error | None).
+ResponseCallback = Callable[[Optional[WirePayload], Optional[Exception]], None]
 
 
 class Transport(abc.ABC):
@@ -51,7 +56,7 @@ class Transport(abc.ABC):
     def send(
         self,
         endpoint: Uri,
-        body: str,
+        body: WirePayload,
         headers: Optional[dict[str, str]] = None,
         on_response: Optional[ResponseCallback] = None,
         timeout: Optional[float] = None,

@@ -45,9 +45,12 @@ from repro.simnet.network import Frame, NetworkError, Node, NodeDownError
 from repro.transport.base import TransportError, TransportTimeoutError
 from repro.transport.http import (
     DEFAULT_HTTP_PORT,
+    BodyStream,
     HttpRequest,
     HttpResponse,
     HttpServer,
+    _decoded_body,
+    parse_head_block,
 )
 
 # connection lifecycle states
@@ -82,9 +85,230 @@ class PoolConfig:
     pipeline: bool = True
     #: abort if the CONNECT/ACCEPT handshake takes longer than this
     connect_timeout: Optional[float] = 5.0
+    #: E16: send messages whose wire form exceeds this many bytes as a
+    #: sequence of chunk frames instead of one giant frame (None
+    #: disables request chunking; BodyStream bodies always stream)
+    chunk_threshold: Optional[int] = None
+    #: byte size of each chunk frame on the streamed path
+    chunk_size: int = 64 * 1024
+    #: flow-control window: chunks in flight before awaiting credit
+    stream_window: int = 8
 
 
 ResponseHandler = Callable[[Optional[HttpResponse], Optional[Exception]], None]
+
+
+# ----------------------------------------------------------------------
+# E16 chunked transfer framing.
+#
+# A message bigger than ``chunk_threshold`` (or one whose body is a
+# BodyStream) rides the connection as ``kind="chunk"`` frames — each
+# carrying ``seq`` (which exchange), ``idx`` (position), ``last`` — and
+# the receiver grants ``kind="credit"`` frames back as it consumes
+# them.  The credit window bounds bytes in flight to
+# ``stream_window * chunk_size`` no matter how large the payload is,
+# and streamed exchanges are exempted from strict in-order delivery so
+# a 64 MB envelope never head-of-line blocks pipelined small calls.
+# ----------------------------------------------------------------------
+
+
+def _rechunk(chunks, size: int):
+    """Re-buffer an iterable of byte chunks into chunks of exactly
+    *size* bytes (the final one may be short) without copying more than
+    one chunk's worth at a time — slicing happens on memoryviews."""
+    pending = bytearray()
+    for chunk in chunks:
+        mv = memoryview(chunk)
+        if pending:
+            take = min(size - len(pending), len(mv))
+            pending += mv[:take]
+            mv = mv[take:]
+            if len(pending) == size:
+                yield bytes(pending)
+                pending = bytearray()
+        while len(mv) >= size:
+            yield bytes(mv[:size])
+            mv = mv[size:]
+        if len(mv):
+            pending += mv
+    if pending:
+        yield bytes(pending)
+
+
+class _StreamSender:
+    """Pushes one message's wire bytes as credit-windowed chunk frames."""
+
+    def __init__(
+        self,
+        node: Node,
+        target: str,
+        port: str,
+        meta: dict,
+        chunks,
+        chunk_size: int,
+        window: int,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ):
+        self.node = node
+        self.target = target
+        self.port = port
+        self.meta = meta
+        self._iter = _rechunk(chunks, chunk_size)
+        self.window = max(1, window)
+        self._next_idx = 0
+        self._acked = -1
+        self._lookahead: Optional[bytes] = None
+        self._primed = False
+        self.finished = False
+        self.on_error = on_error
+        obs_metrics.inc("transport.http.streams_started")
+
+    def start(self) -> None:
+        self._pump()
+
+    def on_credit(self, idx) -> None:
+        if isinstance(idx, int) and idx > self._acked:
+            self._acked = idx
+        self._pump()
+
+    def _take(self) -> tuple[Optional[bytes], bool]:
+        if not self._primed:
+            self._lookahead = next(self._iter, None)
+            self._primed = True
+        chunk = self._lookahead
+        if chunk is None:
+            return None, True
+        self._lookahead = next(self._iter, None)
+        return chunk, self._lookahead is None
+
+    def _pump(self) -> None:
+        while not self.finished and (self._next_idx - self._acked) <= self.window:
+            chunk, last = self._take()
+            if chunk is None:
+                self.finished = True
+                break
+            try:
+                self.node.send(
+                    self.target,
+                    self.port,
+                    chunk,
+                    kind="chunk",
+                    idx=self._next_idx,
+                    last=last,
+                    **self.meta,
+                )
+            except (NetworkError, NodeDownError) as exc:
+                self.finished = True
+                if self.on_error is not None:
+                    self.on_error(exc)
+                return
+            obs_metrics.inc("transport.http.chunks_sent")
+            obs_metrics.inc("transport.http.bytes_streamed", len(chunk))
+            self._next_idx += 1
+            if last:
+                self.finished = True
+                obs_metrics.inc("transport.http.streams_completed")
+
+
+class _StreamReceiver:
+    """Reassembles chunk frames for one exchange, feeding a byte sink
+    in index order and granting flow-control credits as it consumes.
+    Out-of-order chunks are held, but never more than one window's
+    worth — the sender cannot outrun its credits."""
+
+    def __init__(self, sink: Callable[[bytes], None], send_credit: Callable[[int], None]):
+        self._sink = sink
+        self._send_credit = send_credit
+        self._next_idx = 0
+        self._held: dict[int, bytes] = {}
+        self._last_idx: Optional[int] = None
+        self.received_bytes = 0
+        self.complete = False
+
+    def feed(self, idx, last: bool, payload) -> None:
+        if self.complete or not isinstance(idx, int):
+            return
+        if idx >= self._next_idx and idx not in self._held:
+            data = bytes(payload) if not isinstance(payload, bytes) else payload
+            self._held[idx] = data
+            if last:
+                self._last_idx = idx
+        while self._next_idx in self._held:
+            data = self._held.pop(self._next_idx)
+            obs_metrics.inc("transport.http.chunks_received")
+            self.received_bytes += len(data)
+            self._sink(data)
+            self._next_idx += 1
+        self._send_credit(self._next_idx - 1)
+        if self._last_idx is not None and self._next_idx > self._last_idx:
+            self.complete = True
+
+
+class _WireAssembler:
+    """Incremental splitter for a streamed HTTP wire: accumulates the
+    head until the ``\\r\\n\\r\\n`` terminator, then routes body bytes
+    either into a caller-provided sink (O(chunk) memory) or an
+    in-memory buffer.  *sink_for* is called once with the raw head
+    bytes and may return None to keep buffering."""
+
+    def __init__(self, sink_for: Optional[Callable[[bytes], object]] = None):
+        self._sink_for = sink_for
+        self._buf = bytearray()
+        self.head: Optional[bytes] = None
+        self.sink = None
+        self.body_len = 0
+
+    def write(self, data: bytes) -> None:
+        if self.head is None:
+            self._buf += data
+            pos = self._buf.find(b"\r\n\r\n")
+            if pos < 0:
+                return
+            self.head = bytes(self._buf[:pos])
+            rest = bytes(self._buf[pos + 4:])
+            self._buf = bytearray()
+            if self._sink_for is not None:
+                self.sink = self._sink_for(self.head)
+            if rest:
+                self.write(rest)
+            return
+        self.body_len += len(data)
+        if self.sink is not None:
+            self.sink.write(data)
+        else:
+            self._buf += data
+
+    def finish_message(self, from_parts, decode_body) -> object:
+        """Assemble the completed message.  *from_parts* is the message
+        class's ``_from_parts``; *decode_body* maps raw buffered bytes
+        to the body representation (skipped for sink bodies — the sink
+        owns the representation)."""
+        if self.head is None:
+            raise TransportError("streamed message ended before header terminator")
+        start, headers, declared = parse_head_block(self.head)
+        if declared is not None and declared != self.body_len:
+            raise TransportError(
+                f"Content-Length mismatch on streamed message: "
+                f"declared {declared}, got {self.body_len} bytes"
+            )
+        if self.sink is not None:
+            return from_parts(start, headers, self.sink.close())
+        return from_parts(start, headers, decode_body(bytes(self._buf), headers))
+
+
+class _BufferSink:
+    """The default body sink: accumulate to one bytes object."""
+
+    __slots__ = ("_buf",)
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self._buf += data
+
+    def close(self) -> bytes:
+        return bytes(self._buf)
 
 
 class HttpConnection:
@@ -125,6 +349,11 @@ class HttpConnection:
         self._pending: "OrderedDict[int, dict]" = OrderedDict()
         self._backlog: "deque[dict]" = deque()
         self._reorder: dict[int, HttpResponse] = {}
+        #: seqs exempt from in-order delivery (E16 streamed exchanges) —
+        #: they deliver on completion and never gate ordered peers
+        self._unordered: set[int] = set()
+        #: seq -> _WireAssembler+_StreamReceiver for chunked responses
+        self._rsp_streams: dict[int, tuple] = {}
         self._next_seq = 0
         self._next_delivery = 0
         self._unanswered = 0
@@ -172,10 +401,19 @@ class HttpConnection:
         request: HttpRequest,
         callback: ResponseHandler,
         timeout: Optional[float] = None,
+        response_sink: Optional[Callable[[], object]] = None,
     ) -> None:
         """Issue *request*; *callback* fires (in request order) with the
         response or error.  A timeout poisons the whole connection —
-        later responses on it can no longer be matched trustworthily."""
+        later responses on it can no longer be matched trustworthily.
+
+        *response_sink* (optional) is a zero-arg factory of a body sink
+        (``write(bytes)`` / ``close() -> body``): if the server streams
+        the response as chunk frames, its body bytes flow through the
+        sink instead of being buffered, and the delivered response's
+        ``body`` is whatever ``close()`` returned.  Streamed exchanges
+        are delivered on completion, outside the strict request order.
+        """
         if self.state == CLOSED:
             callback(
                 None,
@@ -191,6 +429,8 @@ class HttpConnection:
             "timeout": timeout,
             "timer": None,
             "done": False,
+            "response_sink": response_sink,
+            "up_sender": None,
         }
         self._next_seq += 1
         self.requests_sent += 1
@@ -224,11 +464,34 @@ class HttpConnection:
     def _transmit(self, entry: dict) -> None:
         self._unanswered += 1
         self.state = ACTIVE
+        request = entry["request"]
+        threshold = self.config.chunk_threshold
+        streamed = isinstance(request.body, BodyStream) or (
+            threshold is not None and request.wire_length() > threshold
+        )
+        if streamed:
+            # streamed exchanges opt out of strict ordering: the server
+            # dispatches them on completion, so pipelined small calls
+            # behind this one are never head-of-line blocked
+            self._unordered.add(entry["seq"])
+            sender = _StreamSender(
+                self.node,
+                self.target_node,
+                self._srv_port,
+                {"conn": self.id, "seq": entry["seq"]},
+                request.iter_wire(),
+                self.config.chunk_size,
+                self.config.stream_window,
+                on_error=self._teardown,
+            )
+            entry["up_sender"] = sender
+            sender.start()
+            return
         try:
             self.node.send(
                 self.target_node,
                 self._srv_port,
-                entry["request"].to_wire(),
+                request.to_wire(),
                 kind="request",
                 conn=self.id,
                 seq=entry["seq"],
@@ -266,6 +529,10 @@ class HttpConnection:
             self._on_accept(frame)
         elif kind == "response":
             self._on_response(frame)
+        elif kind == "chunk":
+            self._on_response_chunk(frame)
+        elif kind == "credit":
+            self._on_credit(frame)
         elif kind == "close":
             self._on_remote_close()
 
@@ -287,26 +554,112 @@ class HttpConnection:
         except TransportError as exc:
             self._teardown(exc)
             return
+        self._complete(seq, response)
+
+    def _on_response_chunk(self, frame: Frame) -> None:
+        """A chunk of a streamed response: feed the per-seq assembler,
+        deliver (out of order) when the last chunk lands."""
+        seq = frame.meta.get("seq")
+        if not isinstance(seq, int) or seq not in self._pending:
+            return
+        stream = self._rsp_streams.get(seq)
+        if stream is None:
+            entry = self._pending[seq]
+            sink_factory = entry.get("response_sink")
+            assembler = _WireAssembler(
+                (lambda head: sink_factory()) if sink_factory is not None else None
+            )
+            receiver = _StreamReceiver(
+                assembler.write,
+                lambda idx, seq=seq: self._send_credit(seq, idx),
+            )
+            stream = (assembler, receiver)
+            self._rsp_streams[seq] = stream
+            # a streaming response exempts this seq from strict order —
+            # it completes whenever its last chunk lands
+            self._unordered.add(seq)
+            self._drain()
+        assembler, receiver = stream
+        try:
+            receiver.feed(frame.meta.get("idx"), frame.meta.get("last", False), frame.payload)
+        except TransportError as exc:
+            self._teardown(exc)
+            return
+        if not receiver.complete:
+            return
+        self._rsp_streams.pop(seq, None)
+        try:
+            response = assembler.finish_message(HttpResponse._from_parts, _decoded_body)
+        except TransportError as exc:
+            self._teardown(exc)
+            return
+        self._complete(seq, response)
+
+    def _on_credit(self, frame: Frame) -> None:
+        seq = frame.meta.get("seq")
+        entry = self._pending.get(seq) if isinstance(seq, int) else None
+        if entry is not None and entry.get("up_sender") is not None:
+            entry["up_sender"].on_credit(frame.meta.get("idx"))
+
+    def _send_credit(self, seq: int, idx: int) -> None:
+        if self._srv_port is None:
+            return
+        try:
+            self.node.send(
+                self.target_node, self._srv_port, b"",
+                kind="credit", conn=self.id, seq=seq, idx=idx,
+            )
+        except (NetworkError, NodeDownError):
+            pass  # the request timeout owns this failure mode
+
+    def _complete(self, seq, response: HttpResponse) -> None:
         if not isinstance(seq, int) or seq not in self._pending:
             return  # stale or duplicate frame
-        if seq != self._next_delivery:
+        if seq == self._next_delivery:
+            self._deliver(seq, response)
+            self._drain()
+        elif seq in self._unordered or seq < self._next_delivery:
+            # streamed exchange: deliver on completion, out of band
+            self._deliver_oob(seq, response)
+            self._drain()
+        else:
             # arrived ahead of an earlier response: hold it so callers
             # still see responses in request order
             self.out_of_order += 1
             obs_metrics.inc("transport.http.ooo_frames")
             self._reorder[seq] = response
             return
-        self._deliver(seq, response)
-        while self._next_delivery in self._reorder:
-            self._deliver(self._next_delivery, self._reorder.pop(self._next_delivery))
         if self.state == CLOSED:
             return  # a callback closed us
         self._pump_backlog()
         self._maybe_idle()
 
+    def _drain(self) -> None:
+        """Advance ordered delivery: release held responses in order,
+        skipping over seqs that opted out of ordering."""
+        while True:
+            if self._next_delivery in self._reorder:
+                self._deliver(
+                    self._next_delivery, self._reorder.pop(self._next_delivery)
+                )
+            elif self._next_delivery in self._unordered:
+                self._unordered.discard(self._next_delivery)
+                self._next_delivery += 1
+            else:
+                break
+
     def _deliver(self, seq: int, response: HttpResponse) -> None:
         entry = self._pending.pop(seq)
+        self._unordered.discard(seq)
         self._next_delivery = seq + 1
+        self._unanswered -= 1
+        self._finish_entry(entry, response, None)
+
+    def _deliver_oob(self, seq: int, response: HttpResponse) -> None:
+        entry = self._pending.pop(seq)
+        if seq >= self._next_delivery:
+            # leave the seq marked so ordered draining skips over it
+            self._unordered.add(seq)
         self._unanswered -= 1
         self._finish_entry(entry, response, None)
 
@@ -382,6 +735,8 @@ class HttpConnection:
         self._pending.clear()
         self._backlog.clear()
         self._reorder.clear()
+        self._unordered.clear()
+        self._rsp_streams.clear()
         if self._srv_port is not None:
             try:
                 self.node.send(
@@ -571,6 +926,13 @@ class ServerConnection:
         #: seq -> raw payload, or a ``(None, retry_after)`` marker for a
         #: request the node's worker pool shed before delivery (E13)
         self._held: dict[int, object] = {}
+        #: seq -> (assembler, receiver) for in-progress chunked uploads
+        self._streams: dict[int, tuple] = {}
+        #: seqs handled out-of-band (chunk-streamed) — in-order draining
+        #: skips them so they never stall later ordered requests
+        self._oob: set[int] = set()
+        #: seq -> _StreamSender for chunk-streamed responses
+        self._rsp_senders: dict[int, _StreamSender] = {}
         self._idle_event = None
         self.requests_handled = 0
         self.busy_answered = 0
@@ -585,14 +947,101 @@ class ServerConnection:
         if kind == "close":
             self.close(notify=False)
             return
+        if kind == "chunk":
+            self._on_chunk(frame)
+            self._arm_idle()
+            return
+        if kind == "credit":
+            sender = self._rsp_senders.get(frame.meta.get("seq"))
+            if sender is not None:
+                sender.on_credit(frame.meta.get("idx"))
+                if sender.finished:
+                    self._rsp_senders.pop(frame.meta.get("seq"), None)
+            return
         if kind != "request":
             return
         seq = frame.meta.get("seq")
-        if not isinstance(seq, int) or seq < self._next_seq or seq in self._held:
+        if (
+            not isinstance(seq, int)
+            or seq < self._next_seq
+            or seq in self._held
+            or seq in self._oob
+        ):
             return  # duplicate or garbage
         self._held[seq] = frame.payload
         self._drain_in_order()
         self._arm_idle()
+
+    def _on_chunk(self, frame: Frame) -> None:
+        """One chunk of a streamed request upload.  The seq is handled
+        out-of-band: it dispatches when its last chunk lands, and the
+        in-order drain skips over it meanwhile."""
+        seq = frame.meta.get("seq")
+        if not isinstance(seq, int):
+            return
+        stream = self._streams.get(seq)
+        if stream is None:
+            if seq < self._next_seq or seq in self._oob:
+                return  # duplicate chunk of a finished stream
+            assembler = _WireAssembler(self.server._body_sink_for)
+            receiver = _StreamReceiver(
+                assembler.write,
+                lambda idx, seq=seq: self._send_credit(seq, idx),
+            )
+            stream = (assembler, receiver)
+            self._streams[seq] = stream
+            self._oob.add(seq)
+            self._drain_in_order()  # later ordered requests advance past us
+        assembler, receiver = stream
+        try:
+            receiver.feed(frame.meta.get("idx"), frame.meta.get("last", False), frame.payload)
+        except TransportError:
+            self.server.bad_requests += 1
+            obs_metrics.inc("transport.http.bad_requests")
+            self._streams.pop(seq, None)
+            self._respond(seq, HttpResponse(400, "malformed chunked request"))
+            return
+        if not receiver.complete:
+            return
+        self._streams.pop(seq, None)
+        self._dispatch_streamed(seq, assembler)
+
+    def _send_credit(self, seq: int, idx: int) -> None:
+        try:
+            self.node.send(
+                self.peer, self.client_port, b"",
+                kind="credit", conn=self.id, seq=seq, idx=idx,
+            )
+        except (NetworkError, NodeDownError):
+            pass  # sender stalls; the client's request timeout owns it
+
+    def _dispatch_streamed(self, seq: int, assembler: _WireAssembler) -> None:
+        if self.admission is not None:
+            admitted, retry_after = self.admission.try_admit()
+            obs_metrics.set_gauge(
+                "transport.http.queue_depth", self.admission.level
+            )
+            if not admitted:
+                self.busy_answered += 1
+                obs_metrics.inc("transport.http.queue_overflow")
+                self._respond(
+                    seq,
+                    HttpResponse(
+                        503,
+                        f"connection {self.id}: request queue full",
+                        {"Retry-After": f"{retry_after:.6f}"},
+                    ),
+                )
+                return
+        self.requests_handled += 1
+        try:
+            request = assembler.finish_message(HttpRequest._from_parts, _decoded_body)
+        except TransportError as exc:
+            self.server.bad_requests += 1
+            obs_metrics.inc("transport.http.bad_requests")
+            self._respond(seq, HttpResponse(400, str(exc)))
+            return
+        self._respond(seq, self.server._handle(request))
 
     def _on_overflow(self, frame: Frame, retry_after: float) -> None:
         """The worker pool shed a pipelined request.  It still occupies
@@ -608,7 +1057,15 @@ class ServerConnection:
         self._arm_idle()
 
     def _drain_in_order(self) -> None:
-        while self._next_seq in self._held:
+        while True:
+            if self._next_seq in self._oob:
+                # chunk-streamed seq: dispatched out-of-band on its own
+                # completion; ordered requests behind it keep flowing
+                self._oob.discard(self._next_seq)
+                self._next_seq += 1
+                continue
+            if self._next_seq not in self._held:
+                break
             seq_now = self._next_seq
             self._next_seq += 1
             entry = self._held.pop(seq_now)
@@ -626,7 +1083,7 @@ class ServerConnection:
             else:
                 self._process(seq_now, entry)
 
-    def _process(self, seq: int, payload: str) -> None:
+    def _process(self, seq: int, payload) -> None:
         if self.admission is not None:
             admitted, retry_after = self.admission.try_admit()
             obs_metrics.set_gauge(
@@ -648,6 +1105,25 @@ class ServerConnection:
         self._respond(seq, self.server._response_for(payload))
 
     def _respond(self, seq: int, response: HttpResponse) -> None:
+        threshold = self.server.chunk_threshold
+        if isinstance(response.body, BodyStream) or (
+            threshold is not None and response.wire_length() > threshold
+        ):
+            sender = _StreamSender(
+                self.node,
+                self.peer,
+                self.client_port,
+                {"conn": self.id, "seq": seq},
+                response.iter_wire(),
+                self.server.chunk_size,
+                self.server.stream_window,
+                on_error=self._on_stream_error,
+            )
+            self._rsp_senders[seq] = sender
+            sender.start()
+            if sender.finished:
+                self._rsp_senders.pop(seq, None)
+            return
         try:
             self.node.send(
                 self.peer,
@@ -660,6 +1136,10 @@ class ServerConnection:
         except (NetworkError, NodeDownError):
             self.server.dropped_replies += 1
             obs_metrics.inc("transport.http.dropped_replies")
+
+    def _on_stream_error(self, exc: Exception) -> None:
+        self.server.dropped_replies += 1
+        obs_metrics.inc("transport.http.dropped_replies")
 
     # ------------------------------------------------------------------
     def _arm_idle(self) -> None:
@@ -678,6 +1158,8 @@ class ServerConnection:
         if self.closed:
             return
         self.closed = True
+        self._streams.clear()
+        self._rsp_senders.clear()
         if self._idle_event is not None:
             self._idle_event.cancel()
             self._idle_event = None

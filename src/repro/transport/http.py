@@ -2,7 +2,12 @@
 
 The message model is a faithful miniature of HTTP/1.1: request line,
 status line, headers, ``Content-Length``-framed bodies, all serialised
-to real text on the wire.  Connection semantics are what matter to the
+to real **bytes** on the wire (E16).  The head is UTF-8 text; the body
+is an opaque byte sequence framed by a byte-accurate ``Content-Length``
+— character counting mis-frames any non-ASCII envelope, so encoding
+happens exactly once, in :meth:`HttpRequest.to_wire` /
+:meth:`HttpResponse.to_wire`, and parsing splits head from body on
+byte boundaries.  Connection semantics are what matter to the
 paper — HTTP "maintains an open connection for return messages" (§III),
 which is why standard Web-service stacks ended up synchronous.  Two
 connection models coexist:
@@ -22,6 +27,7 @@ render.
 from __future__ import annotations
 
 import itertools
+import re
 from collections.abc import Mapping, MutableMapping
 from typing import Callable, Iterable, Iterator, Optional, Union
 
@@ -34,6 +40,7 @@ from repro.transport.base import (
     TransportBusyError,
     TransportError,
     TransportTimeoutError,
+    WirePayload,
 )
 from repro.transport.uri import Uri
 
@@ -102,41 +109,156 @@ def _render_headers(headers: Mapping[str, str]) -> str:
     return "".join(f"{k}: {v}\r\n" for k, v in headers.items())
 
 
-def _parse_head(text: str) -> tuple[str, HeaderMap, str]:
-    """Split raw message into (start line, headers, body)."""
-    head, sep, body = text.partition("\r\n\r\n")
-    if not sep:
-        raise TransportError("malformed HTTP message: missing header terminator")
-    lines = head.split("\r\n")
+#: body content-types delivered as raw bytes rather than decoded text
+_BINARY_CONTENT_PREFIXES = ("multipart/", "application/octet-stream")
+
+#: strict Content-Length field value: optional single leading OWS space,
+#: then ASCII digits only — no sign, no padding, no internal whitespace
+_CONTENT_LENGTH_RE = re.compile(r" ?([0-9]+)\Z")
+
+
+def _decoded_body(body: bytes, headers: HeaderMap) -> Union[str, bytes]:
+    """Binary content-types keep raw bytes; everything else is UTF-8
+    text (a mis-encoded text body is a framing error, not a mojibake)."""
+    ctype = headers.get("Content-Type", "").lower()
+    if any(ctype.startswith(prefix) for prefix in _BINARY_CONTENT_PREFIXES):
+        return body
+    try:
+        return body.decode("utf-8")
+    except UnicodeDecodeError:
+        raise TransportError("message body is not valid UTF-8") from None
+
+
+def parse_head_block(head: Union[bytes, str]) -> tuple[str, HeaderMap, Optional[int]]:
+    """Parse a header block (everything before ``\\r\\n\\r\\n``) into
+    (start line, headers, declared Content-Length or None).
+
+    ``Content-Length`` is parsed strictly — ``+5``, ``-5``,
+    whitespace-padded values, and duplicate ``Content-Length`` lines
+    that disagree are all rejected (HeaderMap is last-wins, which would
+    otherwise smuggle the conflict through silently).
+    """
+    if isinstance(head, (bytes, bytearray, memoryview)):
+        try:
+            head_text = bytes(head).decode("utf-8")
+        except UnicodeDecodeError:
+            raise TransportError("malformed HTTP head: not valid UTF-8") from None
+    else:
+        head_text = head
+    lines = head_text.split("\r\n")
     start = lines[0]
     headers = HeaderMap()
+    declared_length: Optional[int] = None
     for line in lines[1:]:
         if not line:
             continue
         name, colon, value = line.partition(":")
         if not colon:
             raise TransportError(f"malformed HTTP header line: {line!r}")
+        if name.strip().lower() == "content-length":
+            match = _CONTENT_LENGTH_RE.match(value)
+            if match is None:
+                raise TransportError(f"bad Content-Length: {value!r}")
+            length = int(match.group(1))
+            if declared_length is not None and declared_length != length:
+                raise TransportError(
+                    f"conflicting Content-Length headers: "
+                    f"{declared_length} vs {length}"
+                )
+            declared_length = length
         headers[name.strip()] = value.strip()
-    if "Content-Length" in headers:
-        try:
-            length = int(headers["Content-Length"])
-        except ValueError:
-            raise TransportError("bad Content-Length") from None
-        if length != len(body):
-            raise TransportError(
-                f"Content-Length mismatch: declared {length}, got {len(body)}"
-            )
+    return start, headers, declared_length
+
+
+def _parse_head(data: Union[bytes, str]) -> tuple[str, HeaderMap, bytes]:
+    """Split a raw message into (start line, headers, body bytes).
+
+    Framing is byte-true: the head/body split happens on the raw byte
+    sequence and ``Content-Length`` is validated against the *byte*
+    length of the body.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    elif isinstance(data, (bytearray, memoryview)):
+        data = bytes(data)
+    head, sep, body = data.partition(b"\r\n\r\n")
+    if not sep:
+        raise TransportError("malformed HTTP message: missing header terminator")
+    start, headers, declared_length = parse_head_block(head)
+    if declared_length is not None and declared_length != len(body):
+        raise TransportError(
+            f"Content-Length mismatch: declared {declared_length}, "
+            f"got {len(body)} bytes"
+        )
     return start, headers, body
 
 
+class BodyStream:
+    """A message body supplied as byte chunks instead of one buffer.
+
+    *factory* is a zero-argument callable returning an iterable of
+    ``bytes``-like chunks; *length* is the exact total byte count (it
+    becomes the declared ``Content-Length``).  A factory — not a bare
+    iterator — so retries and re-frames can restart the stream.
+    """
+
+    __slots__ = ("factory", "length")
+
+    def __init__(self, factory: Callable[[], Iterable[bytes]], length: int):
+        self.factory = factory
+        self.length = int(length)
+
+    def chunks(self) -> Iterator[bytes]:
+        for chunk in self.factory():
+            yield bytes(chunk) if isinstance(chunk, memoryview) else chunk
+
+    def materialise(self) -> bytes:
+        return b"".join(self.chunks())
+
+    def __repr__(self) -> str:
+        return f"<BodyStream {self.length}B>"
+
+
+def _body_bytes(body: Union[str, bytes, bytearray, memoryview, BodyStream]) -> bytes:
+    if isinstance(body, BodyStream):
+        return body.materialise()
+    if isinstance(body, str):
+        return body.encode("utf-8")
+    return bytes(body)
+
+
+def _text_preview(body, limit: int = 200) -> str:
+    """A short printable view of a body for error messages."""
+    if isinstance(body, BodyStream):
+        return f"<stream {body.length}B>"
+    if isinstance(body, (bytes, bytearray, memoryview)):
+        return bytes(body)[:limit].decode("utf-8", "replace")
+    return body[:limit]
+
+
+def _body_declared_length(body) -> int:
+    if isinstance(body, BodyStream):
+        return body.length
+    if isinstance(body, str):
+        return len(body.encode("utf-8"))
+    return len(body)
+
+
 class HttpRequest:
-    """An HTTP request message."""
+    """An HTTP request message.
+
+    ``body`` may be ``str`` (encoded to UTF-8 exactly once at frame
+    time), raw ``bytes`` (attachments / binary parts go through
+    untouched), or a :class:`BodyStream` (the E16 chunked path: the
+    body is produced as an iterator of byte chunks and never
+    materialised here).
+    """
 
     def __init__(
         self,
         method: str,
         path: str,
-        body: str = "",
+        body: Union[str, bytes, BodyStream] = "",
         headers: HeadersLike = None,
     ):
         self.method = method.upper()
@@ -144,23 +266,53 @@ class HttpRequest:
         self.body = body
         self.headers = HeaderMap(headers)
 
-    def to_wire(self) -> str:
+    @property
+    def body_bytes(self) -> bytes:
+        return _body_bytes(self.body)
+
+    def _head_wire(self) -> bytes:
         headers = self.headers.copy()
         # the transport owns framing: whatever the caller set, the
-        # declared length must match the body or the peer rejects it
-        headers["Content-Length"] = str(len(self.body))
-        return f"{self.method} {self.path} HTTP/1.1\r\n{_render_headers(headers)}\r\n{self.body}"
+        # declared length must match the body's byte count or the peer
+        # rejects it
+        headers["Content-Length"] = str(_body_declared_length(self.body))
+        head = f"{self.method} {self.path} HTTP/1.1\r\n{_render_headers(headers)}\r\n"
+        return head.encode("utf-8")
+
+    def to_wire(self) -> bytes:
+        return self._head_wire() + self.body_bytes
+
+    def iter_wire(self) -> Iterator[bytes]:
+        """Yield the message as byte chunks: head first, then the body
+        as produced — a :class:`BodyStream` body is never materialised."""
+        yield self._head_wire()
+        if isinstance(self.body, BodyStream):
+            yield from self.body.chunks()
+        else:
+            yield self.body_bytes
+
+    def wire_length(self) -> int:
+        return len(self._head_wire()) + _body_declared_length(self.body)
 
     @classmethod
-    def from_wire(cls, text: str) -> "HttpRequest":
-        start, headers, body = _parse_head(text)
+    def from_wire(cls, data: Union[bytes, str]) -> "HttpRequest":
+        start, headers, body = _parse_head(data)
+        return cls._from_parts(start, headers, _decoded_body(body, headers))
+
+    @classmethod
+    def _from_parts(cls, start: str, headers: HeaderMap, body) -> "HttpRequest":
+        """Build from an already-split head + body (the streamed path
+        hands the body straight from its sink, undecoded)."""
         parts = start.split(" ")
         if len(parts) != 3 or not parts[2].startswith("HTTP/"):
             raise TransportError(f"malformed request line: {start!r}")
         return cls(parts[0], parts[1], body, headers)
 
     def __repr__(self) -> str:
-        return f"<HttpRequest {self.method} {self.path} body={len(self.body)}B>"
+        return (
+            f"<HttpRequest {self.method} {self.path} "
+            f"body={_body_declared_length(self.body)}B>"
+        )
 
 
 class HttpResponse:
@@ -169,7 +321,7 @@ class HttpResponse:
     def __init__(
         self,
         status: int,
-        body: str = "",
+        body: Union[str, bytes, BodyStream] = "",
         headers: HeadersLike = None,
         reason: Optional[str] = None,
     ):
@@ -182,14 +334,36 @@ class HttpResponse:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
-    def to_wire(self) -> str:
+    @property
+    def body_bytes(self) -> bytes:
+        return _body_bytes(self.body)
+
+    def _head_wire(self) -> bytes:
         headers = self.headers.copy()
-        headers["Content-Length"] = str(len(self.body))
-        return f"HTTP/1.1 {self.status} {self.reason}\r\n{_render_headers(headers)}\r\n{self.body}"
+        headers["Content-Length"] = str(_body_declared_length(self.body))
+        head = f"HTTP/1.1 {self.status} {self.reason}\r\n{_render_headers(headers)}\r\n"
+        return head.encode("utf-8")
+
+    def to_wire(self) -> bytes:
+        return self._head_wire() + self.body_bytes
+
+    def iter_wire(self) -> Iterator[bytes]:
+        yield self._head_wire()
+        if isinstance(self.body, BodyStream):
+            yield from self.body.chunks()
+        else:
+            yield self.body_bytes
+
+    def wire_length(self) -> int:
+        return len(self._head_wire()) + _body_declared_length(self.body)
 
     @classmethod
-    def from_wire(cls, text: str) -> "HttpResponse":
-        start, headers, body = _parse_head(text)
+    def from_wire(cls, data: Union[bytes, str]) -> "HttpResponse":
+        start, headers, body = _parse_head(data)
+        return cls._from_parts(start, headers, _decoded_body(body, headers))
+
+    @classmethod
+    def _from_parts(cls, start: str, headers: HeaderMap, body) -> "HttpResponse":
         parts = start.split(" ", 2)
         if len(parts) < 2 or not parts[0].startswith("HTTP/"):
             raise TransportError(f"malformed status line: {start!r}")
@@ -201,7 +375,10 @@ class HttpResponse:
         return cls(status, body, headers, reason)
 
     def __repr__(self) -> str:
-        return f"<HttpResponse {self.status} {self.reason} body={len(self.body)}B>"
+        return (
+            f"<HttpResponse {self.status} {self.reason} "
+            f"body={_body_declared_length(self.body)}B>"
+        )
 
 
 RequestHandler = Callable[[HttpRequest], HttpResponse]
@@ -236,6 +413,17 @@ class HttpServer:
         self.max_pending_per_connection: Optional[float] = 32.0
         self.conn_drain_rate: float = 200.0
         self.conn_idle_timeout: Optional[float] = 60.0
+        # E16 chunked-framing knobs (persistent connections only):
+        # responses whose wire form exceeds chunk_threshold bytes are
+        # sent as a flow-controlled sequence of chunk frames instead of
+        # one giant frame.  None disables response chunking.
+        self.chunk_threshold: Optional[int] = None
+        self.chunk_size: int = 64 * 1024
+        self.stream_window: int = 8
+        #: path -> zero-arg factory of a body sink (``write(bytes)`` /
+        #: ``close() -> body``) consuming a chunk-streamed request body
+        #: incrementally instead of buffering the full wire
+        self.stream_sinks: dict[str, Callable[[], object]] = {}
         self._connections: dict[str, object] = {}
 
     @property
@@ -270,6 +458,28 @@ class HttpServer:
     def remove_route(self, path: str) -> None:
         path = path if path.startswith("/") else "/" + path
         self.routes.pop(path, None)
+        self.stream_sinks.pop(path, None)
+
+    def add_stream_sink(self, path: str, factory: Callable[[], object]) -> None:
+        """Consume chunk-streamed request bodies for *path* through
+        ``factory()`` sinks (O(chunk) server-side memory) instead of
+        reassembling the full wire before dispatch."""
+        path = path if path.startswith("/") else "/" + path
+        self.stream_sinks[path] = factory
+
+    def _body_sink_for(self, head: bytes):
+        """Pick the stream sink for an incoming chunked request, from
+        its parsed head.  None means: buffer the whole wire."""
+        if not self.stream_sinks:
+            return None
+        try:
+            start, _, _ = parse_head_block(head)
+            parts = start.split(" ")
+            path = parts[1] if len(parts) == 3 else ""
+        except TransportError:
+            return None
+        factory = self.stream_sinks.get(path)
+        return factory() if factory is not None else None
 
     def _on_frame(self, frame: Frame) -> None:
         if frame.meta.get("kind") == "connect":
@@ -320,7 +530,7 @@ class HttpServer:
             self.dropped_replies += 1
             obs_metrics.inc("transport.http.dropped_replies")
 
-    def _response_for(self, payload: str) -> HttpResponse:
+    def _response_for(self, payload: Union[bytes, str]) -> HttpResponse:
         """Parse and dispatch one raw request (shared with E11
         per-connection delivery)."""
         try:
@@ -553,7 +763,7 @@ class HttpTransport(Transport):
     def send(
         self,
         endpoint: Uri,
-        body: str,
+        body: WirePayload,
         headers: Optional[dict[str, str]] = None,
         on_response: Optional[ResponseCallback] = None,
         timeout: Optional[float] = None,
@@ -577,13 +787,19 @@ class HttpTransport(Transport):
                 on_response(
                     None,
                     TransportBusyError(
-                        f"HTTP 503: {response.body[:200]}", retry_after=retry_after
+                        f"HTTP 503: {_text_preview(response.body)}",
+                        retry_after=retry_after,
                     ),
                 )
             elif response is not None and not response.ok and response.status != 500:
                 # 500 carries a SOAP fault body the engine will decode;
                 # other failure codes are transport-level errors.
-                on_response(None, TransportError(f"HTTP {response.status}: {response.body[:200]}"))
+                on_response(
+                    None,
+                    TransportError(
+                        f"HTTP {response.status}: {_text_preview(response.body)}"
+                    ),
+                )
             else:
                 on_response(response.body if response else None, None)
 

@@ -18,6 +18,10 @@ Public surface:
     Text → :class:`Element` tree.
 ``serialize``
     :class:`Element` tree → text (optionally pretty-printed).
+``iter_serialize`` / ``FeedParser`` / ``parse_stream``
+    Streaming twins (E16): byte-chunk serialisation and incremental
+    parsing with O(chunk) peak memory, byte-identical to the batch
+    codec.
 ``XmlError`` and subclasses
     Raised on malformed input.
 
@@ -29,6 +33,7 @@ from repro.xmlkit.names import QName
 from repro.xmlkit.element import Element
 from repro.xmlkit.parser import parse, parse_fragment
 from repro.xmlkit.serializer import serialize
+from repro.xmlkit.stream import FeedParser, iter_serialize, parse_stream
 from repro.xmlkit import ns
 
 __all__ = [
@@ -37,6 +42,9 @@ __all__ = [
     "parse",
     "parse_fragment",
     "serialize",
+    "iter_serialize",
+    "FeedParser",
+    "parse_stream",
     "XmlError",
     "XmlParseError",
     "XmlWellFormednessError",

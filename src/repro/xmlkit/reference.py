@@ -226,6 +226,7 @@ def escape_text_reference(value: str) -> str:
         value.replace("&", "&amp;")
         .replace("<", "&lt;")
         .replace(">", "&gt;")
+        .replace("\r", "&#13;")
     )
 
 
@@ -236,6 +237,7 @@ def escape_attr_reference(value: str) -> str:
         .replace('"', "&quot;")
         .replace("\n", "&#10;")
         .replace("\t", "&#9;")
+        .replace("\r", "&#13;")
     )
 
 

@@ -25,21 +25,27 @@ from typing import Optional
 from repro.xmlkit.element import Element
 from repro.xmlkit.names import QName, XML_URI
 
-_TEXT_NEEDS_ESCAPE = re.compile(r"[&<>]")
-_ATTR_NEEDS_ESCAPE = re.compile(r'[&<"\n\t]')
+_TEXT_NEEDS_ESCAPE = re.compile(r"[&<>\r]")
+_ATTR_NEEDS_ESCAPE = re.compile(r'[&<"\n\t\r]')
 
 
 def escape_text(value: str) -> str:
+    # \r must become a character reference: a literal CR in content is
+    # folded to LF by XML line-end normalisation on re-parse
     if _TEXT_NEEDS_ESCAPE.search(value) is None:
         return value
     return (
         value.replace("&", "&amp;")
         .replace("<", "&lt;")
         .replace(">", "&gt;")
+        .replace("\r", "&#13;")
     )
 
 
 def escape_attr(value: str) -> str:
+    # \r, \n, \t must be character references: literal whitespace in an
+    # attribute value is collapsed to spaces by attribute-value
+    # normalisation on re-parse
     if _ATTR_NEEDS_ESCAPE.search(value) is None:
         return value
     return (
@@ -48,6 +54,7 @@ def escape_attr(value: str) -> str:
         .replace('"', "&quot;")
         .replace("\n", "&#10;")
         .replace("\t", "&#9;")
+        .replace("\r", "&#13;")
     )
 
 

@@ -84,11 +84,22 @@ class TestRequestRoundTrip:
     @settings(max_examples=100)
     @given(body=_bodies)
     def test_content_length_always_accurate(self, body):
-        # the simulated wire is text, so framing counts characters;
-        # the declared length must match whatever the parser measures
+        # the wire is bytes (E16): the declared length must be the
+        # UTF-8 *byte* length of the body, never the character count
         wire = HttpRequest("POST", "/svc", body).to_wire()
         back = HttpRequest.from_wire(wire)
-        assert int(back.headers["content-length"]) == len(body)
+        assert int(back.headers["content-length"]) == len(body.encode("utf-8"))
+
+    @settings(max_examples=100)
+    @given(body=st.binary(max_size=200))
+    def test_binary_bodies_pass_through_untouched(self, body):
+        # raw bytes bodies (attachment wires) are never decoded or
+        # escaped — byte parity end to end
+        req = HttpRequest(
+            "POST", "/svc", body, {"Content-Type": "application/octet-stream"}
+        )
+        back = HttpRequest.from_wire(req.to_wire())
+        assert back.body == body
 
 
 class TestResponseRoundTrip:

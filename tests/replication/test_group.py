@@ -5,6 +5,7 @@ import pytest
 from repro.replication import ReplicationConfig
 from repro.replication.state import DEFAULT_SESSION
 from repro.soap.faults import ReplicaLagFault
+from repro.simnet.wiretap import payload_text
 
 
 class TestEstablish:
@@ -113,7 +114,7 @@ class TestLagGuard:
         harness = CrashHarness(world.net)
         victim = world.group.members[victim_index]
         harness.drop_next(
-            lambda f: f.dst == victim.node_id and "apply_delta" in f.payload,
+            lambda f: f.dst == victim.node_id and "apply_delta" in payload_text(f),
             count=1,
         )
         world.executor.invoke(

@@ -10,6 +10,7 @@ wrong value.
 
 from repro.replication.state import DEFAULT_SESSION
 from repro.simnet import CrashHarness
+from repro.simnet.wiretap import payload_text
 
 
 def total_counter_executions(world):
@@ -103,7 +104,7 @@ class TestHandoffAtMostOnce:
         harness = CrashHarness(counter_world.net)
         # starve member 2 of the next delta
         harness.drop_next(
-            lambda f: f.dst == behind.node_id and "apply_delta" in f.payload,
+            lambda f: f.dst == behind.node_id and "apply_delta" in payload_text(f),
             count=1,
         )
         assert executor.invoke(

@@ -106,15 +106,15 @@ class TestHeaderCaseInsensitivity:
         req = HttpRequest("POST", "/x", "hi", {"x-custom": "1"})
         req.headers["X-Custom"] = "2"  # same field, different casing
         wire = req.to_wire()
-        assert "x-custom: 2" in wire
-        assert "X-Custom" not in wire
+        assert b"x-custom: 2" in wire
+        assert b"X-Custom" not in wire
 
     def test_setdefault_does_not_duplicate_differently_cased_field(self):
         # to_wire used to add a second Content-Length/Content-Type line
         # when the caller had set a lowercase variant
         req = HttpRequest("POST", "/x", "hi", {"content-length": "2"})
         wire = req.to_wire()
-        assert wire.lower().count("content-length") == 1
+        assert wire.lower().count(b"content-length") == 1
 
     def test_transport_send_respects_lowercase_content_type(self, net):
         captured = {}
@@ -143,6 +143,88 @@ class TestHeaderCaseInsensitivity:
         )
         assert req.headers["X-A"] == "two"
         assert len([k for k in req.headers if k.lower() == "x-a"]) == 1
+
+
+class TestContentLengthHardening:
+    """Regression tests (E16 framing sweep): Content-Length is a strict
+    digit string.  ``int()``-based parsing used to accept ``+5``,
+    ``-5``, and whitespace-padded values, and HeaderMap's last-wins
+    merge silently smuggled conflicting duplicate lines through —
+    either can desynchronise framing on a pipelined connection."""
+
+    @pytest.mark.parametrize(
+        "value",
+        ["+5", "-5", " 5 ", "5 ", "\t5", "  5", "5\t", "0x5", "5五", ""],
+    )
+    def test_non_canonical_values_rejected(self, value):
+        wire = f"POST /x HTTP/1.1\r\nContent-Length:{value}\r\n\r\nhello"
+        with pytest.raises(TransportError):
+            HttpRequest.from_wire(wire)
+
+    def test_single_leading_space_accepted(self):
+        # the normal "Name: value" rendering — one OWS space, digits
+        req = HttpRequest.from_wire(
+            "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+        )
+        assert req.body == "hello"
+
+    def test_conflicting_duplicate_lines_rejected(self):
+        wire = (
+            "POST /x HTTP/1.1\r\n"
+            "Content-Length: 5\r\n"
+            "Content-Length: 99\r\n"
+            "\r\nhello"
+        )
+        with pytest.raises(TransportError, match="conflicting Content-Length"):
+            HttpRequest.from_wire(wire)
+
+    def test_conflicting_duplicates_rejected_even_if_last_would_win(self):
+        # last-wins HeaderMap merge would have made 5 the effective
+        # value and let the message through; the conflict itself must
+        # be fatal regardless of line order
+        wire = (
+            "POST /x HTTP/1.1\r\n"
+            "Content-Length: 99\r\n"
+            "content-length: 5\r\n"
+            "\r\nhello"
+        )
+        with pytest.raises(TransportError, match="conflicting Content-Length"):
+            HttpRequest.from_wire(wire)
+
+    def test_agreeing_duplicate_lines_accepted(self):
+        req = HttpRequest.from_wire(
+            "POST /x HTTP/1.1\r\n"
+            "Content-Length: 5\r\n"
+            "content-length: 5\r\n"
+            "\r\nhello"
+        )
+        assert req.body == "hello"
+
+    def test_response_content_length_hardened_too(self):
+        with pytest.raises(TransportError):
+            HttpResponse.from_wire(
+                "HTTP/1.1 200 OK\r\nContent-Length: +6\r\n\r\nbodies"
+            )
+
+    def test_server_counts_bad_content_length_as_bad_request(self, net):
+        server = HttpServer(net.get_node("server"), 80)
+        server.add_route("/echo", lambda req: HttpResponse(200, req.body))
+        server.start()
+        before = _metric("transport.http.bad_requests")
+        client_node = net.get_node("client")
+        replies = []
+        client_node.open_port("probe", lambda frame: replies.append(frame.payload))
+        client_node.send(
+            "server", "http:80",
+            "POST /echo HTTP/1.1\r\nContent-Length: -5\r\n\r\nhello",
+            reply_port="probe",
+        )
+        net.run()
+        assert server.bad_requests == 1
+        assert _metric("transport.http.bad_requests") == before + 1
+        assert len(replies) == 1
+        assert HttpResponse.from_wire(replies[0]).status == 400
+        client_node.close_port("probe")
 
 
 class TestServerClient:
